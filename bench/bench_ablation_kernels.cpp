@@ -1,0 +1,160 @@
+// google-benchmark microbenches for the two leaf kernels the paper's
+// performance rests on: batch Smith-Waterman (the ADEPT stand-in) and
+// local semiring SpGEMM. Reports real CUPS / products-per-second of this
+// host, which is useful when re-calibrating sim/machine_model.hpp.
+#include <benchmark/benchmark.h>
+
+#include "pastis.hpp"
+
+using namespace pastis;
+
+namespace {
+
+std::vector<std::string> random_proteins(std::size_t count, std::size_t len,
+                                         std::uint64_t seed) {
+  static const std::string aas = "ARNDCQEGHILKMFPSTWYV";
+  util::Xoshiro256 rng(seed);
+  std::vector<std::string> seqs(count);
+  for (auto& s : seqs) {
+    s.resize(len);
+    for (auto& c : s) c = aas[rng.below(aas.size())];
+  }
+  return seqs;
+}
+
+void BM_SmithWatermanFull(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto seqs = random_proteins(2, len, 42);
+  const auto scoring = align::Scoring::pastis_default();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::smith_waterman(seqs[0], seqs[1], scoring));
+  }
+  state.counters["CUPS"] = benchmark::Counter(
+      static_cast<double>(len) * static_cast<double>(len) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SmithWatermanFull)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_SmithWatermanScoreOnly(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto seqs = random_proteins(2, len, 43);
+  const auto scoring = align::Scoring::pastis_default();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        align::smith_waterman_score(seqs[0], seqs[1], scoring));
+  }
+  state.counters["CUPS"] = benchmark::Counter(
+      static_cast<double>(len) * static_cast<double>(len) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SmithWatermanScoreOnly)->Arg(128)->Arg(512);
+
+void BM_BandedSW(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const int half_width = static_cast<int>(state.range(1));
+  const auto seqs = random_proteins(2, len, 44);
+  const auto scoring = align::Scoring::pastis_default();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        align::banded_smith_waterman(seqs[0], seqs[1], scoring, 0, half_width));
+  }
+}
+BENCHMARK(BM_BandedSW)->Args({512, 16})->Args({512, 64})->Args({512, 256});
+
+void BM_XDrop(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  auto seqs = random_proteins(1, len, 45);
+  seqs.push_back(seqs[0]);  // identical pair: worst case extension length
+  const auto scoring = align::Scoring::pastis_default();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::xdrop_extend(
+        seqs[0], seqs[1], static_cast<std::uint32_t>(len / 2),
+        static_cast<std::uint32_t>(len / 2), 6, scoring, 25));
+  }
+}
+BENCHMARK(BM_XDrop)->Arg(256)->Arg(1024);
+
+void BM_BatchAligner(benchmark::State& state) {
+  const int devices = static_cast<int>(state.range(0));
+  const auto seqs = random_proteins(64, 200, 46);
+  std::vector<align::AlignTask> tasks;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    for (std::uint32_t j = i + 1; j < 64; j += 8) tasks.push_back({i, j, 0, 0});
+  }
+  align::BatchAligner::Config cfg;
+  cfg.devices = devices;
+  const align::BatchAligner aligner(align::Scoring::pastis_default(), cfg);
+  auto seq_of = [&](std::uint32_t id) { return std::string_view(seqs[id]); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aligner.align_batch(seq_of, tasks, nullptr,
+                            &util::ThreadPool::global()));
+  }
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(tasks.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchAligner)->Arg(1)->Arg(6);
+
+sparse::SpMat<int> random_sparse(sparse::Index n, double density,
+                                 std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<sparse::Triple<int>> t;
+  const auto target = static_cast<std::size_t>(double(n) * double(n) * density);
+  for (std::size_t k = 0; k < target; ++k) {
+    t.push_back({static_cast<sparse::Index>(rng.below(n)),
+                 static_cast<sparse::Index>(rng.below(n)),
+                 static_cast<int>(rng.below(5)) + 1});
+  }
+  return sparse::SpMat<int>::from_triples(n, n, std::move(t),
+                                          [](int& a, const int& b) { a += b; });
+}
+
+void BM_SpGemmHash(benchmark::State& state) {
+  const auto n = static_cast<sparse::Index>(state.range(0));
+  const auto A = random_sparse(n, 0.01, 47);
+  const auto B = random_sparse(n, 0.01, 48);
+  sparse::SpGemmStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::spgemm_hash<sparse::PlusTimes<int>>(A, B, &stats));
+  }
+  state.counters["products/s"] = benchmark::Counter(
+      static_cast<double>(stats.products), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpGemmHash)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_SpGemmHeap(benchmark::State& state) {
+  const auto n = static_cast<sparse::Index>(state.range(0));
+  const auto A = random_sparse(n, 0.01, 49);
+  const auto B = random_sparse(n, 0.01, 50);
+  sparse::SpGemmStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::spgemm_heap<sparse::PlusTimes<int>>(A, B, &stats));
+  }
+  state.counters["products/s"] = benchmark::Counter(
+      static_cast<double>(stats.products), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpGemmHeap)->Arg(512)->Arg(2048);
+
+void BM_KmerExtraction(benchmark::State& state) {
+  const auto seqs = random_proteins(1, 10000, 51);
+  const kmer::Alphabet alphabet(kmer::Alphabet::Kind::kProtein25);
+  const kmer::KmerCodec codec(alphabet.size(), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kmer::extract_distinct_kmers(seqs[0], alphabet, codec));
+  }
+  state.counters["residues/s"] = benchmark::Counter(
+      1e4 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KmerExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// Reproduces Figure 7: comparison of the two load-balancing schemes on 64
+// processes — (a) aligned pairs min/avg/max across ranks, (b) aligned pair
+// DP cells min/avg/max, (c) alignment time min/avg/max, (d) total runtime
+// breakdown (align / sparse / other) per scheme.
+//
+// Paper observations to reproduce:
+//   * index-based balances aligned pairs (and cells, and align time) better
+//     than triangularity-based at every block count;
+//   * triangularity's balance improves as blocks increase (partial-block
+//     share shrinks);
+//   * triangularity does less sparse computation (avoided blocks);
+//   * index-based wins total time at low block counts, triangularity at
+//     high counts.
+// Run with --explain to print the Fig. 6 block-categorisation picture.
+#include "bench_common.hpp"
+
+using namespace pastis;
+using namespace pastis::bench;
+
+namespace {
+
+void explain_schemes() {
+  util::banner("Figure 6 — the two schemes on a 4x4 blocking");
+  const core::BlockPlan tri(64, 4, 4, core::LoadBalanceScheme::kTriangularity);
+  std::printf("triangularity-based: computed blocks (F=full, P=partial, "
+              ".=avoided):\n");
+  for (int r = 0; r < 4; ++r) {
+    std::printf("  ");
+    for (int c = 0; c < 4; ++c) {
+      char ch = '.';
+      for (const auto& b : tri.blocks()) {
+        if (b.r == r && b.c == c) {
+          ch = b.category == core::BlockCategory::kFull ? 'F' : 'P';
+        }
+      }
+      std::printf("%c ", ch);
+    }
+    std::printf("\n");
+  }
+  std::printf("index-based parity rule on an 8x8 matrix (x = aligned as "
+              "(i,j)):\n");
+  for (sparse::Index i = 0; i < 8; ++i) {
+    std::printf("  ");
+    for (sparse::Index j = 0; j < 8; ++j) {
+      std::printf("%c ", core::BlockPlan::index_based_keep(i, j) ? 'x' : '.');
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("explain")) explain_schemes();
+
+  const auto n_seqs = static_cast<std::uint32_t>(args.i("seqs", 2500));
+  const int nprocs = static_cast<int>(args.i("procs", 64));
+  const auto data = make_dataset(n_seqs, args.i("seed", 7));
+
+  util::banner("Figure 7 — load balancing schemes on 64 processes");
+  std::printf("dataset: %u sequences (paper: 20M)\n", n_seqs);
+
+  const std::vector<int> block_counts = {5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
+  struct Row {
+    int blocks;
+    core::SearchStats idx, tri;
+  };
+  std::vector<Row> rows;
+
+  for (int blocks : block_counts) {
+    const auto [br, bc] = factor_blocks(blocks);
+    core::PastisConfig cfg;
+    cfg.block_rows = br;
+    cfg.block_cols = bc;
+    const auto model = scaled_model(20e6, n_seqs);
+    cfg.load_balance = core::LoadBalanceScheme::kIndexBased;
+    auto idx = run_search(data.seqs, cfg, nprocs, model);
+    cfg.load_balance = core::LoadBalanceScheme::kTriangularity;
+    auto tri = run_search(data.seqs, cfg, nprocs, model);
+    rows.push_back({blocks, idx.stats, tri.stats});
+  }
+
+  util::banner("(a) aligned pairs per rank: min / avg / max");
+  util::TextTable ta({"blocks", "idx min", "idx avg", "idx max", "idx max/avg",
+                      "tri min", "tri avg", "tri max", "tri max/avg"});
+  for (const auto& r : rows) {
+    const auto i = r.idx.rank_aligned_pairs();
+    const auto t = r.tri.rank_aligned_pairs();
+    ta.add_row({std::to_string(r.blocks), f2(i.min), f2(i.avg()), f2(i.max),
+                f2(i.imbalance()), f2(t.min), f2(t.avg()), f2(t.max),
+                f2(t.imbalance())});
+  }
+  ta.print();
+
+  util::banner("(b) aligned-pair DP cells per rank: min / avg / max");
+  util::TextTable tb({"blocks", "idx min", "idx avg", "idx max", "tri min",
+                      "tri avg", "tri max"});
+  for (const auto& r : rows) {
+    const auto i = r.idx.rank_cells();
+    const auto t = r.tri.rank_cells();
+    tb.add_row({std::to_string(r.blocks), util::si_unit(i.min),
+                util::si_unit(i.avg()), util::si_unit(i.max),
+                util::si_unit(t.min), util::si_unit(t.avg()),
+                util::si_unit(t.max)});
+  }
+  tb.print();
+
+  util::banner("(c) alignment time per rank (modeled s): min / avg / max");
+  util::TextTable tc({"blocks", "idx min", "idx avg", "idx max", "tri min",
+                      "tri avg", "tri max"});
+  for (const auto& r : rows) {
+    const auto i = r.idx.rank_align_seconds();
+    const auto t = r.tri.rank_align_seconds();
+    tc.add_row({std::to_string(r.blocks), f4(i.min), f4(i.avg()), f4(i.max),
+                f4(t.min), f4(t.avg()), f4(t.max)});
+  }
+  tc.print();
+
+  util::banner("(d) total time breakdown (modeled s)");
+  util::TextTable td({"blocks", "idx align", "idx sparse", "idx total",
+                      "tri align", "tri sparse", "tri total"});
+  for (const auto& r : rows) {
+    td.add_row({std::to_string(r.blocks), f4(r.idx.comp_align),
+                f4(r.idx.comp_sparse_all()), f4(r.idx.t_total),
+                f4(r.tri.comp_align), f4(r.tri.comp_sparse_all()),
+                f4(r.tri.t_total)});
+  }
+  td.print();
+
+  util::banner("shape checks (paper Fig. 7)");
+  ShapeChecks sc;
+  int idx_better_balance = 0;
+  for (const auto& r : rows) {
+    idx_better_balance += r.idx.rank_aligned_pairs().imbalance() <=
+                                  r.tri.rank_aligned_pairs().imbalance()
+                              ? 1
+                              : 0;
+  }
+  sc.check(idx_better_balance >= static_cast<int>(rows.size()) - 1,
+           "index-based balances aligned pairs better at (almost) every "
+           "block count: " + std::to_string(idx_better_balance) + "/" +
+               std::to_string(rows.size()));
+
+  const double tri_imb_first = rows.front().tri.rank_aligned_pairs().imbalance();
+  const double tri_imb_last = rows.back().tri.rank_aligned_pairs().imbalance();
+  sc.check(tri_imb_last <= tri_imb_first,
+           "triangularity balance improves with more blocks: max/avg " +
+               f2(tri_imb_first) + " -> " + f2(tri_imb_last));
+
+  int tri_not_more = 0, tri_strictly_less = 0;
+  for (const auto& r : rows) {
+    tri_not_more +=
+        r.tri.comp_sparse_all() <= r.idx.comp_sparse_all() * 1.001 ? 1 : 0;
+    tri_strictly_less +=
+        r.tri.comp_sparse_all() < r.idx.comp_sparse_all() * 0.95 ? 1 : 0;
+  }
+  sc.check(tri_not_more == static_cast<int>(rows.size()) &&
+               tri_strictly_less >= static_cast<int>(rows.size()) - 2,
+           "triangularity avoids sparse computation wherever blocks can be "
+           "avoided (a bc=1 blocking has no avoidable blocks): strictly "
+           "less at " + std::to_string(tri_strictly_less) + "/" +
+               std::to_string(rows.size()));
+
+  int same_pairs = 0;
+  for (const auto& r : rows) {
+    same_pairs += r.idx.aligned_pairs == r.tri.aligned_pairs ? 1 : 0;
+  }
+  sc.check(same_pairs == static_cast<int>(rows.size()),
+           "both schemes perform identical alignment work in total "
+           "(paper: 'the two proposed load-balancing schemes incur same "
+           "amount of alignment computations')");
+
+  sc.check(rows.back().tri.t_total < rows.back().idx.t_total * 1.15,
+           "triangularity competitive/better at high block counts, total " +
+               f4(rows.back().tri.t_total) + " vs " +
+               f4(rows.back().idx.t_total));
+  sc.summary();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Sensitivity modes — §V's two discovery enhancers (substitute k-mers and
+// the reduced Murphy10 alphabet) and the cheaper alignment kernels, shown
+// on a hard dataset of strongly diverged families.
+//
+// This example mirrors how a user would choose a PASTIS configuration:
+// start from the default, then trade discovery cost for recall depending on
+// how remote the homology of interest is.
+#include <iostream>
+#include <vector>
+
+#include "pastis.hpp"
+
+int main() {
+  using namespace pastis;
+
+  gen::GenConfig g;
+  g.n_sequences = 500;
+  g.seed = 31;
+  g.substitution_rate = 0.25;  // remote homologs: ~75% identity ancestors
+  g.mean_length = 180.0;
+  const auto data = gen::generate_proteins(g);
+
+  // Ground truth via brute force (small set, so affordable).
+  core::PastisConfig base;
+  const auto truth = baseline::brute_force_search(
+      data.seqs, base.make_scoring(), base.ani_threshold, base.cov_threshold);
+  std::cout << "dataset: " << data.size()
+            << " strongly diverged proteins; brute-force ground truth: "
+            << truth.size() << " edges\n\n";
+
+  auto recall = [&](const std::vector<io::SimilarityEdge>& got) {
+    std::size_t i = 0, j = 0, hit = 0;
+    while (i < got.size() && j < truth.size()) {
+      const auto a = std::make_pair(got[i].seq_a, got[i].seq_b);
+      const auto b = std::make_pair(truth[j].seq_a, truth[j].seq_b);
+      if (a == b) {
+        ++hit;
+        ++i;
+        ++j;
+      } else if (a < b) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return truth.empty() ? 1.0 : double(hit) / double(truth.size());
+  };
+
+  util::TextTable table({"configuration", "edges", "recall",
+                         "candidates", "modeled time (s)"});
+  auto run_mode = [&](const std::string& name, const core::PastisConfig& cfg) {
+    core::SimilaritySearch search(cfg, sim::MachineModel{}, 4);
+    const auto r = search.run(data.seqs);
+    table.add_row({name, std::to_string(r.edges.size()),
+                   util::pct(recall(r.edges)),
+                   util::with_commas(r.stats.candidates),
+                   util::fixed(r.stats.t_total, 4)});
+  };
+
+  core::PastisConfig cfg;
+  run_mode("default (exact 6-mers, protein25, full SW)", cfg);
+
+  cfg.subs_kmers = 2;
+  run_mode("+ substitute k-mers (m=2)", cfg);
+
+  cfg = core::PastisConfig{};
+  cfg.alphabet = kmer::Alphabet::Kind::kMurphy10;
+  run_mode("reduced alphabet (Murphy10)", cfg);
+
+  cfg.subs_kmers = 1;
+  run_mode("Murphy10 + substitutes (m=1)", cfg);
+
+  cfg = core::PastisConfig{};
+  cfg.matrix = align::Scoring::Matrix::kBlosum45;
+  run_mode("BLOSUM45 scoring (distant homology matrix)", cfg);
+
+  cfg = core::PastisConfig{};
+  cfg.align_kind = align::AlignKind::kBanded;
+  run_mode("banded SW (cheaper kernel)", cfg);
+
+  cfg.align_kind = align::AlignKind::kXDrop;
+  run_mode("x-drop extension (cheapest kernel)", cfg);
+
+  table.print();
+  std::cout << "\nReading the table: substitute k-mers and the reduced\n"
+               "alphabet widen discovery (more candidates, higher recall);\n"
+               "the seeded kernels trade recall for cell updates — the\n"
+               "paper's production run pairs exact 6-mers with the full\n"
+               "Smith-Waterman on GPUs.\n";
+  return 0;
+}

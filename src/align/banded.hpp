@@ -1,0 +1,24 @@
+// Banded Smith-Waterman: the DP is restricted to a diagonal band around the
+// seed diagonal discovered during the sparse overlap phase. This trades
+// sensitivity for an O(band·len) kernel and is provided as the cheaper
+// alternative alignment mode (PASTIS exposes several alignment modes through
+// SeqAn; the full-matrix ADEPT kernel remains the production default).
+#pragma once
+
+#include <string_view>
+
+#include "align/smith_waterman.hpp"
+
+namespace pastis::align {
+
+/// Aligns within the band |(j - i) - diag_center| <= half_width, where i/j
+/// are 0-based query/reference offsets. `diag_center` is typically
+/// seed_r - seed_q from a shared k-mer. Cells outside the band are not
+/// updated (and are charged accordingly in `cells`).
+[[nodiscard]] AlignResult banded_smith_waterman(std::string_view query,
+                                                std::string_view reference,
+                                                const Scoring& scoring,
+                                                int diag_center,
+                                                int half_width);
+
+}  // namespace pastis::align

@@ -1,0 +1,85 @@
+#include "align/xdrop.hpp"
+
+#include <algorithm>
+
+namespace pastis::align {
+
+AlignResult xdrop_extend(std::string_view query, std::string_view reference,
+                         std::uint32_t seed_q, std::uint32_t seed_r,
+                         std::uint32_t seed_len, const Scoring& scoring,
+                         int xdrop) {
+  AlignResult res;
+  if (seed_q + seed_len > query.size() || seed_r + seed_len > reference.size()) {
+    return res;  // malformed seed
+  }
+
+  // Score of the seed itself.
+  int score = 0;
+  std::uint32_t matches = 0;
+  for (std::uint32_t t = 0; t < seed_len; ++t) {
+    score += scoring.score_chars(query[seed_q + t], reference[seed_r + t]);
+    matches += query[seed_q + t] == reference[seed_r + t] ? 1u : 0u;
+  }
+
+  // Extend right of the seed.
+  int run = score, best = score;
+  std::uint32_t best_right = seed_q + seed_len;  // exclusive end on query
+  std::uint32_t run_matches = matches, best_matches_r = matches;
+  std::uint64_t cells = seed_len;
+  {
+    std::uint32_t iq = seed_q + seed_len, ir = seed_r + seed_len;
+    while (iq < query.size() && ir < reference.size()) {
+      ++cells;
+      run += scoring.score_chars(query[iq], reference[ir]);
+      run_matches += query[iq] == reference[ir] ? 1u : 0u;
+      ++iq;
+      ++ir;
+      if (run > best) {
+        best = run;
+        best_right = iq;
+        best_matches_r = run_matches;
+      }
+      if (run < best - xdrop) break;
+    }
+  }
+
+  // Extend left of the seed, starting from the best right extension.
+  int run_l = best, best_total = best;
+  std::uint32_t best_left = seed_q;  // inclusive start on query
+  std::uint32_t run_matches_l = best_matches_r, best_matches = best_matches_r;
+  {
+    std::int64_t iq = static_cast<std::int64_t>(seed_q) - 1;
+    std::int64_t ir = static_cast<std::int64_t>(seed_r) - 1;
+    while (iq >= 0 && ir >= 0) {
+      ++cells;
+      run_l += scoring.score_chars(query[static_cast<std::size_t>(iq)],
+                                   reference[static_cast<std::size_t>(ir)]);
+      run_matches_l +=
+          query[static_cast<std::size_t>(iq)] ==
+                  reference[static_cast<std::size_t>(ir)]
+              ? 1u
+              : 0u;
+      if (run_l > best_total) {
+        best_total = run_l;
+        best_left = static_cast<std::uint32_t>(iq);
+        best_matches = run_matches_l;
+      }
+      if (run_l < best_total - xdrop) break;
+      --iq;
+      --ir;
+    }
+  }
+
+  const std::uint32_t span = best_right - best_left;
+  res.score = best_total;
+  res.beg_q = best_left;
+  res.end_q = best_right;
+  res.beg_r = seed_r - (seed_q - best_left);
+  res.end_r = res.beg_r + span;
+  res.matches = best_matches;
+  res.align_len = span;
+  res.cells = cells;
+  return res;
+}
+
+}  // namespace pastis::align

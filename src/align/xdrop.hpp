@@ -1,0 +1,27 @@
+// Seeded ungapped x-drop extension (BLAST-style stage 2).
+//
+// PASTIS's SeqAn-backed configurations support seed-and-extend alignment;
+// this is the light-weight member of that family: starting from a shared
+// k-mer seed the alignment is extended left and right until the running
+// score drops more than `xdrop` below the running maximum. No gaps are
+// introduced, so coverage/identity are exact for the extended window.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "align/smith_waterman.hpp"
+
+namespace pastis::align {
+
+/// Extends the seed q[seed_q .. seed_q+k) == r[seed_r .. seed_r+k).
+/// Returns the best-scoring extension window as an AlignResult (gapless:
+/// align_len == end_q - beg_q == end_r - beg_r).
+[[nodiscard]] AlignResult xdrop_extend(std::string_view query,
+                                       std::string_view reference,
+                                       std::uint32_t seed_q,
+                                       std::uint32_t seed_r,
+                                       std::uint32_t seed_len,
+                                       const Scoring& scoring, int xdrop);
+
+}  // namespace pastis::align

@@ -1,0 +1,31 @@
+// Brute-force all-vs-all alignment: the ground truth against which the
+// k-mer discovery pipeline's recall is measured. Only feasible for small
+// inputs (O(n²) full Smith-Waterman), which is exactly its role in tests
+// and the sensitivity ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/smith_waterman.hpp"
+#include "io/graph_io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pastis::baseline {
+
+struct BruteForceStats {
+  std::uint64_t pairs = 0;
+  std::uint64_t cells = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Aligns every unordered pair and keeps those with identity >= ani and
+/// short coverage >= cov. Edges are canonically ordered.
+[[nodiscard]] std::vector<io::SimilarityEdge> brute_force_search(
+    const std::vector<std::string>& seqs, const align::Scoring& scoring,
+    double ani_threshold, double cov_threshold,
+    BruteForceStats* stats = nullptr,
+    util::ThreadPool* pool = &util::ThreadPool::global());
+
+}  // namespace pastis::baseline

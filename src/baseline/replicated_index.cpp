@@ -1,0 +1,173 @@
+#include "baseline/replicated_index.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "align/batch.hpp"
+#include "kmer/extract.hpp"
+#include "sim/grid.hpp"
+#include "util/timer.hpp"
+
+namespace pastis::baseline {
+
+namespace {
+
+/// Inverted k-mer index: code -> posting list of sequence ids. Postings are
+/// built from distinct per-sequence k-mers so shared-k-mer counts equal
+/// PASTIS's overlap counts.
+struct InvertedIndex {
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> postings;
+  std::uint64_t bytes = 0;
+
+  void build(const std::vector<std::string>& seqs, std::uint32_t begin,
+             std::uint32_t end, const kmer::Alphabet& alphabet,
+             const kmer::KmerCodec& codec) {
+    for (std::uint32_t s = begin; s < end; ++s) {
+      for (const auto& h :
+           kmer::extract_distinct_kmers(seqs[s], alphabet, codec)) {
+        postings[h.code].push_back(s);
+      }
+    }
+    bytes = 0;
+    for (const auto& [code, list] : postings) {
+      bytes += 16 + list.size() * sizeof(std::uint32_t);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<io::SimilarityEdge> replicated_index_search(
+    const std::vector<std::string>& seqs, const core::PastisConfig& cfg,
+    const sim::MachineModel& model, int nprocs, ReplicationMode mode,
+    ReplicatedIndexStats* stats, util::ThreadPool* pool) {
+  util::Timer wall;
+  const auto n = static_cast<std::uint32_t>(seqs.size());
+  const kmer::Alphabet alphabet(cfg.alphabet);
+  const kmer::KmerCodec codec(alphabet.size(), cfg.k);
+  const align::Scoring scoring = cfg.make_scoring();
+
+  std::uint64_t seq_bytes = 0;
+  for (const auto& s : seqs) seq_bytes += s.size();
+
+  // Chunk boundaries over the chunked set.
+  auto chunk_begin = [&](int q) {
+    return sim::ProcGrid::split_point(n, nprocs, q);
+  };
+
+  // Per-rank work: in both modes rank q effectively evaluates the candidate
+  // pairs (i, j) where one side lies in its chunk. To align each unordered
+  // pair exactly once we keep (i < j) with the chunk owning the *smaller*
+  // id responsible.
+  std::vector<std::vector<io::SimilarityEdge>> rank_edges(
+      static_cast<std::size_t>(nprocs));
+  std::vector<std::uint64_t> rank_candidates(static_cast<std::size_t>(nprocs));
+  std::vector<std::uint64_t> rank_aligned(static_cast<std::size_t>(nprocs));
+  std::vector<std::uint64_t> rank_cells(static_cast<std::size_t>(nprocs));
+  std::vector<std::uint64_t> rank_products(static_cast<std::size_t>(nprocs));
+  std::vector<std::uint64_t> rank_index_bytes(static_cast<std::size_t>(nprocs));
+
+  auto rank_task = [&](std::size_t qr) {
+    const int q = static_cast<int>(qr);
+    const std::uint32_t my_begin = chunk_begin(q);
+    const std::uint32_t my_end = chunk_begin(q + 1);
+
+    // The index this rank holds: its reference chunk (mode 1) or the full
+    // reference set (mode 2).
+    InvertedIndex index;
+    if (mode == ReplicationMode::kReferenceChunked) {
+      index.build(seqs, my_begin, my_end, alphabet, codec);
+      rank_index_bytes[qr] = index.bytes + seq_bytes;  // + replicated queries
+    } else {
+      index.build(seqs, 0, n, alphabet, codec);
+      rank_index_bytes[qr] =
+          index.bytes +
+          (seq_bytes * (my_end - my_begin)) / std::max<std::uint32_t>(1, n) +
+          seq_bytes;  // full index + chunk of queries + target residues
+    }
+
+    // Queries this rank scans: all (mode 1) or its chunk (mode 2).
+    const std::uint32_t q_begin =
+        mode == ReplicationMode::kReferenceChunked ? 0 : my_begin;
+    const std::uint32_t q_end =
+        mode == ReplicationMode::kReferenceChunked ? n : my_end;
+
+    std::unordered_map<std::uint32_t, std::uint32_t> counts;
+    for (std::uint32_t i = q_begin; i < q_end; ++i) {
+      counts.clear();
+      for (const auto& h :
+           kmer::extract_distinct_kmers(seqs[i], alphabet, codec)) {
+        const auto it = index.postings.find(h.code);
+        if (it == index.postings.end()) continue;
+        for (std::uint32_t j : it->second) {
+          if (j == i) continue;
+          ++counts[j];
+          ++rank_products[qr];
+        }
+      }
+      for (const auto& [j, cnt] : counts) {
+        // Unordered pair (i, j) is owned where the smaller id is the query.
+        if (i > j) continue;
+        ++rank_candidates[qr];
+        if (cnt < cfg.common_kmer_threshold) continue;
+        ++rank_aligned[qr];
+        const auto res = align::smith_waterman(seqs[i], seqs[j], scoring);
+        rank_cells[qr] += res.cells;
+        const double ani = res.identity();
+        const double cov = res.coverage(seqs[i].size(), seqs[j].size());
+        if (ani >= cfg.ani_threshold && cov >= cfg.cov_threshold) {
+          rank_edges[qr].push_back({i, j, static_cast<float>(ani),
+                                    static_cast<float>(cov), res.score});
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(nprocs), rank_task);
+  } else {
+    for (int q = 0; q < nprocs; ++q) rank_task(static_cast<std::size_t>(q));
+  }
+
+  std::vector<io::SimilarityEdge> edges;
+  for (auto& v : rank_edges) edges.insert(edges.end(), v.begin(), v.end());
+  io::sort_edges(edges);
+
+  if (stats != nullptr) {
+    for (int q = 0; q < nprocs; ++q) {
+      const auto qr = static_cast<std::size_t>(q);
+      stats->candidates += rank_candidates[qr];
+      stats->aligned_pairs += rank_aligned[qr];
+      stats->cells += rank_cells[qr];
+      stats->peak_rank_bytes =
+          std::max(stats->peak_rank_bytes, rank_index_bytes[qr]);
+    }
+    stats->similar_pairs = edges.size();
+    // Intermediate per-chunk results are staged through the filesystem and
+    // merged (MMseqs2's MPI workflow); in mode 1 every rank writes hits for
+    // ALL queries, so the merge volume scales with ranks.
+    const std::uint64_t hit_bytes = stats->aligned_pairs * 32;
+    stats->io_bytes =
+        mode == ReplicationMode::kReferenceChunked
+            ? hit_bytes * 2 + seq_bytes * static_cast<std::uint64_t>(nprocs)
+            : hit_bytes * 2 + seq_bytes * static_cast<std::uint64_t>(nprocs);
+
+    // Modeled time: index scan at the sparse-products rate, alignment on
+    // CPU SIMD (MMseqs2 has no GPU path — §IV), IO for staging and merge.
+    std::uint64_t max_products = 0, max_cells = 0;
+    for (int q = 0; q < nprocs; ++q) {
+      const auto qr = static_cast<std::size_t>(q);
+      max_products = std::max(max_products, rank_products[qr]);
+      max_cells = std::max(max_cells, rank_cells[qr]);
+    }
+    const double cpu_cups =
+        model.cpu_simd_cups_per_core * model.cores_per_node;
+    stats->modeled_seconds =
+        model.spgemm_time(max_products) +
+        static_cast<double>(max_cells) / cpu_cups +
+        model.io_time(stats->io_bytes, nprocs);
+    stats->wall_seconds = wall.seconds();
+  }
+  return edges;
+}
+
+}  // namespace pastis::baseline

@@ -1,0 +1,63 @@
+// PASTIS search configuration. Defaults mirror the production parameters of
+// the paper's Table IV where one exists (k = 6, BLOSUM62 11/2, common-k-mer
+// threshold 2, ANI 0.30, coverage 0.70).
+#pragma once
+
+#include <string>
+
+#include "align/batch.hpp"
+#include "kmer/alphabet.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace pastis::core {
+
+enum class LoadBalanceScheme {
+  kIndexBased,      // compute all blocks, parity-prune nonzeros (§VI-B right)
+  kTriangularity,   // skip lower-triangular blocks entirely (§VI-B left)
+};
+
+[[nodiscard]] inline std::string to_string(LoadBalanceScheme s) {
+  return s == LoadBalanceScheme::kIndexBased ? "index-based"
+                                             : "triangularity-based";
+}
+
+struct PastisConfig {
+  // --- discovery -----------------------------------------------------------
+  int k = 6;
+  kmer::Alphabet::Kind alphabet = kmer::Alphabet::Kind::kProtein25;
+  /// m substitute k-mers per exact k-mer (0 disables; §V sensitivity knob).
+  int subs_kmers = 0;
+  /// Maximum substitution-score loss a substitute k-mer may have.
+  int subs_max_loss = 3;
+  /// Minimum shared k-mers for a candidate to be aligned (Table IV: 2).
+  std::uint32_t common_kmer_threshold = 2;
+
+  // --- alignment -------------------------------------------------------------
+  align::AlignKind align_kind = align::AlignKind::kFullSW;
+  align::Scoring::Matrix matrix = align::Scoring::Matrix::kBlosum62;
+  int gap_open = 11;
+  int gap_extend = 2;
+  int band_half_width = 32;
+  int xdrop = 25;
+
+  // --- filters ----------------------------------------------------------------
+  double ani_threshold = 0.30;
+  double cov_threshold = 0.70;
+
+  // --- parallel decomposition ---------------------------------------------------
+  /// Blocking factors of the blocked 2D Sparse SUMMA (br × bc).
+  int block_rows = 1;
+  int block_cols = 1;
+  LoadBalanceScheme load_balance = LoadBalanceScheme::kIndexBased;
+  /// Overlap next-block SpGEMM (CPU) with current-block alignment (GPU).
+  bool preblocking = false;
+  sparse::SpGemmKernel spgemm_kernel = sparse::SpGemmKernel::kHash;
+
+  [[nodiscard]] int n_blocks() const { return block_rows * block_cols; }
+
+  [[nodiscard]] align::Scoring make_scoring() const {
+    return align::Scoring(matrix, gap_open, gap_extend);
+  }
+};
+
+}  // namespace pastis::core

@@ -1,0 +1,39 @@
+#include "core/load_balance.hpp"
+
+#include <stdexcept>
+
+#include "sim/grid.hpp"
+
+namespace pastis::core {
+
+BlockPlan::BlockPlan(Index n, int br, int bc, LoadBalanceScheme scheme)
+    : n_(n), br_(br), bc_(bc), scheme_(scheme) {
+  if (br < 1 || bc < 1) {
+    throw std::invalid_argument("BlockPlan: blocking factors must be >= 1");
+  }
+  blocks_.reserve(static_cast<std::size_t>(br) * static_cast<std::size_t>(bc));
+  for (int r = 0; r < br; ++r) {
+    const Index row0 = sim::ProcGrid::split_point(n, br, r);
+    const Index row1 = sim::ProcGrid::split_point(n, br, r + 1);
+    for (int c = 0; c < bc; ++c) {
+      const Index col0 = sim::ProcGrid::split_point(n, bc, c);
+      const Index col1 = sim::ProcGrid::split_point(n, bc, c + 1);
+      BlockInfo b{r, c, row0, row1, col0, col1, BlockCategory::kAll};
+
+      if (scheme == LoadBalanceScheme::kTriangularity) {
+        // The block holds a strictly-upper element iff some i < j exists
+        // with i in [row0,row1), j in [col0,col1); the weakest witness is
+        // i = row0, j = col1-1, so the block is avoidable iff
+        // col1 - 1 <= row0. Avoidable blocks are neither computed nor
+        // aligned.
+        if (col1 <= row0 + 1) continue;
+        // Full iff entirely strictly-upper: max i = row1-1 < min j = col0.
+        b.category = row1 <= col0 ? BlockCategory::kFull
+                                  : BlockCategory::kPartial;
+      }
+      blocks_.push_back(b);
+    }
+  }
+}
+
+}  // namespace pastis::core

@@ -1,0 +1,442 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/kmer_matrix.hpp"
+#include "core/load_balance.hpp"
+#include "core/seq_store.hpp"
+#include "dist/summa.hpp"
+#include "io/fasta.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace pastis::core {
+
+namespace {
+
+using dist::DistSpMat;
+using sim::Comp;
+using sim::SimRuntime;
+using sparse::Index;
+
+/// Component snapshot used to attribute per-phase deltas.
+double sparse_seconds(const sim::RankClock& c) {
+  return c.get(Comp::kSpGemm) + c.get(Comp::kSparseOther);
+}
+
+}  // namespace
+
+SimilaritySearch::SimilaritySearch(PastisConfig config,
+                                   sim::MachineModel model, int nprocs,
+                                   util::ThreadPool* pool)
+    : config_(config), model_(model), nprocs_(nprocs), pool_(pool) {}
+
+SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
+  util::Timer wall;
+  const PastisConfig& cfg = config_;
+  SimRuntime rt(nprocs_, model_, pool_);
+  const int p = rt.nprocs();
+  const int side = rt.grid().side();
+
+  SearchResult result;
+  SearchStats& st = result.stats;
+  st.nprocs = p;
+  st.block_rows = cfg.block_rows;
+  st.block_cols = cfg.block_cols;
+  st.preblocking = cfg.preblocking;
+
+  DistSeqStore store(std::move(seqs), p);
+  const Index n = store.size();
+  st.n_seqs = n;
+  st.total_residues = store.total_residues();
+
+  // ---- input IO (parallel chunked read; §V-B: MPI-IO, <3% of runtime) ----
+  // FASTA ≈ residues + headers; the byte volume is charged to the model.
+  const std::uint64_t in_bytes = store.total_residues() + 16ull * n;
+  st.t_io_in = model_.io_time(in_bytes, p);
+  rt.spmd([&](int rank) {
+    rt.clock(rank).charge(Comp::kIO, st.t_io_in);
+    rt.clock(rank).io_bytes += in_bytes / static_cast<std::uint64_t>(p);
+  });
+
+  // ---- setup: A, Aᵀ, stripes ----------------------------------------------
+  KmerMatrixInfo kinfo;
+  auto A = build_kmer_matrix(rt, store, cfg, &kinfo, pool_);
+  st.kmer_nnz = kinfo.nnz;
+  st.kmer_cols = kinfo.cols;
+
+  auto B = A.transposed(pool_);
+  rt.spmd([&](int rank) {
+    // Distributed transpose: pairwise exchange of local blocks.
+    const std::uint64_t bytes = A.local(rank).bytes();
+    rt.clock(rank).charge(Comp::kSparseOther,
+                          model_.sparse_stream_time(2 * bytes) +
+                              model_.p2p_time(bytes));
+    rt.clock(rank).bytes_sent += bytes;
+    rt.clock(rank).bytes_recv += bytes;
+  });
+
+  const int br = cfg.block_rows;
+  const int bc = cfg.block_cols;
+  std::vector<DistSpMat<KmerPos>> stripes_a;
+  std::vector<DistSpMat<KmerPos>> stripes_b;
+  if (br > 1) {
+    stripes_a = dist::split_row_stripes(rt, A, br, pool_);
+  } else {
+    stripes_a.push_back(std::move(A));
+  }
+  if (bc > 1) {
+    stripes_b = dist::split_col_stripes(rt, B, bc, pool_);
+  } else {
+    stripes_b.push_back(std::move(B));
+  }
+
+  // Per-rank logical bytes resident through the block loop (stripes + A
+  // replacement); the overlap block is added per iteration below.
+  std::vector<std::uint64_t> setup_bytes(static_cast<std::size_t>(p), 0);
+  for (int rank = 0; rank < p; ++rank) {
+    std::uint64_t b = 0;
+    for (const auto& s : stripes_a) b += s.local(rank).bytes();
+    for (const auto& s : stripes_b) b += s.local(rank).bytes();
+    setup_bytes[static_cast<std::size_t>(rank)] = b;
+  }
+
+  std::vector<double> setup_sparse(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) setup_sparse[static_cast<std::size_t>(r)] = sparse_seconds(rt.clock(r));
+  st.t_setup = *std::max_element(setup_sparse.begin(), setup_sparse.end());
+
+  // ---- plan + sequence prefetch accounting ---------------------------------
+  BlockPlan plan(n, br, bc, cfg.load_balance);
+
+  // Needed sequence ranges per rank are static (header comment of
+  // seq_store.hpp); transfers start now, overlapped with discovery.
+  std::vector<double> fetch_time(static_cast<std::size_t>(p), 0.0);
+  {
+    std::set<int> row_stripes, col_stripes;
+    for (const auto& b : plan.blocks()) {
+      row_stripes.insert(b.r);
+      col_stripes.insert(b.c);
+    }
+    rt.spmd([&](int rank) {
+      const int gi = rt.grid().row_of(rank);
+      const int gj = rt.grid().col_of(rank);
+      std::uint64_t bytes = 0;
+      for (int r : row_stripes) {
+        const Index row0 = sim::ProcGrid::split_point(n, br, r);
+        const Index rows = sim::ProcGrid::split_point(n, br, r + 1) - row0;
+        const Index b0 = row0 + sim::ProcGrid::split_point(rows, side, gi);
+        const Index b1 = row0 + sim::ProcGrid::split_point(rows, side, gi + 1);
+        bytes += store.fetch_bytes(rank, b0, b1);
+      }
+      for (int c : col_stripes) {
+        const Index col0 = sim::ProcGrid::split_point(n, bc, c);
+        const Index cols = sim::ProcGrid::split_point(n, bc, c + 1) - col0;
+        const Index b0 = col0 + sim::ProcGrid::split_point(cols, side, gj);
+        const Index b1 = col0 + sim::ProcGrid::split_point(cols, side, gj + 1);
+        bytes += store.fetch_bytes(rank, b0, b1);
+      }
+      fetch_time[static_cast<std::size_t>(rank)] = model_.p2p_time(bytes);
+      rt.clock(rank).bytes_recv += bytes;
+    });
+  }
+
+  // ---- block loop -----------------------------------------------------------
+  const align::Scoring scoring = cfg.make_scoring();
+  align::BatchAligner::Config bcfg;
+  bcfg.kind = cfg.align_kind;
+  bcfg.devices = model_.gpus_per_node;
+  bcfg.cups_per_device = model_.cups_per_gpu;
+  bcfg.pack_seconds_per_pair = model_.pack_s_per_pair;
+  bcfg.band_half_width = cfg.band_half_width;
+  bcfg.xdrop = cfg.xdrop;
+  bcfg.seed_len = static_cast<std::uint32_t>(cfg.k);
+  const align::BatchAligner aligner(scoring, bcfg);
+
+  // Discovery-compute dilations: the blocked-SUMMA split penalty (§VI-A,
+  // always active) and the pre-blocking CPU-sharing contention (§VI-C).
+  const double ds =
+      model_.split_dilation(br, bc) *
+      (cfg.preblocking ? model_.preblock_sparse_dilation() : 1.0);
+  const double da = cfg.preblocking ? model_.preblock_align_dilation : 1.0;
+
+  const std::size_t n_blocks = plan.blocks().size();
+  st.block_sparse_s.assign(n_blocks, 0.0);
+  st.block_align_s.assign(n_blocks, 0.0);
+  std::vector<std::vector<double>> rank_block_sparse(
+      n_blocks, std::vector<double>(static_cast<std::size_t>(p), 0.0));
+  std::vector<std::vector<double>> rank_block_align(
+      n_blocks, std::vector<double>(static_cast<std::size_t>(p), 0.0));
+  std::vector<std::vector<io::SimilarityEdge>> rank_edges(
+      static_cast<std::size_t>(p));
+
+  for (std::size_t bi = 0; bi < n_blocks; ++bi) {
+    const BlockInfo& blk = plan.blocks()[bi];
+
+    // -- discovery: one full SUMMA over the block's stripes ---------------
+    std::vector<double> before(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) before[static_cast<std::size_t>(r)] = sparse_seconds(rt.clock(r));
+
+    dist::SummaOptions opt;
+    opt.kernel = cfg.spgemm_kernel;
+    opt.charge = Comp::kSpGemm;
+    opt.merge_charge = Comp::kSpGemm;  // stage-merge is part of the multiply
+    sparse::SpGemmStats block_stats;
+    auto C = dist::summa<OverlapSemiring>(
+        rt, stripes_a[static_cast<std::size_t>(blk.r)],
+        stripes_b[static_cast<std::size_t>(blk.c)], opt, &block_stats);
+    st.spgemm.merge(block_stats);
+    st.candidates += C.nnz();
+
+    // Apply the pre-blocking sparse dilation to this block's charges.
+    for (int r = 0; r < p; ++r) {
+      const double delta =
+          sparse_seconds(rt.clock(r)) - before[static_cast<std::size_t>(r)];
+      const double dilated = delta * ds;
+      if (ds != 1.0) {
+        rt.clock(r).charge(Comp::kSpGemm, dilated - delta);
+      }
+      rank_block_sparse[bi][static_cast<std::size_t>(r)] = dilated;
+    }
+
+    // -- alignment + filtering ---------------------------------------------
+    // Each rank extracts the tasks its local block owns; the DP kernels of
+    // ALL ranks are then flattened onto the host pool (the per-rank device
+    // accounting is computed from each rank's own slice afterwards, so the
+    // flattening is invisible to the modeled timings — it only stops a
+    // skewed rank from idling host cores).
+    auto seq_of = [&](std::uint32_t id) { return store.seq(id); };
+    std::vector<std::vector<align::AlignTask>> rank_tasks(
+        static_cast<std::size_t>(p));
+    rt.spmd([&](int rank) {
+      auto& clock = rt.clock(rank);
+      const auto& local = C.local(rank);
+      const int gi = rt.grid().row_of(rank);
+      const int gj = rt.grid().col_of(rank);
+      const Index grow0 = blk.row0 + C.row_begin(gi);
+      const Index gcol0 = blk.col0 + C.col_begin(gj);
+
+      // Extraction scan of the block's local part.
+      clock.charge(Comp::kSparseOther,
+                   model_.sparse_stream_time(local.bytes()) * ds);
+
+      auto& tasks = rank_tasks[static_cast<std::size_t>(rank)];
+      local.for_each([&](Index li, Index lj, const CommonKmers& ck) {
+        const Index i = grow0 + li;
+        const Index j = gcol0 + lj;
+        if (ck.count < cfg.common_kmer_threshold) return;
+        if (!plan.should_align(blk, i, j)) return;
+        // Canonical orientation (query = smaller id) keeps alignment
+        // results identical across schemes and blockings.
+        align::AlignTask t;
+        if (i < j) {
+          t.q_id = i;
+          t.r_id = j;
+          t.seed_q = ck.first.pos_a;
+          t.seed_r = ck.first.pos_b;
+        } else {
+          t.q_id = j;
+          t.r_id = i;
+          t.seed_q = ck.first.pos_b;
+          t.seed_r = ck.first.pos_a;
+        }
+        tasks.push_back(t);
+      });
+      clock.overlap_nnz += local.nnz();
+    });
+
+    // Flattened DP execution.
+    std::vector<std::size_t> rank_offset(static_cast<std::size_t>(p) + 1, 0);
+    for (int r = 0; r < p; ++r) {
+      rank_offset[static_cast<std::size_t>(r) + 1] =
+          rank_offset[static_cast<std::size_t>(r)] +
+          rank_tasks[static_cast<std::size_t>(r)].size();
+    }
+    std::vector<align::AlignTask> flat_tasks;
+    flat_tasks.reserve(rank_offset.back());
+    for (const auto& v : rank_tasks) {
+      flat_tasks.insert(flat_tasks.end(), v.begin(), v.end());
+    }
+    std::vector<align::AlignResult> flat_results(flat_tasks.size());
+    pool_->parallel_for(flat_tasks.size(), [&](std::size_t t) {
+      flat_results[t] = aligner.align_one_task(seq_of, flat_tasks[t]);
+    });
+
+    // Per-rank filtering + device-model charging.
+    rt.spmd([&](int rank) {
+      auto& clock = rt.clock(rank);
+      const auto& tasks = rank_tasks[static_cast<std::size_t>(rank)];
+      const std::span<const align::AlignResult> results(
+          flat_results.data() + rank_offset[static_cast<std::size_t>(rank)],
+          tasks.size());
+
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        const auto& res = results[t];
+        const double ani = res.identity();
+        const double cov = res.coverage(store.seq(tasks[t].q_id).size(),
+                                        store.seq(tasks[t].r_id).size());
+        if (ani >= cfg.ani_threshold && cov >= cfg.cov_threshold) {
+          rank_edges[static_cast<std::size_t>(rank)].push_back(
+              {tasks[t].q_id, tasks[t].r_id, static_cast<float>(ani),
+               static_cast<float>(cov), res.score});
+          ++clock.similar_pairs;
+        }
+      }
+
+      // Charge the device model (with pre-blocking contention dilation).
+      // Device lanes are modeled as balanced: a production-scale block puts
+      // millions of pairs on each GPU, so per-device imbalance vanishes
+      // (rank-level imbalance — the kind the paper reports — remains).
+      const align::BatchStats bstats = aligner.stats_for(seq_of, tasks, results);
+      const std::uint64_t launches =
+          tasks.empty() ? 0
+                        : (tasks.size() + model_.pairs_per_launch - 1) /
+                              model_.pairs_per_launch;
+      const double kernel =
+          static_cast<double>(bstats.cells) /
+          (model_.cups_per_gpu *
+           static_cast<double>(std::max(1, model_.gpus_per_node)));
+      const double align_s =
+          (kernel + static_cast<double>(launches) * model_.kernel_launch_s +
+           static_cast<double>(tasks.size()) * model_.pack_s_per_pair) *
+          da;
+      clock.charge(Comp::kAlign, align_s);
+      clock.align_kernel_seconds += kernel;
+      clock.align_cells += bstats.cells;
+      clock.pairs_aligned += tasks.size();
+      rank_block_align[bi][static_cast<std::size_t>(rank)] = align_s;
+
+      // Peak logical memory: stripes + this block's local overlap part
+      // (+ the pre-computed next block when pre-blocking).
+      const std::uint64_t peak =
+          setup_bytes[static_cast<std::size_t>(rank)] +
+          C.local(rank).bytes() * (cfg.preblocking ? 2 : 1);
+      clock.peak_memory_bytes = std::max(clock.peak_memory_bytes, peak);
+    });
+
+    st.block_sparse_s[bi] =
+        *std::max_element(rank_block_sparse[bi].begin(),
+                          rank_block_sparse[bi].end());
+    st.block_align_s[bi] = *std::max_element(rank_block_align[bi].begin(),
+                                             rank_block_align[bi].end());
+  }
+
+  // ---- cwait: residual sequence-communication wait --------------------------
+  // Transfers overlap the setup and the first block's discovery.
+  {
+    double max_wait = 0.0;
+    const double first_sparse =
+        n_blocks > 0 ? st.block_sparse_s[0] : 0.0;
+    rt.spmd([&](int rank) {
+      const double window = setup_sparse[static_cast<std::size_t>(rank)] +
+                            first_sparse;
+      const double wait = std::max(
+          0.0, fetch_time[static_cast<std::size_t>(rank)] - window);
+      rt.clock(rank).charge(Comp::kSeqWait, wait);
+    });
+    for (int r = 0; r < p; ++r) {
+      max_wait = std::max(max_wait, rt.clock(r).get(Comp::kSeqWait));
+      st.t_seq_fetch =
+          std::max(st.t_seq_fetch, fetch_time[static_cast<std::size_t>(r)]);
+    }
+    st.t_cwait = max_wait;
+  }
+
+  // ---- gather edges (deterministic canonical order) --------------------------
+  std::size_t total_edges = 0;
+  for (const auto& v : rank_edges) total_edges += v.size();
+  result.edges.reserve(total_edges);
+  for (auto& v : rank_edges) {
+    result.edges.insert(result.edges.end(), v.begin(), v.end());
+  }
+  io::sort_edges(result.edges);
+  st.similar_pairs = result.edges.size();
+
+  // ---- output IO ---------------------------------------------------------------
+  const std::uint64_t out_bytes = total_edges * io::edge_bytes();
+  st.t_io_out = model_.io_time(out_bytes, p);
+  rt.spmd([&](int rank) {
+    rt.clock(rank).charge(Comp::kIO, st.t_io_out);
+    rt.clock(rank).io_bytes += out_bytes / static_cast<std::uint64_t>(p);
+  });
+
+  // ---- per-rank block-loop timers (Table I's align/sparse/sum basis) ----------
+  st.rank_loop_s.assign(static_cast<std::size_t>(p), 0.0);
+  for (int r = 0; r < p; ++r) {
+    double t = 0.0;
+    if (cfg.preblocking && n_blocks > 0) {
+      t += rank_block_sparse[0][static_cast<std::size_t>(r)];
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        const double next_sparse =
+            b + 1 < n_blocks
+                ? rank_block_sparse[b + 1][static_cast<std::size_t>(r)]
+                : 0.0;
+        t += std::max(rank_block_align[b][static_cast<std::size_t>(r)],
+                      next_sparse);
+      }
+    } else {
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        t += rank_block_sparse[b][static_cast<std::size_t>(r)] +
+             rank_block_align[b][static_cast<std::size_t>(r)];
+      }
+    }
+    st.rank_loop_s[static_cast<std::size_t>(r)] = t;
+  }
+
+  // ---- assemble the timeline ------------------------------------------------
+  // The block loop has no global barrier: each rank flows from one block's
+  // alignment into the next block's discovery (collectives synchronise
+  // row/column teams, which the per-rank loop timers absorb on average).
+  // The loop's wall time is therefore the slowest rank's accumulated loop
+  // time — with pre-blocking, its overlapped variant.
+  st.t_blocks = st.rank_loop_s.empty()
+                    ? 0.0
+                    : *std::max_element(st.rank_loop_s.begin(),
+                                        st.rank_loop_s.end());
+  st.t_total = st.t_io_in + st.t_setup + st.t_cwait + st.t_blocks + st.t_io_out;
+
+  // ---- component totals (average over ranks of per-rank sums) -----------------
+  st.comp_spgemm = rt.sum_over_ranks(Comp::kSpGemm) / p;
+  st.comp_sparse_other = rt.sum_over_ranks(Comp::kSparseOther) / p;
+  st.comp_align = rt.sum_over_ranks(Comp::kAlign) / p;
+  st.comp_other = rt.sum_over_ranks(Comp::kOther) / p;
+
+  // ---- per-rank detail ----------------------------------------------------------
+  st.ranks = rt.clocks();
+  for (const auto& c : st.ranks) {
+    st.align_cells += c.align_cells;
+    st.aligned_pairs += c.pairs_aligned;
+    st.peak_rank_bytes = std::max(st.peak_rank_bytes, c.peak_memory_bytes);
+  }
+
+  st.wall_seconds = wall.seconds();
+  return result;
+}
+
+SearchResult SimilaritySearch::run_fasta(const std::string& fasta_path,
+                                         const std::string& out_path) const {
+  // Parallel chunked read: rank q owns records whose header byte falls in
+  // its byte range (io::read_fasta_chunk). The chunks are concatenated in
+  // rank order, which reproduces the file order exactly.
+  const std::uint64_t fsize = io::file_size_bytes(fasta_path);
+  const int p = nprocs_;
+  std::vector<std::vector<io::FastaRecord>> chunks(
+      static_cast<std::size_t>(p));
+  pool_->parallel_for(static_cast<std::size_t>(p), [&](std::size_t q) {
+    const std::uint64_t begin = fsize * q / static_cast<std::uint64_t>(p);
+    const std::uint64_t end = fsize * (q + 1) / static_cast<std::uint64_t>(p);
+    chunks[q] = io::read_fasta_chunk(fasta_path, begin, end - begin);
+  });
+  std::vector<std::string> seqs;
+  for (auto& chunk : chunks) {
+    for (auto& rec : chunk) seqs.push_back(std::move(rec.seq));
+  }
+
+  SearchResult result = run(std::move(seqs));
+  if (!out_path.empty()) {
+    io::write_similarity_graph(out_path, result.edges);
+  }
+  return result;
+}
+
+}  // namespace pastis::core

@@ -1,0 +1,67 @@
+// The PASTIS similarity-search pipeline (paper Fig. 4):
+//
+//   FASTA ──parallel read──► DistSeqStore
+//        ──k-mer extraction──► A (sequences × k-mers, KmerPos payloads)
+//        ──transpose──► Aᵀ     ──stripe splits──► row/col stripes
+//   for each planned output block (r,c):               [BlockPlan, §VI-B]
+//        C_rc = SUMMA(stripeA[r], stripeB[c])          [§VI-A]
+//        tasks = {nonzeros of C_rc: count ≥ τ, scheme keeps (i,j)}
+//        batch-align tasks on the node's devices        [ADEPT model]
+//        edges += pairs with ANI ≥ 0.30 and coverage ≥ 0.70
+//   write similarity graph.
+//
+// Pre-blocking (§VI-C): with cfg.preblocking the SpGEMM of block b+1 is
+// overlapped with the alignment of block b. Results are identical (the
+// schedule changes, not the data); the modeled timeline charges the
+// overlapped phases as max(align_b, sparse_{b+1}) with the contention
+// dilations of the MachineModel, which is precisely the accounting behind
+// the paper's Table I.
+//
+// Determinism: for a fixed input and configuration, the returned edge set is
+// bit-identical for ANY process count, blocking factor and scheme — the
+// paper's headline reproducibility property, asserted by the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/stats.hpp"
+#include "io/graph_io.hpp"
+#include "sim/machine_model.hpp"
+#include "sim/runtime.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pastis::core {
+
+struct SearchResult {
+  /// Canonically ordered similarity edges (seq_a < seq_b).
+  std::vector<io::SimilarityEdge> edges;
+  SearchStats stats;
+};
+
+class SimilaritySearch {
+ public:
+  SimilaritySearch(PastisConfig config, sim::MachineModel model, int nprocs,
+                   util::ThreadPool* pool = &util::ThreadPool::global());
+
+  /// Many-against-many search of `seqs` against itself.
+  [[nodiscard]] SearchResult run(std::vector<std::string> seqs) const;
+
+  /// FASTA-to-graph convenience wrapper: parallel chunked read, search,
+  /// triples write. `out_path` may be empty to skip writing.
+  [[nodiscard]] SearchResult run_fasta(const std::string& fasta_path,
+                                       const std::string& out_path) const;
+
+  [[nodiscard]] const PastisConfig& config() const { return config_; }
+  [[nodiscard]] const sim::MachineModel& model() const { return model_; }
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+
+ private:
+  PastisConfig config_;
+  sim::MachineModel model_;
+  int nprocs_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace pastis::core

@@ -1,0 +1,29 @@
+#include "core/seq_store.hpp"
+
+#include <algorithm>
+
+namespace pastis::core {
+
+DistSeqStore::DistSeqStore(std::vector<std::string> seqs, int nprocs)
+    : seqs_(std::move(seqs)), nprocs_(nprocs) {
+  prefix_.resize(seqs_.size() + 1, 0);
+  for (std::size_t i = 0; i < seqs_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + seqs_[i].size();
+  }
+  total_residues_ = prefix_.back();
+}
+
+std::uint64_t DistSeqStore::fetch_bytes(int rank, Index begin,
+                                        Index end) const {
+  if (begin >= end) return 0;
+  // Owned range of `rank` under the 1D partition.
+  const Index own_begin = sim::ProcGrid::split_point(size(), nprocs_, rank);
+  const Index own_end = sim::ProcGrid::split_point(size(), nprocs_, rank + 1);
+  const Index ov_begin = std::max(begin, own_begin);
+  const Index ov_end = std::min(end, own_end);
+  const std::uint64_t owned =
+      ov_begin < ov_end ? range_bytes(ov_begin, ov_end) : 0;
+  return range_bytes(begin, end) - owned;
+}
+
+}  // namespace pastis::core

@@ -1,0 +1,208 @@
+#include "gen/protein_gen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace pastis::gen {
+
+namespace {
+
+// Natural amino-acid frequencies (UniProt averages).
+constexpr std::array<std::pair<char, double>, 20> kAaFreq = {{
+    {'A', 0.0825}, {'R', 0.0553}, {'N', 0.0406}, {'D', 0.0545},
+    {'C', 0.0137}, {'Q', 0.0393}, {'E', 0.0675}, {'G', 0.0707},
+    {'H', 0.0227}, {'I', 0.0596}, {'L', 0.0966}, {'K', 0.0584},
+    {'M', 0.0242}, {'F', 0.0386}, {'P', 0.0470}, {'S', 0.0656},
+    {'T', 0.0534}, {'W', 0.0108}, {'Y', 0.0292}, {'V', 0.0687},
+}};
+
+class ResidueSampler {
+ public:
+  ResidueSampler() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < kAaFreq.size(); ++i) {
+      acc += kAaFreq[i].second;
+      cdf_[i] = acc;
+    }
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  [[nodiscard]] char sample(pastis::util::Xoshiro256& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return kAaFreq[static_cast<std::size_t>(it - cdf_.begin())].first;
+  }
+
+ private:
+  std::array<double, 20> cdf_{};
+};
+
+std::string random_sequence(pastis::util::Xoshiro256& rng,
+                            const ResidueSampler& sampler, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = sampler.sample(rng);
+  return s;
+}
+
+std::uint32_t sample_length(pastis::util::Xoshiro256& rng,
+                            const GenConfig& cfg) {
+  const double theta = cfg.mean_length / cfg.length_shape;
+  const double raw = rng.gamma(cfg.length_shape, theta);
+  return std::clamp(static_cast<std::uint32_t>(raw), cfg.min_length,
+                    cfg.max_length);
+}
+
+/// Mutates `ancestor` with point substitutions and geometric indels.
+std::string mutate(pastis::util::Xoshiro256& rng,
+                   const ResidueSampler& sampler, const std::string& ancestor,
+                   const GenConfig& cfg) {
+  std::string out;
+  out.reserve(ancestor.size() + 16);
+  for (std::size_t i = 0; i < ancestor.size(); ++i) {
+    if (rng.chance(cfg.indel_rate)) {
+      if (rng.chance(0.5)) {
+        // Insertion burst before this residue.
+        do {
+          out.push_back(sampler.sample(rng));
+        } while (rng.chance(cfg.indel_extension));
+      } else {
+        // Deletion burst starting at this residue.
+        while (i + 1 < ancestor.size() && rng.chance(cfg.indel_extension)) ++i;
+        continue;
+      }
+    }
+    out.push_back(rng.chance(cfg.substitution_rate) ? sampler.sample(rng)
+                                                    : ancestor[i]);
+  }
+  if (out.empty()) out.push_back(sampler.sample(rng));
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t Dataset::total_residues() const {
+  std::uint64_t total = 0;
+  for (const auto& s : seqs) total += s.size();
+  return total;
+}
+
+namespace {
+
+/// Pool of short periodic motifs shared dataset-wide (see GenConfig).
+std::vector<std::string> make_motif_pool(pastis::util::Xoshiro256& rng,
+                                         const ResidueSampler& sampler,
+                                         int count) {
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(count));
+  for (int m = 0; m < count; ++m) {
+    // Period 3 so a repeat contributes 3 distinct 6-mers (enough to pass
+    // the common-k-mer threshold of 2).
+    std::string motif(3, 'A');
+    for (auto& c : motif) c = sampler.sample(rng);
+    pool.push_back(std::move(motif));
+  }
+  return pool;
+}
+
+void maybe_insert_repeat(pastis::util::Xoshiro256& rng,
+                         const std::vector<std::string>& pool,
+                         const GenConfig& cfg, std::string& seq) {
+  if (pool.empty() || !rng.chance(cfg.low_complexity_prob)) return;
+  const std::string& motif = pool[rng.below(pool.size())];
+  const std::uint32_t len =
+      cfg.repeat_min_len +
+      static_cast<std::uint32_t>(
+          rng.below(cfg.repeat_max_len - cfg.repeat_min_len + 1));
+  std::string repeat;
+  while (repeat.size() < len) repeat += motif;
+  repeat.resize(len);
+  const std::size_t pos = rng.below(seq.size() + 1);
+  seq.insert(pos, repeat);
+}
+
+}  // namespace
+
+Dataset generate_proteins(const GenConfig& cfg) {
+  pastis::util::Xoshiro256 rng(cfg.seed);
+  ResidueSampler sampler;
+  const auto motif_pool =
+      make_motif_pool(rng, sampler, cfg.low_complexity_motifs);
+  Dataset d;
+  d.seqs.reserve(cfg.n_sequences);
+  d.ids.reserve(cfg.n_sequences);
+  d.family.reserve(cfg.n_sequences);
+
+  const auto n_family_seqs = static_cast<std::uint32_t>(
+      static_cast<double>(cfg.n_sequences) * cfg.family_fraction);
+
+  std::uint32_t family_id = 0;
+  while (d.seqs.size() < n_family_seqs) {
+    // Zipf-skewed family size with the configured mean.
+    const std::uint64_t skew =
+        rng.zipf(static_cast<std::uint64_t>(cfg.mean_family_size) * 4,
+                 cfg.zipf_skew);
+    const auto size = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        2, std::min<std::uint64_t>(skew + 2, n_family_seqs - d.seqs.size())));
+
+    const std::string ancestor =
+        random_sequence(rng, sampler, sample_length(rng, cfg));
+    for (std::uint32_t member = 0; member < size; ++member) {
+      std::string seq = member == 0 ? ancestor : mutate(rng, sampler, ancestor, cfg);
+      bool fragment = false;
+      if (member != 0 && rng.chance(cfg.fragment_prob)) {
+        fragment = true;
+        const auto frac = 0.35 + 0.40 * rng.uniform();
+        const auto win =
+            std::max<std::size_t>(cfg.min_length / 2,
+                                  static_cast<std::size_t>(
+                                      static_cast<double>(seq.size()) * frac));
+        if (win < seq.size()) {
+          const std::size_t start = rng.below(seq.size() - win + 1);
+          seq = seq.substr(start, win);
+        }
+      }
+      maybe_insert_repeat(rng, motif_pool, cfg, seq);
+      d.ids.push_back("fam" + std::to_string(family_id) + "_m" +
+                      std::to_string(member) + (fragment ? "_frag" : ""));
+      d.seqs.push_back(std::move(seq));
+      d.family.push_back(family_id);
+      if (d.seqs.size() >= n_family_seqs) break;
+    }
+    ++family_id;
+  }
+
+  while (d.seqs.size() < cfg.n_sequences) {
+    std::string seq = random_sequence(rng, sampler, sample_length(rng, cfg));
+    maybe_insert_repeat(rng, motif_pool, cfg, seq);
+    d.ids.push_back("bg" + std::to_string(d.seqs.size()));
+    d.seqs.push_back(std::move(seq));
+    d.family.push_back(Dataset::kBackground);
+  }
+
+  if (cfg.shuffle_order) {
+    // Fisher-Yates with the generator's RNG: deterministic in the seed.
+    for (std::size_t i = d.seqs.size(); i > 1; --i) {
+      const std::size_t j = rng.below(i);
+      std::swap(d.seqs[i - 1], d.seqs[j]);
+      std::swap(d.ids[i - 1], d.ids[j]);
+      std::swap(d.family[i - 1], d.family[j]);
+    }
+  }
+  return d;
+}
+
+std::uint64_t count_intra_family_pairs(const Dataset& d) {
+  std::map<std::uint32_t, std::uint64_t> sizes;
+  for (const auto f : d.family) {
+    if (f != Dataset::kBackground) ++sizes[f];
+  }
+  std::uint64_t pairs = 0;
+  for (const auto& [f, n] : sizes) pairs += n * (n - 1) / 2;
+  return pairs;
+}
+
+}  // namespace pastis::gen

@@ -1,0 +1,121 @@
+#include "io/fasta.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pastis::io {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+void parse_header(std::string_view line, FastaRecord& rec) {
+  // line starts after '>'.
+  const std::size_t ws = line.find_first_of(" \t");
+  if (ws == std::string_view::npos) {
+    rec.id = std::string(line);
+  } else {
+    rec.id = std::string(line.substr(0, ws));
+    const std::size_t rest = line.find_first_not_of(" \t", ws);
+    if (rest != std::string_view::npos) rec.comment = std::string(line.substr(rest));
+  }
+}
+
+}  // namespace
+
+std::vector<FastaRecord> parse_fasta(std::string_view text) {
+  std::vector<FastaRecord> records;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty() && line.front() == '>') {
+      records.emplace_back();
+      parse_header(line.substr(1), records.back());
+    } else if (!line.empty() && !records.empty()) {
+      records.back().seq.append(line);
+    }
+    pos = eol + 1;
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta(const std::string& path) {
+  return parse_fasta(read_file(path));
+}
+
+std::vector<FastaRecord> read_fasta_chunk(const std::string& path,
+                                          std::uint64_t offset,
+                                          std::uint64_t length) {
+  // Simple, correct implementation: load the file once and apply the
+  // byte-range ownership rule. (The real MPI-IO version reads only the
+  // range plus a tail; file sizes in this reproduction make the difference
+  // irrelevant while the ownership semantics — which is what the tests
+  // verify — are identical.)
+  const std::string text = read_file(path);
+  const std::uint64_t end =
+      std::min<std::uint64_t>(text.size(), offset + length);
+
+  std::vector<FastaRecord> records;
+  std::size_t pos = 0;
+  // Find the first header at or after `offset`.
+  while (pos < text.size()) {
+    const std::size_t hdr = text.find('>', pos);
+    if (hdr == std::string::npos) return records;
+    // Headers must start a line.
+    if (hdr != 0 && text[hdr - 1] != '\n') {
+      pos = hdr + 1;
+      continue;
+    }
+    if (hdr >= offset) {
+      if (hdr >= end) return records;  // first owned header is out of range
+      pos = hdr;
+      break;
+    }
+    pos = hdr + 1;
+  }
+
+  // Parse records whose header byte is inside [offset, end).
+  while (pos < text.size() && pos < end) {
+    std::size_t next = text.find("\n>", pos);
+    const std::size_t rec_end =
+        next == std::string::npos ? text.size() : next + 1;
+    auto batch = parse_fasta(
+        std::string_view(text).substr(pos, rec_end - pos));
+    for (auto& r : batch) records.push_back(std::move(r));
+    pos = rec_end;
+  }
+  return records;
+}
+
+void write_fasta(const std::string& path,
+                 const std::vector<FastaRecord>& records, std::size_t width) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write FASTA file: " + path);
+  for (const auto& rec : records) {
+    out << '>' << rec.id;
+    if (!rec.comment.empty()) out << ' ' << rec.comment;
+    out << '\n';
+    for (std::size_t i = 0; i < rec.seq.size(); i += width) {
+      out << std::string_view(rec.seq).substr(i, width) << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::uint64_t file_size_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot stat file: " + path);
+  return static_cast<std::uint64_t>(in.tellg());
+}
+
+}  // namespace pastis::io

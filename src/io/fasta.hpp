@@ -1,0 +1,46 @@
+// FASTA input/output.
+//
+// PASTIS reads one FASTA file with parallel MPI-IO: each rank seeks to its
+// byte range and re-aligns to the next record boundary, so records are read
+// exactly once with no coordination (paper §V-B: "PASTIS uses parallel MPI
+// I/O for input and output files"). `read_fasta_chunk` reproduces that
+// byte-range + realignment logic so the simulated ranks can perform the
+// same partitioned read, and the IO cost model charges the same volumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pastis::io {
+
+struct FastaRecord {
+  std::string id;       // text after '>' up to first whitespace
+  std::string comment;  // remainder of the header line (may be empty)
+  std::string seq;      // residues with line breaks removed
+};
+
+/// Reads an entire FASTA file. Throws std::runtime_error on IO failure.
+[[nodiscard]] std::vector<FastaRecord> read_fasta(const std::string& path);
+
+/// Parses FASTA records from an in-memory buffer.
+[[nodiscard]] std::vector<FastaRecord> parse_fasta(std::string_view text);
+
+/// Reads only the records whose '>' header starts inside [offset,
+/// offset+length) of the file — the MPI-IO chunking rule. A rank whose range
+/// begins mid-record skips forward to the next header; the rank owning the
+/// record's first byte parses it even if it extends past its range. The
+/// union over a partition of the file is therefore exactly the whole file.
+[[nodiscard]] std::vector<FastaRecord> read_fasta_chunk(const std::string& path,
+                                                        std::uint64_t offset,
+                                                        std::uint64_t length);
+
+/// Writes records (wrapping sequence lines at `width` residues).
+void write_fasta(const std::string& path,
+                 const std::vector<FastaRecord>& records, std::size_t width = 80);
+
+/// File size helper used to compute per-rank byte ranges.
+[[nodiscard]] std::uint64_t file_size_bytes(const std::string& path);
+
+}  // namespace pastis::io

@@ -1,0 +1,46 @@
+#include "io/graph_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pastis::io {
+
+void write_similarity_graph(const std::string& path,
+                            const std::vector<SimilarityEdge>& edges) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot write graph: " + path);
+  for (const auto& e : edges) {
+    std::fprintf(f, "%u\t%u\t%.4f\t%.4f\t%d\n", e.seq_a, e.seq_b,
+                 static_cast<double>(e.ani), static_cast<double>(e.cov),
+                 e.score);
+  }
+  std::fclose(f);
+}
+
+std::vector<SimilarityEdge> read_similarity_graph(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) throw std::runtime_error("cannot read graph: " + path);
+  std::vector<SimilarityEdge> edges;
+  SimilarityEdge e;
+  double ani = 0.0, cov = 0.0;
+  while (std::fscanf(f, "%u\t%u\t%lf\t%lf\t%d\n", &e.seq_a, &e.seq_b, &ani,
+                     &cov, &e.score) == 5) {
+    e.ani = static_cast<float>(ani);
+    e.cov = static_cast<float>(cov);
+    edges.push_back(e);
+  }
+  std::fclose(f);
+  return edges;
+}
+
+void sort_edges(std::vector<SimilarityEdge>& edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const SimilarityEdge& a, const SimilarityEdge& b) {
+              return a.seq_a != b.seq_a ? a.seq_a < b.seq_a : a.seq_b < b.seq_b;
+            });
+}
+
+std::uint64_t edge_bytes() { return 28; }
+
+}  // namespace pastis::io

@@ -1,0 +1,82 @@
+#include "kmer/alphabet.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace pastis::kmer {
+
+namespace {
+
+// The 24 extended residues in NCBI scoring order, plus U as the 25th code.
+constexpr std::string_view kProtein25Letters = "ARNDCQEGHILKMFPSTWYVBZX*U";
+constexpr std::string_view kProtein20Letters = "ARNDCQEGHILKMFPSTWYV";
+
+// Murphy-10 classes; the first letter of each class is its representative.
+constexpr std::string_view kMurphyClasses[10] = {
+    "A", "C", "G", "H", "P", "LVIMJ", "ST", "FYW", "EDNQBZ", "KRO"};
+
+}  // namespace
+
+Alphabet::Alphabet(Kind kind) : kind_(kind) {
+  map_.fill(kInvalid);
+  auto set = [&](char c, std::uint8_t code) {
+    map_[static_cast<unsigned char>(c)] = code;
+    map_[static_cast<unsigned char>(std::tolower(c))] = code;
+  };
+
+  switch (kind) {
+    case Kind::kProtein25: {
+      size_ = 25;
+      for (std::size_t i = 0; i < kProtein25Letters.size(); ++i) {
+        set(kProtein25Letters[i], static_cast<std::uint8_t>(i));
+        reps_[i] = kProtein25Letters[i];
+      }
+      // Rare letters fold to conventional substitutes; nothing is invalid —
+      // unknown residues behave as X, like the paper's full-alphabet mode.
+      set('O', map_[static_cast<unsigned char>('K')]);
+      set('J', map_[static_cast<unsigned char>('L')]);
+      for (int c = 0; c < 256; ++c) {
+        if (std::isalpha(c) && map_[c] == kInvalid) {
+          map_[c] = map_[static_cast<unsigned char>('X')];
+        }
+      }
+      break;
+    }
+    case Kind::kProtein20: {
+      size_ = 20;
+      for (std::size_t i = 0; i < kProtein20Letters.size(); ++i) {
+        set(kProtein20Letters[i], static_cast<std::uint8_t>(i));
+        reps_[i] = kProtein20Letters[i];
+      }
+      set('U', map_[static_cast<unsigned char>('C')]);
+      set('O', map_[static_cast<unsigned char>('K')]);
+      set('J', map_[static_cast<unsigned char>('L')]);
+      // B, Z, X, * remain kInvalid: windows containing them are skipped.
+      break;
+    }
+    case Kind::kMurphy10: {
+      size_ = 10;
+      for (std::uint8_t cls = 0; cls < 10; ++cls) {
+        for (char c : kMurphyClasses[cls]) set(c, cls);
+        reps_[cls] = kMurphyClasses[cls][0];
+      }
+      set('U', map_[static_cast<unsigned char>('C')]);
+      // B/Z already folded into the EDNQ class; X and * stay invalid.
+      break;
+    }
+  }
+}
+
+std::string Alphabet::name() const {
+  switch (kind_) {
+    case Kind::kProtein25:
+      return "protein25";
+    case Kind::kProtein20:
+      return "protein20";
+    case Kind::kMurphy10:
+      return "murphy10";
+  }
+  return "unknown";
+}
+
+}  // namespace pastis::kmer

@@ -1,0 +1,54 @@
+// Amino-acid alphabets for k-mer indexing.
+//
+// The paper's production run indexes 6-mers over a 25-letter alphabet (its
+// sequence-by-k-mer matrix has 25^6 = 244,140,625 columns — Table IV). A
+// reduced alphabet [Murphy, Wallqvist & Levy 2000] is one of the two
+// sensitivity mechanisms PASTIS exposes (§V): collapsing similar residues
+// lets near-homologous sequences share k-mers they would otherwise miss.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pastis::kmer {
+
+class Alphabet {
+ public:
+  enum class Kind {
+    kProtein25,  // 24 extended residues + U; matches the paper's 25^6 space
+    kProtein20,  // the 20 standard residues; ambiguity codes invalidate k-mers
+    kMurphy10,   // Murphy-Wallqvist-Levy 10-class reduction
+  };
+
+  explicit Alphabet(Kind kind);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  /// Number of distinct codes (the base of the k-mer encoding).
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Code for a residue, in [0, size()); kInvalid when the residue is not
+  /// representable (a window containing one is skipped during extraction).
+  static constexpr std::uint8_t kInvalid = 0xFF;
+  [[nodiscard]] std::uint8_t encode(char aa) const {
+    return map_[static_cast<unsigned char>(aa)];
+  }
+
+  /// Canonical representative letter of a code (for round-trips and the
+  /// substitute-k-mer generator, which scores representatives).
+  [[nodiscard]] char representative(std::uint8_t code) const {
+    return reps_[code];
+  }
+
+  [[nodiscard]] std::string name() const;
+
+ private:
+  Kind kind_;
+  int size_ = 0;
+  std::array<std::uint8_t, 256> map_{};
+  std::array<char, 32> reps_{};
+};
+
+}  // namespace pastis::kmer

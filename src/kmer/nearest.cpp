@@ -1,0 +1,124 @@
+#include "kmer/nearest.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace pastis::kmer {
+
+NeighborGenerator::NeighborGenerator(const Alphabet& alphabet,
+                                     const KmerCodec& codec,
+                                     const align::Scoring& scoring,
+                                     int max_loss)
+    : alphabet_(alphabet), codec_(codec), max_loss_(max_loss) {
+  const int sigma = alphabet.size();
+  cand_.resize(static_cast<std::size_t>(sigma));
+  for (int orig = 0; orig < sigma; ++orig) {
+    const char orig_char =
+        alphabet.representative(static_cast<std::uint8_t>(orig));
+    const int self = scoring.score_chars(orig_char, orig_char);
+    auto& list = cand_[static_cast<std::size_t>(orig)];
+    for (int sub = 0; sub < sigma; ++sub) {
+      if (sub == orig) continue;
+      const char sub_char =
+          alphabet.representative(static_cast<std::uint8_t>(sub));
+      // Loss is clamped at zero: for ambiguity residues (X, *) some
+      // substitutions score higher than the self-match; treating them as
+      // zero-loss keeps the best-first enumeration monotone and matches the
+      // intuition that X-positions substitute freely.
+      const int loss = std::max(0, self - scoring.score_chars(orig_char, sub_char));
+      if (loss <= max_loss_) {
+        list.push_back({loss, static_cast<std::uint8_t>(sub)});
+      }
+    }
+    std::sort(list.begin(), list.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.loss != b.loss ? a.loss < b.loss
+                                        : a.residue < b.residue;
+              });
+  }
+}
+
+std::vector<NeighborKmer> NeighborGenerator::nearest(std::uint64_t code,
+                                                     std::size_t m) const {
+  std::vector<NeighborKmer> out;
+  if (m == 0) return out;
+  const auto residues = codec_.decode(code);
+  const int k = codec_.k();
+
+  // A state is a substitution set {(pos, cand-idx)} with strictly increasing
+  // positions. Every state is generated exactly once:
+  //   * initial states: one substitution {(p, 0)} for each position p;
+  //   * successor (a): advance the LAST substitution's candidate index;
+  //   * successor (b): append a substitution (p', 0) at any position p'
+  //     after the last one.
+  // A set {(p1,i1),...,(pn,in)} has the unique derivation p1 first, indices
+  // advanced before each append — so no duplicates. Candidate lists are
+  // loss-ascending and losses are >= 0, so both successors never decrease
+  // the total loss and the heap pops states in globally sorted order.
+  struct Sub {
+    int pos;
+    int idx;
+  };
+  struct State {
+    int loss;
+    std::vector<Sub> subs;
+  };
+  auto sub_loss = [&](const Sub& s) {
+    return cand_[residues[static_cast<std::size_t>(s.pos)]]
+                [static_cast<std::size_t>(s.idx)]
+                    .loss;
+  };
+  auto cmp = [](const State& a, const State& b) { return a.loss > b.loss; };
+  std::priority_queue<State, std::vector<State>, decltype(cmp)> heap(cmp);
+
+  for (int p = 0; p < k; ++p) {
+    if (!cand_[residues[static_cast<std::size_t>(p)]].empty()) {
+      State s{0, {{p, 0}}};
+      s.loss = sub_loss(s.subs.back());
+      heap.push(std::move(s));
+    }
+  }
+
+  while (!heap.empty() && out.size() < m) {
+    State s = heap.top();
+    heap.pop();
+    if (s.loss > max_loss_) break;
+
+    std::uint64_t v = code;
+    for (const Sub& sub : s.subs) {
+      const std::uint8_t orig = residues[static_cast<std::size_t>(sub.pos)];
+      const std::uint8_t rep =
+          cand_[orig][static_cast<std::size_t>(sub.idx)].residue;
+      v = codec_.substitute(v, sub.pos, orig, rep);
+    }
+    out.push_back({v, s.loss});
+
+    const Sub last = s.subs.back();
+    const std::uint8_t last_orig = residues[static_cast<std::size_t>(last.pos)];
+
+    // (a) advance the last substitution to its next-best candidate.
+    if (static_cast<std::size_t>(last.idx) + 1 < cand_[last_orig].size()) {
+      State nxt = s;
+      nxt.subs.back().idx = last.idx + 1;
+      nxt.loss = s.loss - sub_loss(last) + sub_loss(nxt.subs.back());
+      heap.push(std::move(nxt));
+    }
+    // (b) append a substitution at every later position.
+    for (int p = last.pos + 1; p < k; ++p) {
+      if (cand_[residues[static_cast<std::size_t>(p)]].empty()) continue;
+      State nxt = s;
+      nxt.subs.push_back({p, 0});
+      nxt.loss = s.loss + sub_loss(nxt.subs.back());
+      heap.push(std::move(nxt));
+    }
+  }
+
+  // Deterministic order: ascending loss, then code.
+  std::sort(out.begin(), out.end(),
+            [](const NeighborKmer& a, const NeighborKmer& b) {
+              return a.loss != b.loss ? a.loss < b.loss : a.code < b.code;
+            });
+  return out;
+}
+
+}  // namespace pastis::kmer

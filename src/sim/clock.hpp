@@ -1,0 +1,87 @@
+// Per-rank accounting: modeled seconds by component plus work counters.
+// These are exactly the quantities §VII says were measured on Summit
+// (component timers; alignments/s over the whole runtime; CUPS over the
+// alignment kernel time).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace pastis::sim {
+
+/// Runtime components reported by the paper's tables/figures.
+enum class Comp : int {
+  kSpGemm = 0,     // "SpGEMM" / "sparse (mult)"
+  kSparseOther,    // transpose, stripe splits, merges, pruning
+  kAlign,          // device kernel + launches + host packing
+  kSeqWait,        // waiting on sequence communication ("cwait", Table II)
+  kIO,             // parallel FASTA read + graph write
+  kOther,          // everything else (graph assembly, bookkeeping)
+  kCount,
+};
+
+[[nodiscard]] constexpr std::string_view comp_name(Comp c) {
+  switch (c) {
+    case Comp::kSpGemm:
+      return "spgemm";
+    case Comp::kSparseOther:
+      return "sparse_other";
+    case Comp::kAlign:
+      return "align";
+    case Comp::kSeqWait:
+      return "cwait";
+    case Comp::kIO:
+      return "io";
+    case Comp::kOther:
+      return "other";
+    default:
+      return "?";
+  }
+}
+
+struct RankClock {
+  std::array<double, static_cast<std::size_t>(Comp::kCount)> seconds{};
+
+  // Work counters.
+  std::uint64_t spgemm_products = 0;
+  std::uint64_t overlap_nnz = 0;       // candidate pairs discovered locally
+  std::uint64_t pairs_aligned = 0;
+  std::uint64_t align_cells = 0;       // DP cells (CUPS numerator)
+  double align_kernel_seconds = 0.0;   // CUPS denominator
+  std::uint64_t similar_pairs = 0;     // edges passing ANI+coverage
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t io_bytes = 0;
+  std::uint64_t peak_memory_bytes = 0;
+
+  void charge(Comp c, double s) {
+    seconds[static_cast<std::size_t>(c)] += s;
+  }
+  [[nodiscard]] double get(Comp c) const {
+    return seconds[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double total() const {
+    double t = 0.0;
+    for (double s : seconds) t += s;
+    return t;
+  }
+
+  void merge(const RankClock& o) {
+    for (std::size_t i = 0; i < seconds.size(); ++i) seconds[i] += o.seconds[i];
+    spgemm_products += o.spgemm_products;
+    overlap_nnz += o.overlap_nnz;
+    pairs_aligned += o.pairs_aligned;
+    align_cells += o.align_cells;
+    align_kernel_seconds += o.align_kernel_seconds;
+    similar_pairs += o.similar_pairs;
+    bytes_sent += o.bytes_sent;
+    bytes_recv += o.bytes_recv;
+    io_bytes += o.io_bytes;
+    peak_memory_bytes = peak_memory_bytes > o.peak_memory_bytes
+                            ? peak_memory_bytes
+                            : o.peak_memory_bytes;
+  }
+};
+
+}  // namespace pastis::sim

@@ -1,0 +1,63 @@
+// The √p × √p process grid of CombBLAS (paper §V-A: "It uses a square
+// process grid with the requirement of number of processes to be a perfect
+// square number"). One simulated rank corresponds to one Summit node in the
+// paper's runs (1 MPI task per node, Table IV).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/triple.hpp"
+
+namespace pastis::sim {
+
+using sparse::Index;
+
+class ProcGrid {
+ public:
+  /// `p` must be a perfect square.
+  explicit ProcGrid(int p) : p_(p) {
+    const int side = static_cast<int>(std::lround(std::sqrt(double(p))));
+    if (p <= 0 || side * side != p) {
+      throw std::invalid_argument(
+          "ProcGrid: number of processes must be a positive perfect square");
+    }
+    side_ = side;
+  }
+
+  [[nodiscard]] int size() const { return p_; }
+  [[nodiscard]] int side() const { return side_; }
+
+  [[nodiscard]] int row_of(int rank) const { return rank / side_; }
+  [[nodiscard]] int col_of(int rank) const { return rank % side_; }
+  [[nodiscard]] int rank_of(int grid_row, int grid_col) const {
+    return grid_row * side_ + grid_col;
+  }
+
+  /// Boundary of dimension `n` split into `parts` nearly-equal ranges:
+  /// range q is [split(n, parts, q), split(n, parts, q+1)).
+  [[nodiscard]] static Index split_point(Index n, int parts, int q) {
+    return static_cast<Index>((static_cast<std::uint64_t>(n) *
+                               static_cast<std::uint64_t>(q)) /
+                              static_cast<std::uint64_t>(parts));
+  }
+
+  /// Which of `parts` ranges owns index `i` of a dimension of size `n`.
+  [[nodiscard]] static int part_of(Index i, Index n, int parts) {
+    // Inverse of split_point: find q with split(q) <= i < split(q+1).
+    int q = static_cast<int>((static_cast<std::uint64_t>(i) *
+                              static_cast<std::uint64_t>(parts)) /
+                             static_cast<std::uint64_t>(n));
+    while (split_point(n, parts, q) > i) --q;
+    while (split_point(n, parts, q + 1) <= i) ++q;
+    return q;
+  }
+
+ private:
+  int p_;
+  int side_;
+};
+
+}  // namespace pastis::sim

@@ -1,0 +1,8 @@
+#include "sim/machine_model.hpp"
+
+namespace pastis::sim {
+
+// Model constants are defined inline in the header; this TU anchors the
+// static library.
+
+}  // namespace pastis::sim

@@ -1,0 +1,9 @@
+// Intentionally small: the runtime is header-only; this TU anchors the
+// static library and hosts the one non-inline helper.
+#include "sim/runtime.hpp"
+
+namespace pastis::sim {
+
+// (No out-of-line definitions currently required.)
+
+}  // namespace pastis::sim

@@ -1,0 +1,171 @@
+// Local sparse matrix in DCSR (doubly-compressed sparse rows) layout.
+//
+// CombBLAS stores hypersparse local blocks in DCSC [Buluç & Gilbert, IPDPS
+// 2008] because a 2D-partitioned matrix on p processes has ~nnz/p nonzeros
+// but n/√p rows/columns — a dense pointer array per local block would
+// dominate memory (the transposed k-mer matrix here has 244M rows split
+// across the grid). We keep a directory of *nonempty* rows only, so local
+// storage is Θ(nnz), never Θ(dimension).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "sparse/triple.hpp"
+
+namespace pastis::sparse {
+
+template <typename T>
+class SpMat {
+  static_assert(!std::is_same_v<T, bool>,
+                "SpMat<bool> would inherit std::vector<bool>'s proxy "
+                "references; use std::uint8_t (see BoolOrAnd)");
+
+ public:
+  using value_type = T;
+
+  SpMat() = default;
+  SpMat(Index nrows, Index ncols) : nrows_(nrows), ncols_(ncols) {}
+
+  /// Builds from triples, combining duplicate (row, col) entries with
+  /// `add(acc, v)`. Triples may arrive in any order.
+  template <typename AddOp>
+  static SpMat from_triples(Index nrows, Index ncols,
+                            std::vector<Triple<T>> triples, AddOp add) {
+    SpMat m(nrows, ncols);
+    if (triples.empty()) return m;
+    sort_triples(triples);
+    combine_duplicates(triples, add);
+    m.reserve_nnz(triples.size());
+    Index current_row = triples.front().row;
+    m.row_ids_.push_back(current_row);
+    m.row_ptr_.push_back(0);
+    for (const auto& t : triples) {
+      if (t.row >= nrows || t.col >= ncols) {
+        throw std::out_of_range("SpMat::from_triples: index out of bounds");
+      }
+      if (t.row != current_row) {
+        current_row = t.row;
+        m.row_ids_.push_back(current_row);
+        m.row_ptr_.push_back(static_cast<Offset>(m.col_ids_.size()));
+      }
+      m.col_ids_.push_back(t.col);
+      m.vals_.push_back(t.val);
+    }
+    m.row_ptr_.push_back(static_cast<Offset>(m.col_ids_.size()));
+    return m;
+  }
+
+  /// Overload keeping the last duplicate (for payloads without a natural +).
+  static SpMat from_triples(Index nrows, Index ncols,
+                            std::vector<Triple<T>> triples) {
+    return from_triples(nrows, ncols, std::move(triples),
+                        [](T& acc, const T& v) { acc = v; });
+  }
+
+  [[nodiscard]] Index nrows() const { return nrows_; }
+  [[nodiscard]] Index ncols() const { return ncols_; }
+  [[nodiscard]] Offset nnz() const { return col_ids_.size(); }
+  [[nodiscard]] bool empty() const { return col_ids_.empty(); }
+  [[nodiscard]] std::size_t n_nonempty_rows() const { return row_ids_.size(); }
+
+  /// Logical bytes this matrix would occupy on the simulated machine.
+  [[nodiscard]] std::uint64_t bytes() const {
+    return row_ids_.size() * sizeof(Index) + row_ptr_.size() * sizeof(Offset) +
+           col_ids_.size() * sizeof(Index) + vals_.size() * sizeof(T);
+  }
+
+  /// Directory access (k-th nonempty row and its nonzero range).
+  [[nodiscard]] Index row_id(std::size_t k) const { return row_ids_[k]; }
+  [[nodiscard]] Offset row_begin(std::size_t k) const { return row_ptr_[k]; }
+  [[nodiscard]] Offset row_end(std::size_t k) const { return row_ptr_[k + 1]; }
+  [[nodiscard]] Index col(Offset o) const { return col_ids_[o]; }
+  [[nodiscard]] const T& val(Offset o) const { return vals_[o]; }
+  [[nodiscard]] T& val(Offset o) { return vals_[o]; }
+
+  /// Binary-searches the row directory; returns the directory slot of row
+  /// `r` or npos if the row is empty.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t find_row(Index r) const {
+    auto it = std::lower_bound(row_ids_.begin(), row_ids_.end(), r);
+    if (it == row_ids_.end() || *it != r) return npos;
+    return static_cast<std::size_t>(it - row_ids_.begin());
+  }
+
+  /// Calls fn(row, col, val) for every nonzero in row-major order.
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (std::size_t k = 0; k < row_ids_.size(); ++k) {
+      for (Offset o = row_ptr_[k]; o < row_ptr_[k + 1]; ++o) {
+        fn(row_ids_[k], col_ids_[o], vals_[o]);
+      }
+    }
+  }
+
+  /// Exports to triples (row-major sorted).
+  [[nodiscard]] std::vector<Triple<T>> to_triples() const {
+    std::vector<Triple<T>> out;
+    out.reserve(nnz());
+    for_each([&](Index i, Index j, const T& v) { out.push_back({i, j, v}); });
+    return out;
+  }
+
+  /// Transposes via sort (dimension-independent; safe for hypersparse).
+  [[nodiscard]] SpMat transposed() const {
+    std::vector<Triple<T>> t;
+    t.reserve(nnz());
+    for_each([&](Index i, Index j, const T& v) { t.push_back({j, i, v}); });
+    return from_triples(ncols_, nrows_, std::move(t));
+  }
+
+  /// Keeps nonzeros for which pred(row, col, val) holds.
+  template <typename Pred>
+  [[nodiscard]] SpMat pruned(Pred pred) const {
+    std::vector<Triple<T>> t;
+    t.reserve(nnz());
+    for_each([&](Index i, Index j, const T& v) {
+      if (pred(i, j, v)) t.push_back({i, j, v});
+    });
+    return from_triples(nrows_, ncols_, std::move(t));
+  }
+
+  /// Extracts the sub-matrix [r0, r1) × [c0, c1), re-indexed to local
+  /// coordinates. Used to split stripes for the blocked SUMMA.
+  [[nodiscard]] SpMat extract(Index r0, Index r1, Index c0, Index c1) const {
+    assert(r0 <= r1 && r1 <= nrows_ && c0 <= c1 && c1 <= ncols_);
+    std::vector<Triple<T>> t;
+    for_each([&](Index i, Index j, const T& v) {
+      if (i >= r0 && i < r1 && j >= c0 && j < c1) {
+        t.push_back({i - r0, j - c0, v});
+      }
+    });
+    return from_triples(r1 - r0, c1 - c0, std::move(t));
+  }
+
+  /// Structural + value equality (same shape, same nonzeros).
+  friend bool operator==(const SpMat& a, const SpMat& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
+           a.row_ids_ == b.row_ids_ && a.row_ptr_ == b.row_ptr_ &&
+           a.col_ids_ == b.col_ids_ && a.vals_ == b.vals_;
+  }
+
+ private:
+  void reserve_nnz(std::size_t nnz) {
+    col_ids_.reserve(nnz);
+    vals_.reserve(nnz);
+  }
+
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::vector<Index> row_ids_;   // sorted ids of nonempty rows
+  std::vector<Offset> row_ptr_;  // size row_ids_+1; offsets into col/val
+  std::vector<Index> col_ids_;   // column of each nonzero (row-major)
+  std::vector<T> vals_;          // payloads
+};
+
+}  // namespace pastis::sparse

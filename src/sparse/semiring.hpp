@@ -1,0 +1,67 @@
+// Semirings for overloaded sparse matrix multiplication (paper §V, Fig. 2).
+//
+// A semiring S defines what "multiply" and "add" mean inside SpGEMM:
+//   - S::left_type / S::right_type : element types of the A and B operands;
+//   - S::value_type                : element type of the output C;
+//   - S::multiply(a, b)            : the overloaded scalar product;
+//   - S::add(acc, v)               : the overloaded accumulation.
+// PASTIS's candidate-discovery semiring (core/common_kmers.hpp) pairs seed
+// positions on multiply and counts common k-mers on add; the conventional
+// (+, *) semiring below is used by tests and the numeric benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+
+namespace pastis::sparse {
+
+/// Concept-ish check used by SpGEMM's static_asserts.
+template <typename S>
+concept SemiringLike = requires(typename S::left_type a,
+                                typename S::right_type b,
+                                typename S::value_type acc) {
+  { S::multiply(a, b) } -> std::convertible_to<typename S::value_type>;
+  { S::add(acc, acc) };
+};
+
+/// Classic arithmetic semiring (+, *) over T.
+template <typename T>
+struct PlusTimes {
+  using left_type = T;
+  using right_type = T;
+  using value_type = T;
+  static value_type multiply(const T& a, const T& b) { return a * b; }
+  static void add(value_type& acc, const value_type& v) { acc += v; }
+};
+
+/// Tropical semiring (min, +); exercised by tests to prove SpGEMM is not
+/// hard-wired to arithmetic (the paper's complaint about GPU SpGEMM
+/// libraries, §IX).
+template <typename T>
+struct MinPlus {
+  using left_type = T;
+  using right_type = T;
+  using value_type = T;
+  static value_type multiply(const T& a, const T& b) { return a + b; }
+  static void add(value_type& acc, const value_type& v) {
+    acc = std::min(acc, v);
+  }
+};
+
+/// Boolean (or, and): structural overlap only. Values are std::uint8_t
+/// (0/1) rather than bool so sparse containers avoid the std::vector<bool>
+/// proxy-reference specialization.
+struct BoolOrAnd {
+  using left_type = std::uint8_t;
+  using right_type = std::uint8_t;
+  using value_type = std::uint8_t;
+  static value_type multiply(value_type a, value_type b) {
+    return (a != 0 && b != 0) ? 1 : 0;
+  }
+  static void add(value_type& acc, const value_type& v) {
+    acc = (acc != 0 || v != 0) ? 1 : 0;
+  }
+};
+
+}  // namespace pastis::sparse

@@ -1,0 +1,15 @@
+#include "sparse/spgemm.hpp"
+
+namespace pastis::sparse {
+
+std::string to_string(SpGemmKernel k) {
+  switch (k) {
+    case SpGemmKernel::kHash:
+      return "hash";
+    case SpGemmKernel::kHeap:
+      return "heap";
+  }
+  return "unknown";
+}
+
+}  // namespace pastis::sparse

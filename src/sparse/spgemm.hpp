@@ -1,0 +1,266 @@
+// Semiring SpGEMM kernels (local, single-threaded — one rank's work).
+//
+// Two accumulators are provided, mirroring the CPU SpGEMM literature the
+// paper builds on [Nagasaka et al., ICPP'18; CombBLAS 2.0]:
+//   * hash  — open-addressing accumulator per output row (default; fastest
+//             for the short, hypersparse rows of the overlap computation);
+//   * heap  — k-way merge of B rows (predictable memory, used as the
+//             cross-check kernel and in the ablation bench).
+// Both are exact over any semiring; tests assert they agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/matrix.hpp"
+#include "sparse/semiring.hpp"
+
+namespace pastis::sparse {
+
+enum class SpGemmKernel { kHash, kHeap };
+
+[[nodiscard]] std::string to_string(SpGemmKernel k);
+
+/// Work counters for one or more SpGEMM calls. `products` is the number of
+/// semiring multiplies (the "flops" of the paper's cost discussion); the
+/// compression factor products/out_nnz is the intermediate-to-output ratio
+/// §V-B says drives the memory pressure of candidate discovery.
+struct SpGemmStats {
+  std::uint64_t products = 0;
+  std::uint64_t out_nnz = 0;
+  std::uint64_t calls = 0;
+
+  [[nodiscard]] double compression_factor() const {
+    return out_nnz == 0 ? 0.0
+                        : static_cast<double>(products) /
+                              static_cast<double>(out_nnz);
+  }
+  void merge(const SpGemmStats& o) {
+    products += o.products;
+    out_nnz += o.out_nnz;
+    calls += o.calls;
+  }
+};
+
+namespace detail {
+
+/// Open-addressing map col -> accumulated value, reused across output rows.
+template <typename V>
+class HashAccumulator {
+ public:
+  void begin_row(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    if (cap > keys_.size()) {
+      keys_.assign(cap, kEmpty);
+      vals_.resize(cap);
+    }
+    used_.clear();
+  }
+
+  template <typename SR>
+  void add(Index key, const V& v) {
+    if ((used_.size() + 1) * 2 > keys_.size()) grow<SR>();
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t slot = (static_cast<std::size_t>(key) * 0x9e3779b1u) & mask;
+    for (;;) {
+      if (keys_[slot] == kEmpty) {
+        keys_[slot] = key;
+        vals_[slot] = v;
+        used_.push_back(slot);
+        return;
+      }
+      if (keys_[slot] == key) {
+        SR::add(vals_[slot], v);
+        return;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  /// Appends this row's entries sorted by column and resets the table.
+  void extract_sorted(std::vector<Index>& cols, std::vector<V>& vals) {
+    std::sort(used_.begin(), used_.end(),
+              [&](std::size_t a, std::size_t b) { return keys_[a] < keys_[b]; });
+    for (std::size_t slot : used_) {
+      cols.push_back(keys_[slot]);
+      vals.push_back(vals_[slot]);
+      keys_[slot] = kEmpty;
+    }
+    used_.clear();
+  }
+
+  [[nodiscard]] std::size_t row_size() const { return used_.size(); }
+
+ private:
+  template <typename SR>
+  void grow() {
+    std::vector<Index> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    std::vector<std::size_t> old_used = std::move(used_);
+    keys_.assign(old_keys.size() * 2, kEmpty);
+    vals_.resize(old_keys.size() * 2);
+    used_.clear();
+    for (std::size_t slot : old_used) {
+      add<SR>(old_keys[slot], old_vals[slot]);
+    }
+  }
+
+  static constexpr Index kEmpty = static_cast<Index>(-1);
+  std::vector<Index> keys_;
+  std::vector<V> vals_;
+  std::vector<std::size_t> used_;
+};
+
+}  // namespace detail
+
+/// C = A ·_SR B with a hash accumulator. A is M×K, B is K×N; C is M×N.
+template <SemiringLike SR>
+[[nodiscard]] SpMat<typename SR::value_type> spgemm_hash(
+    const SpMat<typename SR::left_type>& A,
+    const SpMat<typename SR::right_type>& B, SpGemmStats* stats = nullptr) {
+  using V = typename SR::value_type;
+  if (A.ncols() != B.nrows()) {
+    throw std::invalid_argument("spgemm: inner dimensions disagree");
+  }
+
+  std::vector<Triple<V>> out;  // row-major by construction
+  detail::HashAccumulator<V> acc;
+
+  for (std::size_t ka = 0; ka < A.n_nonempty_rows(); ++ka) {
+    const Index i = A.row_id(ka);
+    // Upper bound on the row's intermediate products, for table sizing.
+    std::size_t expected = 0;
+    for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+      const std::size_t kb = B.find_row(A.col(o));
+      if (kb != SpMat<typename SR::right_type>::npos) {
+        expected += static_cast<std::size_t>(B.row_end(kb) - B.row_begin(kb));
+      }
+    }
+    if (expected == 0) continue;
+    acc.begin_row(expected);
+
+    std::uint64_t row_products = 0;
+    for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+      const Index k = A.col(o);
+      const std::size_t kb = B.find_row(k);
+      if (kb == SpMat<typename SR::right_type>::npos) continue;
+      const auto& aval = A.val(o);
+      for (Offset ob = B.row_begin(kb); ob < B.row_end(kb); ++ob) {
+        acc.template add<SR>(B.col(ob), SR::multiply(aval, B.val(ob)));
+        ++row_products;
+      }
+    }
+
+    // Drain the accumulator into triples for this row.
+    std::vector<Index> cols;
+    std::vector<V> vals;
+    cols.reserve(acc.row_size());
+    vals.reserve(acc.row_size());
+    acc.extract_sorted(cols, vals);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      out.push_back({i, cols[t], vals[t]});
+    }
+    if (stats != nullptr) stats->products += row_products;
+  }
+  if (stats != nullptr) {
+    stats->out_nnz += out.size();
+    ++stats->calls;
+  }
+  // Triples are already (row, col)-sorted and unique; build directly.
+  return SpMat<V>::from_triples(A.nrows(), B.ncols(), std::move(out));
+}
+
+/// C = A ·_SR B with a k-way heap merge per output row.
+template <SemiringLike SR>
+[[nodiscard]] SpMat<typename SR::value_type> spgemm_heap(
+    const SpMat<typename SR::left_type>& A,
+    const SpMat<typename SR::right_type>& B, SpGemmStats* stats = nullptr) {
+  using V = typename SR::value_type;
+  if (A.ncols() != B.nrows()) {
+    throw std::invalid_argument("spgemm: inner dimensions disagree");
+  }
+
+  struct Cursor {
+    Offset pos;
+    Offset end;
+    Offset a_off;  // nonzero of A providing the left operand
+  };
+
+  std::vector<Triple<V>> out;
+  std::vector<Cursor> cursors;
+
+  for (std::size_t ka = 0; ka < A.n_nonempty_rows(); ++ka) {
+    const Index i = A.row_id(ka);
+    cursors.clear();
+    for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+      const std::size_t kb = B.find_row(A.col(o));
+      if (kb == SpMat<typename SR::right_type>::npos) continue;
+      if (B.row_begin(kb) < B.row_end(kb)) {
+        cursors.push_back({B.row_begin(kb), B.row_end(kb), o});
+      }
+    }
+    if (cursors.empty()) continue;
+
+    auto heap_less = [&](std::size_t x, std::size_t y) {
+      return B.col(cursors[x].pos) > B.col(cursors[y].pos);  // min-heap
+    };
+    std::vector<std::size_t> heap(cursors.size());
+    for (std::size_t h = 0; h < heap.size(); ++h) heap[h] = h;
+    std::make_heap(heap.begin(), heap.end(), heap_less);
+
+    std::uint64_t row_products = 0;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_less);
+      const std::size_t c = heap.back();
+      heap.pop_back();
+      Cursor& cur = cursors[c];
+      const Index j = B.col(cur.pos);
+      const V v = SR::multiply(A.val(cur.a_off), B.val(cur.pos));
+      ++row_products;
+      if (!out.empty() && out.back().row == i && out.back().col == j) {
+        SR::add(out.back().val, v);
+      } else {
+        out.push_back({i, j, v});
+      }
+      if (++cur.pos < cur.end) {
+        heap.push_back(c);
+        std::push_heap(heap.begin(), heap.end(), heap_less);
+      }
+    }
+    if (stats != nullptr) stats->products += row_products;
+  }
+  if (stats != nullptr) {
+    stats->out_nnz += out.size();
+    ++stats->calls;
+  }
+  return SpMat<V>::from_triples(A.nrows(), B.ncols(), std::move(out));
+}
+
+/// Kernel-dispatching entry point.
+template <SemiringLike SR>
+[[nodiscard]] SpMat<typename SR::value_type> spgemm(
+    const SpMat<typename SR::left_type>& A,
+    const SpMat<typename SR::right_type>& B, SpGemmKernel kernel,
+    SpGemmStats* stats = nullptr) {
+  return kernel == SpGemmKernel::kHash ? spgemm_hash<SR>(A, B, stats)
+                                       : spgemm_heap<SR>(A, B, stats);
+}
+
+/// Merges partial results (e.g. the √p SUMMA stage outputs) into one matrix,
+/// combining duplicates with the semiring add. All parts must share shape.
+template <typename V, typename AddOp>
+[[nodiscard]] SpMat<V> add_merge(const std::vector<SpMat<V>>& parts,
+                                 Index nrows, Index ncols, AddOp add) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.nnz();
+  std::vector<Triple<V>> t;
+  t.reserve(total);
+  for (const auto& p : parts) {
+    p.for_each([&](Index i, Index j, const V& v) { t.push_back({i, j, v}); });
+  }
+  return SpMat<V>::from_triples(nrows, ncols, std::move(t), add);
+}
+
+}  // namespace pastis::sparse

@@ -1,0 +1,55 @@
+// COO triples — the construction and interchange format for sparse matrices
+// (the paper's Fig. 1 matrices are all built from (sequence, k-mer, payload)
+// or (sequence, sequence, payload) triples; the output graph is written as
+// triples as well).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace pastis::sparse {
+
+/// Row/column index inside a (possibly global) matrix. All problem
+/// dimensions in this reproduction fit in 32 bits (the paper's largest is
+/// the 244,140,625-column k-mer matrix).
+using Index = std::uint32_t;
+
+/// Offsets into nonzero arrays can exceed 32 bits.
+using Offset = std::uint64_t;
+
+template <typename T>
+struct Triple {
+  Index row = 0;
+  Index col = 0;
+  T val{};
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// Sorts triples by (row, col). Stable not required; duplicates stay adjacent.
+template <typename T>
+void sort_triples(std::vector<Triple<T>>& t) {
+  std::sort(t.begin(), t.end(), [](const Triple<T>& a, const Triple<T>& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+}
+
+/// Combines adjacent duplicates (same row & col) in a *sorted* triple list
+/// using `add(acc, v)`. Returns the deduplicated list in place.
+template <typename T, typename AddOp>
+void combine_duplicates(std::vector<Triple<T>>& t, AddOp add) {
+  if (t.empty()) return;
+  std::size_t w = 0;
+  for (std::size_t r = 1; r < t.size(); ++r) {
+    if (t[r].row == t[w].row && t[r].col == t[w].col) {
+      add(t[w].val, t[r].val);
+    } else {
+      ++w;
+      if (w != r) t[w] = std::move(t[r]);
+    }
+  }
+  t.resize(w + 1);
+}
+
+}  // namespace pastis::sparse

@@ -1,0 +1,107 @@
+// Human-readable number formatting and a fixed-width table printer used by
+// every bench harness to emit the paper's tables/series as text.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace pastis::util {
+
+/// 1234567 -> "1,234,567".
+[[nodiscard]] inline std::string with_commas(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  int c = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+/// 1.5e9 -> "1.50 G", 2048 -> "2.05 K" (SI, not binary).
+[[nodiscard]] inline std::string si_unit(double v) {
+  static const char* kSuffix[] = {"", " K", " M", " G", " T", " P"};
+  int idx = 0;
+  while (v >= 1000.0 && idx < 5) {
+    v /= 1000.0;
+    ++idx;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", v, kSuffix[idx]);
+  return buf;
+}
+
+/// Bytes with binary suffix: 3221225472 -> "3.00 GiB".
+[[nodiscard]] inline std::string bytes_human(double v) {
+  static const char* kSuffix[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int idx = 0;
+  while (v >= 1024.0 && idx < 5) {
+    v /= 1024.0;
+    ++idx;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, kSuffix[idx]);
+  return buf;
+}
+
+[[nodiscard]] inline std::string fixed(double v, int digits = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+[[nodiscard]] inline std::string pct(double ratio, int digits = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+/// Accumulates rows of strings and prints them with aligned columns. Bench
+/// binaries use this so the emitted tables read like the paper's.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string{};
+        os << "| " << cell << std::string(width[i] - cell.size() + 1, ' ');
+      }
+      os << "|\n";
+    };
+    print_row(header_);
+    for (std::size_t i = 0; i < width.size(); ++i)
+      os << "|" << std::string(width[i] + 2, '-');
+    os << "|\n";
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner for bench output.
+inline void banner(const std::string& title, std::ostream& os = std::cout) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace pastis::util

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Benches and examples narrate progress through
+// this; tests run with the level raised so output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pastis::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log_line(level, os.str());
+}
+
+template <typename... Args>
+void debug(const Args&... args) {
+  log(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void info(const Args&... args) {
+  log(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void warn(const Args&... args) {
+  log(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void error(const Args&... args) {
+  log(LogLevel::kError, args...);
+}
+
+}  // namespace pastis::util

@@ -1,0 +1,137 @@
+// Deterministic, fast pseudo-random generators.
+//
+// Everything stochastic in this repository (dataset generation, property
+// tests, workload sweeps) flows through these generators so that runs are
+// reproducible bit-for-bit from a seed — the paper's determinism claim
+// ("identical results irrespective of the amount of parallelism") is only
+// testable if the inputs themselves are deterministic.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pastis::util {
+
+/// SplitMix64: used to seed Xoshiro and as a cheap stateless hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — small, fast, high-quality 64-bit PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // Expand the seed through SplitMix64 as recommended by the authors.
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      x = splitmix64(x);
+      s = x;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free variant is fine here; modulo
+    // bias is negligible for our n << 2^64 but we avoid it anyway.
+    const __uint128_t m =
+        static_cast<__uint128_t>((*this)()) * static_cast<__uint128_t>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+
+  /// Gamma(shape k, scale theta) via Marsaglia-Tsang; used for protein
+  /// length distributions (heavy right tail, like real metagenomes).
+  [[nodiscard]] double gamma(double k, double theta) {
+    if (k < 1.0) {
+      // Boost shape and correct with the standard power transform.
+      const double u = uniform();
+      return gamma(k + 1.0, theta) * std::pow(u, 1.0 / k);
+    }
+    const double d = k - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x, v;
+      do {
+        x = normal();
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * theta;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+        return d * v * theta;
+    }
+  }
+
+  /// Standard normal via Box-Muller (cached pair not kept — simplicity wins).
+  [[nodiscard]] double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Zipf-like rank sampler over [0, n): P(r) ~ 1/(r+1)^s. Used for family
+  /// size skew. Uses inverse-CDF on a precomputation-free approximation.
+  [[nodiscard]] std::uint64_t zipf(std::uint64_t n, double s) {
+    // Rejection-inversion (Hörmann) is overkill; the generator only needs a
+    // skewed choice, so approximate with u^(1/(1-s)) when s != 1.
+    const double u = uniform();
+    if (s == 1.0) {
+      return static_cast<std::uint64_t>(
+                 std::pow(static_cast<double>(n), u)) %
+             n;
+    }
+    const double e = 1.0 / (1.0 - s);
+    const double x = std::pow(u * (std::pow(static_cast<double>(n), 1.0 - s) -
+                                   1.0) +
+                                  1.0,
+                              e);
+    auto r = static_cast<std::uint64_t>(x) - 1;
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace pastis::util

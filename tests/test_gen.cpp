@@ -1,0 +1,131 @@
+// Synthetic protein dataset generator tests.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gen/protein_gen.hpp"
+
+namespace pg = pastis::gen;
+
+TEST(Gen, DeterministicForSeed) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 500;
+  cfg.seed = 123;
+  const auto a = pg::generate_proteins(cfg);
+  const auto b = pg::generate_proteins(cfg);
+  ASSERT_EQ(a.seqs.size(), b.seqs.size());
+  for (std::size_t i = 0; i < a.seqs.size(); ++i) {
+    EXPECT_EQ(a.seqs[i], b.seqs[i]);
+    EXPECT_EQ(a.family[i], b.family[i]);
+  }
+}
+
+TEST(Gen, DifferentSeedsDiffer) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 100;
+  cfg.seed = 1;
+  const auto a = pg::generate_proteins(cfg);
+  cfg.seed = 2;
+  const auto b = pg::generate_proteins(cfg);
+  int same = 0;
+  for (std::size_t i = 0; i < a.seqs.size(); ++i) {
+    same += a.seqs[i] == b.seqs[i] ? 1 : 0;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Gen, RequestedSize) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 777;
+  const auto d = pg::generate_proteins(cfg);
+  EXPECT_EQ(d.size(), 777u);
+  EXPECT_EQ(d.ids.size(), 777u);
+  EXPECT_EQ(d.family.size(), 777u);
+}
+
+TEST(Gen, LengthsWithinClamp) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 1000;
+  cfg.min_length = 50;
+  cfg.max_length = 500;
+  const auto d = pg::generate_proteins(cfg);
+  for (const auto& s : d.seqs) {
+    EXPECT_GE(s.size(), 20u);  // fragments may go below min_length/2 = 25
+    EXPECT_LE(s.size(), 800u); // indels can slightly exceed the ancestor
+  }
+}
+
+TEST(Gen, ValidResidues) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 200;
+  const auto d = pg::generate_proteins(cfg);
+  const std::string valid = "ARNDCQEGHILKMFPSTWYV";
+  for (const auto& s : d.seqs) {
+    for (char c : s) {
+      EXPECT_NE(valid.find(c), std::string::npos) << c;
+    }
+  }
+}
+
+TEST(Gen, FamilyFractionRespected) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 1000;
+  cfg.family_fraction = 0.6;
+  const auto d = pg::generate_proteins(cfg);
+  std::size_t in_family = 0;
+  for (auto f : d.family) in_family += f != pg::Dataset::kBackground ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(in_family), 600.0, 30.0);
+}
+
+TEST(Gen, FamiliesAreContiguousAndMultiMember) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 500;
+  const auto d = pg::generate_proteins(cfg);
+  std::set<std::uint32_t> seen;
+  std::uint32_t prev = pg::Dataset::kBackground;
+  for (auto f : d.family) {
+    if (f == pg::Dataset::kBackground) continue;
+    if (f != prev) {
+      EXPECT_TRUE(seen.insert(f).second) << "family " << f << " not contiguous";
+      prev = f;
+    }
+  }
+  EXPECT_GT(seen.size(), 5u);
+}
+
+TEST(Gen, IntraFamilyPairCount) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 300;
+  const auto d = pg::generate_proteins(cfg);
+  // Independent recount.
+  std::map<std::uint32_t, std::uint64_t> sizes;
+  for (auto f : d.family) {
+    if (f != pg::Dataset::kBackground) ++sizes[f];
+  }
+  std::uint64_t expect = 0;
+  for (const auto& [f, n] : sizes) expect += n * (n - 1) / 2;
+  EXPECT_EQ(pg::count_intra_family_pairs(d), expect);
+  EXPECT_GT(expect, 0u);
+}
+
+TEST(Gen, TotalResidues) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 50;
+  const auto d = pg::generate_proteins(cfg);
+  std::uint64_t sum = 0;
+  for (const auto& s : d.seqs) sum += s.size();
+  EXPECT_EQ(d.total_residues(), sum);
+}
+
+TEST(Gen, FragmentsPresentWhenEnabled) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 800;
+  cfg.fragment_prob = 0.5;
+  const auto d = pg::generate_proteins(cfg);
+  int frags = 0;
+  for (const auto& id : d.ids) {
+    frags += id.find("_frag") != std::string::npos ? 1 : 0;
+  }
+  EXPECT_GT(frags, 50);
+}

@@ -1,0 +1,166 @@
+// Load-balancing scheme tests (§VI-B): block categorisation and the
+// exactly-once alignment guarantee both schemes must provide.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/load_balance.hpp"
+
+namespace pc = pastis::core;
+using pc::BlockCategory;
+using pc::BlockPlan;
+using pc::LoadBalanceScheme;
+using pastis::sparse::Index;
+
+TEST(BlockPlan, UnblockedSinglePlan) {
+  const BlockPlan plan(100, 1, 1, LoadBalanceScheme::kTriangularity);
+  ASSERT_EQ(plan.blocks().size(), 1u);
+  const auto& b = plan.blocks()[0];
+  EXPECT_EQ(b.row0, 0u);
+  EXPECT_EQ(b.row1, 100u);
+  EXPECT_EQ(b.category, BlockCategory::kPartial);
+}
+
+TEST(BlockPlan, IndexBasedComputesAllBlocks) {
+  for (int br : {1, 3, 5}) {
+    for (int bc : {1, 2, 7}) {
+      const BlockPlan plan(64, br, bc, LoadBalanceScheme::kIndexBased);
+      EXPECT_EQ(plan.computed_blocks(), br * bc);
+    }
+  }
+}
+
+TEST(BlockPlan, TriangularityAvoidsLowerBlocks) {
+  // Square blocking: br=bc=b computes b*(b+1)/2 blocks (diagonal + upper).
+  for (int b : {2, 4, 8}) {
+    const BlockPlan plan(256, b, b, LoadBalanceScheme::kTriangularity);
+    EXPECT_EQ(plan.computed_blocks(), b * (b + 1) / 2) << "b=" << b;
+  }
+}
+
+TEST(BlockPlan, TriangularityCategories4x4) {
+  const BlockPlan plan(64, 4, 4, LoadBalanceScheme::kTriangularity);
+  std::map<std::pair<int, int>, BlockCategory> cats;
+  for (const auto& b : plan.blocks()) cats[{b.r, b.c}] = b.category;
+  // Diagonal blocks are partial; everything above is full.
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const auto it = cats.find({r, c});
+      if (c < r) {
+        EXPECT_EQ(it, cats.end()) << "(" << r << "," << c << ") not avoided";
+      } else if (c == r) {
+        ASSERT_NE(it, cats.end());
+        EXPECT_EQ(it->second, BlockCategory::kPartial);
+      } else {
+        ASSERT_NE(it, cats.end());
+        EXPECT_EQ(it->second, BlockCategory::kFull);
+      }
+    }
+  }
+}
+
+TEST(BlockPlan, FullBlocksGrowQuadraticallyPartialLinearly) {
+  // §VI-B: "the number of full blocks grows quadratically with increasing
+  // number of blocks while the number of partial blocks grow linearly."
+  auto count = [](int b, BlockCategory cat) {
+    const BlockPlan plan(1 << 14, b, b, LoadBalanceScheme::kTriangularity);
+    int n = 0;
+    for (const auto& blk : plan.blocks()) n += blk.category == cat ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(count(8, BlockCategory::kPartial), 8);
+  EXPECT_EQ(count(16, BlockCategory::kPartial), 16);
+  EXPECT_EQ(count(8, BlockCategory::kFull), 8 * 7 / 2);
+  EXPECT_EQ(count(16, BlockCategory::kFull), 16 * 15 / 2);
+}
+
+TEST(BlockPlan, IndexParityRuleMatchesPaper) {
+  // Lower triangle: keep when both odd or both even; upper: keep when
+  // parities differ (Fig. 6 right).
+  EXPECT_TRUE(BlockPlan::index_based_keep(3, 1));   // lower, both odd
+  EXPECT_TRUE(BlockPlan::index_based_keep(4, 2));   // lower, both even
+  EXPECT_FALSE(BlockPlan::index_based_keep(4, 1));  // lower, mixed
+  EXPECT_TRUE(BlockPlan::index_based_keep(1, 4));   // upper, mixed
+  EXPECT_FALSE(BlockPlan::index_based_keep(1, 3));  // upper, both odd
+  EXPECT_FALSE(BlockPlan::index_based_keep(2, 2));  // diagonal never
+}
+
+TEST(BlockPlan, IndexRuleExactlyOncePerPair) {
+  const Index n = 101;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      const int kept = (BlockPlan::index_based_keep(i, j) ? 1 : 0) +
+                       (BlockPlan::index_based_keep(j, i) ? 1 : 0);
+      EXPECT_EQ(kept, 1) << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+struct PlanCase {
+  Index n;
+  int br, bc;
+  LoadBalanceScheme scheme;
+};
+
+class PlanSweep : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanSweep, EveryPairAlignedExactlyOnce) {
+  // The fundamental §VI-B invariant: over all computed blocks, each
+  // unordered pair {i, j} (i != j) of a dense symmetric support is aligned
+  // exactly once, and self-pairs never.
+  const auto c = GetParam();
+  const BlockPlan plan(c.n, c.br, c.bc, c.scheme);
+  std::map<std::pair<Index, Index>, int> aligned;
+  for (const auto& blk : plan.blocks()) {
+    for (Index i = blk.row0; i < blk.row1; ++i) {
+      for (Index j = blk.col0; j < blk.col1; ++j) {
+        if (plan.should_align(blk, i, j)) {
+          const auto key = i < j ? std::make_pair(i, j) : std::make_pair(j, i);
+          EXPECT_NE(i, j) << "self pair aligned";
+          ++aligned[key];
+        }
+      }
+    }
+  }
+  EXPECT_EQ(aligned.size(), std::size_t(c.n) * (c.n - 1) / 2);
+  for (const auto& [key, count] : aligned) {
+    EXPECT_EQ(count, 1) << "pair (" << key.first << "," << key.second << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, PlanSweep,
+    ::testing::Values(
+        PlanCase{60, 1, 1, LoadBalanceScheme::kIndexBased},
+        PlanCase{60, 1, 1, LoadBalanceScheme::kTriangularity},
+        PlanCase{60, 4, 4, LoadBalanceScheme::kIndexBased},
+        PlanCase{60, 4, 4, LoadBalanceScheme::kTriangularity},
+        PlanCase{61, 3, 5, LoadBalanceScheme::kIndexBased},
+        PlanCase{61, 3, 5, LoadBalanceScheme::kTriangularity},
+        PlanCase{53, 7, 2, LoadBalanceScheme::kIndexBased},
+        PlanCase{53, 7, 2, LoadBalanceScheme::kTriangularity},
+        PlanCase{64, 8, 8, LoadBalanceScheme::kIndexBased},
+        PlanCase{64, 8, 8, LoadBalanceScheme::kTriangularity},
+        PlanCase{17, 20, 20, LoadBalanceScheme::kIndexBased},
+        PlanCase{17, 20, 20, LoadBalanceScheme::kTriangularity}));
+
+TEST(BlockPlan, RejectsBadBlocking) {
+  EXPECT_THROW(BlockPlan(10, 0, 1, LoadBalanceScheme::kIndexBased),
+               std::invalid_argument);
+  EXPECT_THROW(BlockPlan(10, 1, -2, LoadBalanceScheme::kIndexBased),
+               std::invalid_argument);
+}
+
+TEST(BlockPlan, BlocksCoverTheMatrixForIndexScheme) {
+  const BlockPlan plan(97, 5, 3, LoadBalanceScheme::kIndexBased);
+  std::set<std::pair<Index, Index>> covered;
+  for (const auto& b : plan.blocks()) {
+    for (Index i = b.row0; i < b.row1; ++i) {
+      for (Index j = b.col0; j < b.col1; ++j) {
+        EXPECT_TRUE(covered.insert({i, j}).second) << "overlap at " << i << "," << j;
+      }
+    }
+  }
+  EXPECT_EQ(covered.size(), 97u * 97u);
+}

@@ -1,0 +1,175 @@
+// Unit tests for the DCSR local sparse matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sparse/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ps = pastis::sparse;
+
+using IntMat = ps::SpMat<int>;
+using Triples = std::vector<ps::Triple<int>>;
+
+namespace {
+
+IntMat random_matrix(ps::Index nrows, ps::Index ncols, double density,
+                     std::uint64_t seed) {
+  pastis::util::Xoshiro256 rng(seed);
+  Triples t;
+  for (ps::Index i = 0; i < nrows; ++i) {
+    for (ps::Index j = 0; j < ncols; ++j) {
+      if (rng.chance(density)) {
+        t.push_back({i, j, static_cast<int>(rng.below(9)) + 1});
+      }
+    }
+  }
+  return IntMat::from_triples(nrows, ncols, std::move(t));
+}
+
+}  // namespace
+
+TEST(SpMat, EmptyMatrix) {
+  IntMat m(5, 7);
+  EXPECT_EQ(m.nrows(), 5u);
+  EXPECT_EQ(m.ncols(), 7u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.n_nonempty_rows(), 0u);
+}
+
+TEST(SpMat, FromTriplesSortsAnyOrder) {
+  Triples t = {{2, 1, 5}, {0, 3, 7}, {2, 0, 1}, {0, 0, 2}};
+  auto m = IntMat::from_triples(3, 4, t);
+  EXPECT_EQ(m.nnz(), 4u);
+  auto out = m.to_triples();
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.row != b.row ? a.row < b.row
+                                                     : a.col < b.col;
+                             }));
+}
+
+TEST(SpMat, FromTriplesCombinesDuplicatesWithAdd) {
+  Triples t = {{1, 1, 5}, {1, 1, 3}, {0, 0, 1}};
+  auto m = IntMat::from_triples(2, 2, t, [](int& a, const int& b) { a += b; });
+  EXPECT_EQ(m.nnz(), 2u);
+  const auto out = m.to_triples();
+  EXPECT_EQ(out[1].val, 8);
+}
+
+TEST(SpMat, FromTriplesDefaultKeepsLast) {
+  Triples t = {{0, 0, 1}, {0, 0, 9}};
+  auto m = IntMat::from_triples(1, 1, t);
+  EXPECT_EQ(m.to_triples()[0].val, 9);
+}
+
+TEST(SpMat, FromTriplesRejectsOutOfRange) {
+  Triples t = {{5, 0, 1}};
+  EXPECT_THROW(IntMat::from_triples(3, 3, t), std::out_of_range);
+  Triples t2 = {{0, 9, 1}};
+  EXPECT_THROW(IntMat::from_triples(3, 3, t2), std::out_of_range);
+}
+
+TEST(SpMat, FindRowBinarySearch) {
+  Triples t = {{1, 0, 1}, {5, 2, 2}, {100, 1, 3}};
+  auto m = IntMat::from_triples(200, 3, t);
+  EXPECT_NE(m.find_row(1), IntMat::npos);
+  EXPECT_NE(m.find_row(5), IntMat::npos);
+  EXPECT_NE(m.find_row(100), IntMat::npos);
+  EXPECT_EQ(m.find_row(0), IntMat::npos);
+  EXPECT_EQ(m.find_row(50), IntMat::npos);
+  EXPECT_EQ(m.find_row(199), IntMat::npos);
+}
+
+TEST(SpMat, HypersparseStorageIsNnzBounded) {
+  // A matrix with a huge dimension but 3 nonzeros must not allocate
+  // dimension-sized arrays (the DCSC/DCSR rationale; paper's k-mer matrix
+  // has 244M columns).
+  Triples t = {{0, 0, 1}, {1000000, 1, 2}, {4000000000u, 2, 3}};
+  auto m = IntMat::from_triples(4000000001u, 3, t);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_LT(m.bytes(), 1024u);
+}
+
+TEST(SpMat, TransposeRoundTrip) {
+  auto m = random_matrix(23, 17, 0.2, 42);
+  auto tt = m.transposed().transposed();
+  EXPECT_TRUE(m == tt);
+}
+
+TEST(SpMat, TransposeMapsCoordinates) {
+  Triples t = {{1, 4, 9}};
+  auto m = IntMat::from_triples(3, 6, t);
+  const auto mt = m.transposed();
+  EXPECT_EQ(mt.nrows(), 6u);
+  EXPECT_EQ(mt.ncols(), 3u);
+  const auto out = mt.to_triples();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row, 4u);
+  EXPECT_EQ(out[0].col, 1u);
+  EXPECT_EQ(out[0].val, 9);
+}
+
+TEST(SpMat, PrunedKeepsPredicate) {
+  auto m = random_matrix(30, 30, 0.3, 7);
+  auto upper = m.pruned([](ps::Index i, ps::Index j, int) { return i < j; });
+  upper.for_each([](ps::Index i, ps::Index j, int) { EXPECT_LT(i, j); });
+  auto none = m.pruned([](ps::Index, ps::Index, int) { return false; });
+  EXPECT_EQ(none.nnz(), 0u);
+}
+
+TEST(SpMat, ExtractReindexesBlock) {
+  auto m = random_matrix(40, 40, 0.25, 11);
+  auto blk = m.extract(10, 30, 5, 25);
+  EXPECT_EQ(blk.nrows(), 20u);
+  EXPECT_EQ(blk.ncols(), 20u);
+  // Every extracted element matches the original at the offset position.
+  std::uint64_t count = 0;
+  m.for_each([&](ps::Index i, ps::Index j, int) {
+    if (i >= 10 && i < 30 && j >= 5 && j < 25) ++count;
+  });
+  EXPECT_EQ(blk.nnz(), count);
+}
+
+TEST(SpMat, ExtractThenReassembleEqualsOriginal) {
+  auto m = random_matrix(20, 20, 0.3, 13);
+  Triples merged;
+  for (ps::Index r0 : {0u, 10u}) {
+    for (ps::Index c0 : {0u, 10u}) {
+      auto blk = m.extract(r0, r0 + 10, c0, c0 + 10);
+      blk.for_each([&](ps::Index i, ps::Index j, int v) {
+        merged.push_back({i + r0, j + c0, v});
+      });
+    }
+  }
+  EXPECT_TRUE(IntMat::from_triples(20, 20, merged) == m);
+}
+
+TEST(SpMat, ForEachVisitsRowMajor) {
+  auto m = random_matrix(15, 15, 0.4, 17);
+  ps::Index last_row = 0, last_col = 0;
+  bool first = true;
+  m.for_each([&](ps::Index i, ps::Index j, int) {
+    if (!first) {
+      EXPECT_TRUE(i > last_row || (i == last_row && j > last_col));
+    }
+    last_row = i;
+    last_col = j;
+    first = false;
+  });
+}
+
+TEST(SpMat, EqualityDetectsValueDifference) {
+  Triples t1 = {{0, 0, 1}};
+  Triples t2 = {{0, 0, 2}};
+  EXPECT_FALSE(IntMat::from_triples(1, 1, t1) == IntMat::from_triples(1, 1, t2));
+}
+
+TEST(TripleHelpers, SortAndCombine) {
+  Triples t = {{1, 1, 4}, {0, 0, 1}, {1, 1, 6}, {0, 1, 2}};
+  ps::sort_triples(t);
+  ps::combine_duplicates(t, [](int& a, const int& b) { a += b; });
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[2].val, 10);
+}

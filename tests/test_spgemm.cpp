@@ -1,0 +1,206 @@
+// SpGEMM kernel tests: hash and heap kernels against a dense reference,
+// against each other, and over non-arithmetic semirings.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "sparse/spgemm.hpp"
+#include "util/rng.hpp"
+
+namespace ps = pastis::sparse;
+
+using IntMat = ps::SpMat<int>;
+
+namespace {
+
+IntMat random_matrix(ps::Index nrows, ps::Index ncols, double density,
+                     std::uint64_t seed) {
+  pastis::util::Xoshiro256 rng(seed);
+  std::vector<ps::Triple<int>> t;
+  for (ps::Index i = 0; i < nrows; ++i) {
+    for (ps::Index j = 0; j < ncols; ++j) {
+      if (rng.chance(density)) {
+        t.push_back({i, j, static_cast<int>(rng.below(5)) + 1});
+      }
+    }
+  }
+  return IntMat::from_triples(nrows, ncols, std::move(t));
+}
+
+/// Dense reference multiply over (+, *).
+std::vector<std::vector<int>> dense_multiply(const IntMat& A, const IntMat& B) {
+  std::vector<std::vector<int>> dA(A.nrows(), std::vector<int>(A.ncols(), 0));
+  std::vector<std::vector<int>> dB(B.nrows(), std::vector<int>(B.ncols(), 0));
+  A.for_each([&](ps::Index i, ps::Index j, int v) { dA[i][j] = v; });
+  B.for_each([&](ps::Index i, ps::Index j, int v) { dB[i][j] = v; });
+  std::vector<std::vector<int>> C(A.nrows(), std::vector<int>(B.ncols(), 0));
+  for (ps::Index i = 0; i < A.nrows(); ++i) {
+    for (ps::Index k = 0; k < A.ncols(); ++k) {
+      if (dA[i][k] == 0) continue;
+      for (ps::Index j = 0; j < B.ncols(); ++j) {
+        C[i][j] += dA[i][k] * dB[k][j];
+      }
+    }
+  }
+  return C;
+}
+
+void expect_equals_dense(const IntMat& C,
+                         const std::vector<std::vector<int>>& ref) {
+  std::uint64_t ref_nnz = 0;
+  for (const auto& row : ref) {
+    for (int v : row) ref_nnz += v != 0 ? 1 : 0;
+  }
+  EXPECT_EQ(C.nnz(), ref_nnz);
+  C.for_each([&](ps::Index i, ps::Index j, int v) {
+    EXPECT_EQ(v, ref[i][j]) << "mismatch at (" << i << "," << j << ")";
+  });
+}
+
+}  // namespace
+
+struct SpGemmCase {
+  ps::Index m, k, n;
+  double da, db;
+  std::uint64_t seed;
+};
+
+class SpGemmSweep : public ::testing::TestWithParam<SpGemmCase> {};
+
+TEST_P(SpGemmSweep, HashMatchesDenseReference) {
+  const auto c = GetParam();
+  auto A = random_matrix(c.m, c.k, c.da, c.seed);
+  auto B = random_matrix(c.k, c.n, c.db, c.seed + 1);
+  auto C = ps::spgemm_hash<ps::PlusTimes<int>>(A, B);
+  expect_equals_dense(C, dense_multiply(A, B));
+}
+
+TEST_P(SpGemmSweep, HeapMatchesDenseReference) {
+  const auto c = GetParam();
+  auto A = random_matrix(c.m, c.k, c.da, c.seed + 2);
+  auto B = random_matrix(c.k, c.n, c.db, c.seed + 3);
+  auto C = ps::spgemm_heap<ps::PlusTimes<int>>(A, B);
+  expect_equals_dense(C, dense_multiply(A, B));
+}
+
+TEST_P(SpGemmSweep, HashAndHeapAgree) {
+  const auto c = GetParam();
+  auto A = random_matrix(c.m, c.k, c.da, c.seed + 4);
+  auto B = random_matrix(c.k, c.n, c.db, c.seed + 5);
+  ps::SpGemmStats sh, sp;
+  auto Ch = ps::spgemm_hash<ps::PlusTimes<int>>(A, B, &sh);
+  auto Cp = ps::spgemm_heap<ps::PlusTimes<int>>(A, B, &sp);
+  EXPECT_TRUE(Ch == Cp);
+  EXPECT_EQ(sh.products, sp.products);
+  EXPECT_EQ(sh.out_nnz, sp.out_nnz);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpGemmSweep,
+    ::testing::Values(SpGemmCase{1, 1, 1, 1.0, 1.0, 1},
+                      SpGemmCase{8, 8, 8, 0.5, 0.5, 2},
+                      SpGemmCase{16, 32, 8, 0.2, 0.3, 3},
+                      SpGemmCase{64, 16, 64, 0.1, 0.1, 4},
+                      SpGemmCase{100, 100, 100, 0.05, 0.05, 5},
+                      SpGemmCase{30, 200, 30, 0.02, 0.02, 6},
+                      SpGemmCase{50, 50, 50, 0.0, 0.5, 7},   // empty A
+                      SpGemmCase{40, 40, 40, 0.9, 0.9, 8})); // dense-ish
+
+TEST(SpGemm, DimensionMismatchThrows) {
+  auto A = random_matrix(4, 5, 0.5, 1);
+  auto B = random_matrix(6, 4, 0.5, 2);
+  EXPECT_THROW(ps::spgemm_hash<ps::PlusTimes<int>>(A, B),
+               std::invalid_argument);
+  EXPECT_THROW(ps::spgemm_heap<ps::PlusTimes<int>>(A, B),
+               std::invalid_argument);
+}
+
+TEST(SpGemm, ProductCountMatchesDefinition) {
+  // products = Σ_k nnz(A(:,k)) * nnz(B(k,:)).
+  auto A = random_matrix(20, 20, 0.3, 9);
+  auto B = random_matrix(20, 20, 0.3, 10);
+  std::vector<std::uint64_t> a_col(20, 0), b_row(20, 0);
+  A.for_each([&](ps::Index, ps::Index j, int) { ++a_col[j]; });
+  B.for_each([&](ps::Index i, ps::Index, int) { ++b_row[i]; });
+  std::uint64_t expected = 0;
+  for (int k = 0; k < 20; ++k) expected += a_col[k] * b_row[k];
+
+  ps::SpGemmStats stats;
+  (void)ps::spgemm_hash<ps::PlusTimes<int>>(A, B, &stats);
+  EXPECT_EQ(stats.products, expected);
+  EXPECT_GE(stats.compression_factor(), 1.0);
+}
+
+TEST(SpGemm, MinPlusSemiring) {
+  // Shortest one-hop paths: C(i,j) = min_k A(i,k) + B(k,j).
+  using MP = ps::MinPlus<int>;
+  std::vector<ps::Triple<int>> ta = {{0, 0, 3}, {0, 1, 1}};
+  std::vector<ps::Triple<int>> tb = {{0, 0, 2}, {1, 0, 5}};
+  auto A = IntMat::from_triples(1, 2, ta);
+  auto B = IntMat::from_triples(2, 1, tb);
+  auto C = ps::spgemm_hash<MP>(A, B);
+  ASSERT_EQ(C.nnz(), 1u);
+  EXPECT_EQ(C.to_triples()[0].val, 5);  // min(3+2, 1+5)
+  auto C2 = ps::spgemm_heap<MP>(A, B);
+  EXPECT_TRUE(C == C2);
+}
+
+TEST(SpGemm, BoolSemiring) {
+  using BM = ps::SpMat<std::uint8_t>;
+  std::vector<ps::Triple<std::uint8_t>> ta = {{0, 0, 1}, {1, 1, 1}};
+  std::vector<ps::Triple<std::uint8_t>> tb = {{0, 1, 1}, {1, 1, 1}};
+  auto A = BM::from_triples(2, 2, ta);
+  auto B = BM::from_triples(2, 2, tb);
+  auto C = ps::spgemm_hash<ps::BoolOrAnd>(A, B);
+  EXPECT_EQ(C.nnz(), 2u);
+  C.for_each([](ps::Index, ps::Index, std::uint8_t v) { EXPECT_EQ(v, 1); });
+}
+
+TEST(SpGemm, EmptyOperands) {
+  IntMat A(10, 10), B(10, 10);
+  auto C = ps::spgemm_hash<ps::PlusTimes<int>>(A, B);
+  EXPECT_EQ(C.nnz(), 0u);
+  EXPECT_EQ(C.nrows(), 10u);
+  EXPECT_EQ(C.ncols(), 10u);
+}
+
+TEST(SpGemm, HypersparseInnerDimension) {
+  // Simulates the k-mer matrix shape: tiny row count, huge inner dimension.
+  std::vector<ps::Triple<int>> ta = {{0, 1000000, 2}, {1, 1000000, 3},
+                                     {1, 99999999, 1}};
+  std::vector<ps::Triple<int>> tb = {{1000000, 0, 5}, {99999999, 1, 7}};
+  auto A = IntMat::from_triples(2, 100000000, ta);
+  auto B = IntMat::from_triples(100000000, 2, tb);
+  auto C = ps::spgemm_hash<ps::PlusTimes<int>>(A, B);
+  EXPECT_EQ(C.nnz(), 3u);
+  const auto t = C.to_triples();
+  EXPECT_EQ(t[0].val, 10);  // (0,0) = 2*5
+  EXPECT_EQ(t[1].val, 15);  // (1,0) = 3*5
+  EXPECT_EQ(t[2].val, 7);   // (1,1) = 1*7
+}
+
+TEST(SpGemm, AddMergeCombinesParts) {
+  auto A = random_matrix(10, 10, 0.3, 20);
+  auto B = random_matrix(10, 10, 0.3, 21);
+  std::vector<IntMat> parts;
+  parts.push_back(A);
+  parts.push_back(B);
+  auto merged =
+      ps::add_merge(parts, 10, 10, [](int& a, const int& b) { a += b; });
+  merged.for_each([&](ps::Index i, ps::Index j, int v) {
+    int expect = 0;
+    A.for_each([&](ps::Index ai, ps::Index aj, int av) {
+      if (ai == i && aj == j) expect += av;
+    });
+    B.for_each([&](ps::Index bi, ps::Index bj, int bv) {
+      if (bi == i && bj == j) expect += bv;
+    });
+    EXPECT_EQ(v, expect);
+  });
+}
+
+TEST(SpGemm, KernelNames) {
+  EXPECT_EQ(ps::to_string(ps::SpGemmKernel::kHash), "hash");
+  EXPECT_EQ(ps::to_string(ps::SpGemmKernel::kHeap), "heap");
+}
