@@ -3,7 +3,7 @@
 #include <atomic>
 #include <stdexcept>
 
-#include "kmer/extract.hpp"
+#include "core/stages.hpp"
 #include "kmer/nearest.hpp"
 
 namespace pastis::core {
@@ -32,22 +32,10 @@ dist::DistSpMat<KmerPos> build_kmer_matrix(sim::SimRuntime& rt,
 
   auto extract_one = [&](std::size_t i) {
     const auto id = static_cast<sparse::Index>(i);
-    auto hits = kmer::extract_distinct_kmers(store.seq(id), alphabet, codec);
-    auto& out = per_seq[i];
-    out.reserve(hits.size() * (1 + static_cast<std::size_t>(cfg.subs_kmers)));
-    std::uint64_t n_subs = 0;
-    for (const auto& h : hits) {
-      out.push_back({id, static_cast<sparse::Index>(h.code), KmerPos{h.pos}});
-      if (cfg.subs_kmers > 0) {
-        for (const auto& nb :
-             neighbors.nearest(h.code, static_cast<std::size_t>(cfg.subs_kmers))) {
-          out.push_back(
-              {id, static_cast<sparse::Index>(nb.code), KmerPos{h.pos}});
-          ++n_subs;
-        }
-      }
-    }
-    exact.fetch_add(hits.size(), std::memory_order_relaxed);
+    const auto [n_exact, n_subs] =
+        extract_sequence_kmers(store.seq(id), id, alphabet, codec, neighbors,
+                               cfg.subs_kmers, per_seq[i]);
+    exact.fetch_add(n_exact, std::memory_order_relaxed);
     subs.fetch_add(n_subs, std::memory_order_relaxed);
   };
   if (pool != nullptr) {
@@ -66,15 +54,10 @@ dist::DistSpMat<KmerPos> build_kmer_matrix(sim::SimRuntime& rt,
     v.shrink_to_fit();
   }
 
-  // Duplicate (i, code) entries (an exact k-mer colliding with a
-  // substitute, or two substitutes) keep the smallest position — a
-  // commutative choice, preserving determinism.
+  // Duplicate (i, code) entries keep the smallest position (keep_min_pos).
   auto A = dist::DistSpMat<KmerPos>::from_global_triples(
       rt.grid(), nrows, ncols, triples,
-      [](KmerPos& acc, const KmerPos& v) {
-        if (v.pos < acc.pos) acc = v;
-      },
-      pool);
+      [](KmerPos& acc, const KmerPos& v) { keep_min_pos(acc, v); }, pool);
 
   // Cost: each rank streams its owned sequences during extraction and its
   // local block during assembly.

@@ -6,6 +6,7 @@
 #include "core/kmer_matrix.hpp"
 #include "core/load_balance.hpp"
 #include "core/seq_store.hpp"
+#include "core/stages.hpp"
 #include "dist/summa.hpp"
 #include "io/fasta.hpp"
 #include "util/log.hpp"
@@ -142,16 +143,7 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
   }
 
   // ---- block loop -----------------------------------------------------------
-  const align::Scoring scoring = cfg.make_scoring();
-  align::BatchAligner::Config bcfg;
-  bcfg.kind = cfg.align_kind;
-  bcfg.devices = model_.gpus_per_node;
-  bcfg.cups_per_device = model_.cups_per_gpu;
-  bcfg.pack_seconds_per_pair = model_.pack_s_per_pair;
-  bcfg.band_half_width = cfg.band_half_width;
-  bcfg.xdrop = cfg.xdrop;
-  bcfg.seed_len = static_cast<std::uint32_t>(cfg.k);
-  const align::BatchAligner aligner(scoring, bcfg);
+  const align::BatchAligner aligner = make_batch_aligner(cfg, model_);
 
   // Discovery-compute dilations: the blocked-SUMMA split penalty (§VI-A,
   // always active) and the pre-blocking CPU-sharing contention (§VI-C).
@@ -228,19 +220,7 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
         if (!plan.should_align(blk, i, j)) return;
         // Canonical orientation (query = smaller id) keeps alignment
         // results identical across schemes and blockings.
-        align::AlignTask t;
-        if (i < j) {
-          t.q_id = i;
-          t.r_id = j;
-          t.seed_q = ck.first.pos_a;
-          t.seed_r = ck.first.pos_b;
-        } else {
-          t.q_id = j;
-          t.r_id = i;
-          t.seed_q = ck.first.pos_b;
-          t.seed_r = ck.first.pos_a;
-        }
-        tasks.push_back(t);
+        tasks.push_back(canonical_task(i, j, ck));
       });
       clock.overlap_nnz += local.nnz();
     });
@@ -271,35 +251,19 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
           tasks.size());
 
       for (std::size_t t = 0; t < tasks.size(); ++t) {
-        const auto& res = results[t];
-        const double ani = res.identity();
-        const double cov = res.coverage(store.seq(tasks[t].q_id).size(),
-                                        store.seq(tasks[t].r_id).size());
-        if (ani >= cfg.ani_threshold && cov >= cfg.cov_threshold) {
-          rank_edges[static_cast<std::size_t>(rank)].push_back(
-              {tasks[t].q_id, tasks[t].r_id, static_cast<float>(ani),
-               static_cast<float>(cov), res.score});
+        if (auto edge = edge_if_similar(tasks[t], results[t],
+                                        store.seq(tasks[t].q_id).size(),
+                                        store.seq(tasks[t].r_id).size(), cfg)) {
+          rank_edges[static_cast<std::size_t>(rank)].push_back(*edge);
           ++clock.similar_pairs;
         }
       }
 
       // Charge the device model (with pre-blocking contention dilation).
-      // Device lanes are modeled as balanced: a production-scale block puts
-      // millions of pairs on each GPU, so per-device imbalance vanishes
-      // (rank-level imbalance — the kind the paper reports — remains).
       const align::BatchStats bstats = aligner.stats_for(seq_of, tasks, results);
-      const std::uint64_t launches =
-          tasks.empty() ? 0
-                        : (tasks.size() + model_.pairs_per_launch - 1) /
-                              model_.pairs_per_launch;
-      const double kernel =
-          static_cast<double>(bstats.cells) /
-          (model_.cups_per_gpu *
-           static_cast<double>(std::max(1, model_.gpus_per_node)));
+      const double kernel = balanced_kernel_seconds(model_, bstats.cells);
       const double align_s =
-          (kernel + static_cast<double>(launches) * model_.kernel_launch_s +
-           static_cast<double>(tasks.size()) * model_.pack_s_per_pair) *
-          da;
+          modeled_align_seconds(model_, bstats, tasks.size(), da);
       clock.charge(Comp::kAlign, align_s);
       clock.align_kernel_seconds += kernel;
       clock.align_cells += bstats.cells;

@@ -1,0 +1,76 @@
+#include "core/stages.hpp"
+
+#include <algorithm>
+
+#include "kmer/extract.hpp"
+
+namespace pastis::core {
+
+std::pair<std::uint64_t, std::uint64_t> extract_sequence_kmers(
+    std::string_view seq, sparse::Index row, const kmer::Alphabet& alphabet,
+    const kmer::KmerCodec& codec, const kmer::NeighborGenerator& neighbors,
+    int subs_kmers, std::vector<sparse::Triple<KmerPos>>& out) {
+  const auto hits = kmer::extract_distinct_kmers(seq, alphabet, codec);
+  out.reserve(out.size() +
+              hits.size() * (1 + static_cast<std::size_t>(subs_kmers)));
+  std::uint64_t n_subs = 0;
+  for (const auto& h : hits) {
+    out.push_back({row, static_cast<sparse::Index>(h.code), KmerPos{h.pos}});
+    if (subs_kmers > 0) {
+      for (const auto& nb :
+           neighbors.nearest(h.code, static_cast<std::size_t>(subs_kmers))) {
+        out.push_back(
+            {row, static_cast<sparse::Index>(nb.code), KmerPos{h.pos}});
+        ++n_subs;
+      }
+    }
+  }
+  return {hits.size(), n_subs};
+}
+
+align::BatchAligner make_batch_aligner(const PastisConfig& cfg,
+                                       const sim::MachineModel& model) {
+  align::BatchAligner::Config bcfg;
+  bcfg.kind = cfg.align_kind;
+  bcfg.devices = model.gpus_per_node;
+  bcfg.cups_per_device = model.cups_per_gpu;
+  bcfg.pack_seconds_per_pair = model.pack_s_per_pair;
+  bcfg.band_half_width = cfg.band_half_width;
+  bcfg.xdrop = cfg.xdrop;
+  bcfg.seed_len = static_cast<std::uint32_t>(cfg.k);
+  return {cfg.make_scoring(), bcfg};
+}
+
+std::optional<io::SimilarityEdge> edge_if_similar(
+    const align::AlignTask& task, const align::AlignResult& result,
+    std::size_t len_q, std::size_t len_r, const PastisConfig& cfg) {
+  const double ani = result.identity();
+  const double cov = result.coverage(len_q, len_r);
+  if (ani < cfg.ani_threshold || cov < cfg.cov_threshold) return std::nullopt;
+  return io::SimilarityEdge{task.q_id, task.r_id, static_cast<float>(ani),
+                            static_cast<float>(cov), result.score};
+}
+
+double balanced_kernel_seconds(const sim::MachineModel& model,
+                               std::uint64_t cells) {
+  // Device lanes are modeled as balanced: a production-scale batch puts
+  // millions of pairs on each GPU, so per-device imbalance vanishes
+  // (rank-level imbalance — the kind the paper reports — remains).
+  return static_cast<double>(cells) /
+         (model.cups_per_gpu *
+          static_cast<double>(std::max(1, model.gpus_per_node)));
+}
+
+double modeled_align_seconds(const sim::MachineModel& model,
+                             const align::BatchStats& bstats, std::size_t pairs,
+                             double dilation) {
+  const std::uint64_t launches =
+      pairs == 0 ? 0
+                 : (pairs + model.pairs_per_launch - 1) / model.pairs_per_launch;
+  return (balanced_kernel_seconds(model, bstats.cells) +
+          static_cast<double>(launches) * model.kernel_launch_s +
+          static_cast<double>(pairs) * model.pack_s_per_pair) *
+         dilation;
+}
+
+}  // namespace pastis::core

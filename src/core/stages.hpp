@@ -1,0 +1,94 @@
+// Reusable stages of the discovery → alignment → filter flow.
+//
+// Two consumers drive the same machinery: the many-against-many pipeline
+// (core/pipeline.cpp, paper Fig. 4) and the query-serving engine
+// (index/query_engine.cpp, the §III annotation use case). Factoring the
+// stage logic here keeps the two bit-identical by construction — the
+// canonical task orientation, the ANI/coverage filter and the modeled
+// device-time formula are written exactly once.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "align/batch.hpp"
+#include "core/common_kmers.hpp"
+#include "core/config.hpp"
+#include "io/graph_io.hpp"
+#include "kmer/codec.hpp"
+#include "kmer/nearest.hpp"
+#include "sim/machine_model.hpp"
+#include "sparse/triple.hpp"
+
+namespace pastis::core {
+
+/// One sequence's k-mer-matrix nonzeros (Fig. 1 left): distinct k-mers at
+/// their first occurrence, plus the m nearest substitute neighbours when
+/// enabled (§V). Appends triples (row, k-mer code, position) to `out` and
+/// returns the {exact, substitute} hit counts. Every producer of a
+/// sequence-by-k-mer matrix — the pipeline's A, the index's Aᵀ_ref shards,
+/// the engine's per-batch A_query — MUST go through this function: the
+/// serving layer's bit-identity to the pipeline rests on the three sides
+/// extracting identically.
+std::pair<std::uint64_t, std::uint64_t> extract_sequence_kmers(
+    std::string_view seq, sparse::Index row, const kmer::Alphabet& alphabet,
+    const kmer::KmerCodec& codec, const kmer::NeighborGenerator& neighbors,
+    int subs_kmers, std::vector<sparse::Triple<KmerPos>>& out);
+
+/// The commutative combine for duplicate (sequence, k-mer) entries (an
+/// exact k-mer colliding with a substitute, or two substitutes): keep the
+/// smallest position. Order-independence preserves determinism.
+inline void keep_min_pos(KmerPos& acc, const KmerPos& v) {
+  if (v.pos < acc.pos) acc = v;
+}
+
+/// Canonical alignment task for the candidate at overlap-matrix element
+/// (i, j): the alignment query is always the smaller sequence id, and the
+/// seed pair follows the element's orientation. Keeping this in one place
+/// is what makes alignment results identical across schemes, blockings and
+/// serving paths (pipeline header comment; paper's reproducibility claim).
+[[nodiscard]] inline align::AlignTask canonical_task(sparse::Index i,
+                                                     sparse::Index j,
+                                                     const CommonKmers& ck) {
+  align::AlignTask t;
+  if (i < j) {
+    t.q_id = i;
+    t.r_id = j;
+    t.seed_q = ck.first.pos_a;
+    t.seed_r = ck.first.pos_b;
+  } else {
+    t.q_id = j;
+    t.r_id = i;
+    t.seed_q = ck.first.pos_b;
+    t.seed_r = ck.first.pos_a;
+  }
+  return t;
+}
+
+/// The ADEPT device aligner configured from the search parameters and the
+/// machine's accelerator constants (one construction for both consumers).
+[[nodiscard]] align::BatchAligner make_batch_aligner(
+    const PastisConfig& cfg, const sim::MachineModel& model);
+
+/// The similarity edge for an aligned pair, or nullopt if it fails the
+/// ANI/coverage thresholds (Table IV: 0.30 / 0.70).
+[[nodiscard]] std::optional<io::SimilarityEdge> edge_if_similar(
+    const align::AlignTask& task, const align::AlignResult& result,
+    std::size_t len_q, std::size_t len_r, const PastisConfig& cfg);
+
+/// Pure device-kernel seconds for `cells` DP updates spread over the node's
+/// balanced accelerators — the CUPS denominator (§VII).
+[[nodiscard]] double balanced_kernel_seconds(const sim::MachineModel& model,
+                                             std::uint64_t cells);
+
+/// Modeled device seconds for a batch of `pairs` alignments whose DP work
+/// is `bstats` — kernel time on balanced devices, per-launch latency and
+/// host packing, dilated by `dilation` (the §VI-C pre-blocking contention).
+[[nodiscard]] double modeled_align_seconds(const sim::MachineModel& model,
+                                           const align::BatchStats& bstats,
+                                           std::size_t pairs, double dilation);
+
+}  // namespace pastis::core

@@ -1,0 +1,100 @@
+// Sparse SUMMA over the simulated grid (paper §V-A / §VI-A).
+//
+// C = A ·_SR B proceeds in `side` stages: at stage s the tiles of A's grid
+// column s are broadcast along their grid rows and the tiles of B's grid row
+// s along their grid columns; every rank multiplies the received pair with a
+// local semiring SpGEMM and merges the √p stage outputs with the semiring
+// add. The modeled timeline charges per stage the tree-broadcast cost
+// (log √p depth, §VI-A's formula) and the local multiply converted through
+// the MachineModel's hash-SpGEMM rate; the stage merge is streamed.
+//
+// Results are exact for any grid: each scalar product A(i,k)·B(k,j) is
+// formed exactly once, and the stage-merge add order is harmless for the
+// order-independent adds this code base uses (see core/common_kmers.hpp).
+#pragma once
+
+#include <vector>
+
+#include "dist/distmat.hpp"
+#include "sim/clock.hpp"
+#include "sim/runtime.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace pastis::dist {
+
+struct SummaOptions {
+  sparse::SpGemmKernel kernel = sparse::SpGemmKernel::kHash;
+  /// Component the broadcasts + local multiplies are charged to.
+  sim::Comp charge = sim::Comp::kSpGemm;
+  /// Component the stage merge is charged to.
+  sim::Comp merge_charge = sim::Comp::kSpGemm;
+};
+
+template <sparse::SemiringLike SR>
+[[nodiscard]] DistSpMat<typename SR::value_type> summa(
+    sim::SimRuntime& rt, const DistSpMat<typename SR::left_type>& A,
+    const DistSpMat<typename SR::right_type>& B, SummaOptions opt = {},
+    sparse::SpGemmStats* stats = nullptr) {
+  using V = typename SR::value_type;
+  if (A.ncols() != B.nrows()) {
+    throw std::invalid_argument("summa: inner dimensions disagree");
+  }
+  const sim::ProcGrid& grid = rt.grid();
+  const int side = grid.side();
+  const int p = grid.size();
+
+  DistSpMat<V> C(grid, A.nrows(), B.ncols());
+  std::vector<sparse::SpGemmStats> rank_stats(static_cast<std::size_t>(p));
+
+  rt.spmd([&](int rank) {
+    const int gi = grid.row_of(rank);
+    const int gj = grid.col_of(rank);
+    auto& clock = rt.clock(rank);
+    auto& rstats = rank_stats[static_cast<std::size_t>(rank)];
+
+    std::vector<sparse::SpMat<V>> parts;
+    parts.reserve(static_cast<std::size_t>(side));
+    std::uint64_t part_bytes = 0;
+    for (int s = 0; s < side; ++s) {
+      const auto& a_tile = A.local(grid.rank_of(gi, s));
+      const auto& b_tile = B.local(grid.rank_of(s, gj));
+
+      // Stage broadcasts within the row/column teams (§VI-A: log √p tree
+      // depth per stage, charged to everyone in the team).
+      clock.charge(opt.charge, rt.model().bcast_time(a_tile.bytes(), side) +
+                                   rt.model().bcast_time(b_tile.bytes(), side));
+      clock.bytes_recv += a_tile.bytes() + b_tile.bytes();
+      if (grid.rank_of(gi, s) == rank) clock.bytes_sent += a_tile.bytes();
+      if (grid.rank_of(s, gj) == rank) clock.bytes_sent += b_tile.bytes();
+
+      if (a_tile.empty() || b_tile.empty()) continue;
+      sparse::SpGemmStats stage;
+      parts.push_back(sparse::spgemm<SR>(a_tile, b_tile, opt.kernel, &stage));
+      part_bytes += parts.back().bytes();
+      clock.charge(opt.charge, rt.model().spgemm_time(stage.products));
+      clock.spgemm_products += stage.products;
+      rstats.merge(stage);
+    }
+
+    auto& out = C.local(rank);
+    if (parts.size() == 1) {
+      out = std::move(parts.front());
+    } else if (!parts.empty()) {
+      out = sparse::add_merge(parts, C.local_nrows(rank), C.local_ncols(rank),
+                              [](V& acc, const V& v) { SR::add(acc, v); });
+    }
+    clock.charge(opt.merge_charge,
+                 rt.model().sparse_stream_time(part_bytes + out.bytes()));
+  });
+
+  if (stats != nullptr) {
+    for (const auto& rs : rank_stats) {
+      stats->products += rs.products;
+      stats->calls += rs.calls;
+    }
+    stats->out_nnz += C.nnz();
+  }
+  return C;
+}
+
+}  // namespace pastis::dist

@@ -1,0 +1,295 @@
+#include "index/index_io.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "kmer/codec.hpp"
+#include "sim/grid.hpp"
+#include "sparse/triple.hpp"
+
+namespace pastis::index {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'S', 'T', 'I', 'D', 'X', '\0'};
+constexpr char kFooter[8] = {'X', 'D', 'I', 'T', 'S', 'A', 'P', '\0'};
+
+/// Bytes one posting contributes to the logical in-memory estimate: DCSR
+/// stores per nonzero a column id (4), a payload (4) and, worst case, a
+/// row-directory entry (4) plus row-pointer slot (8).
+constexpr std::uint64_t kBytesPerPosting = 20;
+
+/// On-disk bytes per posting: (row u32, col u32, pos u32).
+constexpr std::uint64_t kDiskBytesPerPosting = 12;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is, const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) {
+    throw std::runtime_error(std::string("index_io: truncated file reading ") +
+                             what);
+  }
+  return v;
+}
+
+struct Header {
+  IndexParams params;
+  std::uint64_t n_refs = 0;
+  std::uint64_t ref_residues = 0;
+  std::uint32_t n_shards = 0;
+  std::uint64_t kmer_space = 0;
+  std::uint64_t total_nnz = 0;
+
+  [[nodiscard]] std::uint64_t logical_bytes() const {
+    return ref_residues + total_nnz * kBytesPerPosting;
+  }
+};
+
+void write_header(std::ostream& os, const Header& h) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kIndexFormatVersion);
+  write_pod<std::int32_t>(os, h.params.k);
+  write_pod<std::int32_t>(os, static_cast<std::int32_t>(h.params.alphabet));
+  write_pod<std::int32_t>(os, h.params.subs_kmers);
+  write_pod<std::int32_t>(os, h.params.subs_max_loss);
+  write_pod<std::int32_t>(os, static_cast<std::int32_t>(h.params.matrix));
+  write_pod<std::int32_t>(os, h.params.gap_open);
+  write_pod<std::int32_t>(os, h.params.gap_extend);
+  write_pod(os, h.n_refs);
+  write_pod(os, h.ref_residues);
+  write_pod(os, h.n_shards);
+  write_pod(os, h.kmer_space);
+  write_pod(os, h.total_nnz);
+}
+
+Header read_header(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("index_io: not a PASTIS index file (bad magic)");
+  }
+  const auto version = read_pod<std::uint32_t>(is, "version");
+  if (version != kIndexFormatVersion) {
+    throw std::runtime_error("index_io: unsupported index format version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kIndexFormatVersion) + ")");
+  }
+  Header h;
+  h.params.k = read_pod<std::int32_t>(is, "params.k");
+  // Enum fields must be range-checked here: casting an out-of-range value
+  // and handing it to Alphabet/Scoring is undefined behaviour, not an
+  // exception we could translate.
+  const auto alphabet_raw = read_pod<std::int32_t>(is, "params.alphabet");
+  if (alphabet_raw < 0 ||
+      alphabet_raw > static_cast<std::int32_t>(kmer::Alphabet::Kind::kMurphy10)) {
+    throw std::runtime_error("index_io: corrupt header: bad alphabet kind");
+  }
+  h.params.alphabet = static_cast<kmer::Alphabet::Kind>(alphabet_raw);
+  h.params.subs_kmers = read_pod<std::int32_t>(is, "params.subs_kmers");
+  h.params.subs_max_loss = read_pod<std::int32_t>(is, "params.subs_max_loss");
+  const auto matrix_raw = read_pod<std::int32_t>(is, "params.matrix");
+  if (matrix_raw < 0 ||
+      matrix_raw > static_cast<std::int32_t>(align::Scoring::Matrix::kPam250)) {
+    throw std::runtime_error("index_io: corrupt header: bad scoring matrix");
+  }
+  h.params.matrix = static_cast<align::Scoring::Matrix>(matrix_raw);
+  h.params.gap_open = read_pod<std::int32_t>(is, "params.gap_open");
+  h.params.gap_extend = read_pod<std::int32_t>(is, "params.gap_extend");
+  h.n_refs = read_pod<std::uint64_t>(is, "n_refs");
+  h.ref_residues = read_pod<std::uint64_t>(is, "ref_residues");
+  h.n_shards = read_pod<std::uint32_t>(is, "n_shards");
+  h.kmer_space = read_pod<std::uint64_t>(is, "kmer_space");
+  h.total_nnz = read_pod<std::uint64_t>(is, "total_nnz");
+  return h;
+}
+
+/// Re-throws the std::invalid_argument that corrupt param fields (k,
+/// alphabet, matrix out of range) trigger in downstream constructors as
+/// the std::runtime_error this module's contract promises for corruption.
+template <typename Fn>
+auto guard_corruption(Fn fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("index_io: corrupt header: ") +
+                             e.what());
+  }
+}
+
+}  // namespace
+
+void save_index(const std::string& path, const KmerIndex& index) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("index_io: cannot open for writing: " + path);
+  }
+
+  Header h;
+  h.params = index.params();
+  h.n_refs = index.n_refs();
+  h.ref_residues = index.ref_residues();
+  h.n_shards = static_cast<std::uint32_t>(index.n_shards());
+  h.kmer_space = index.kmer_space();
+  h.total_nnz = index.nnz();
+  write_header(os, h);
+
+  for (Index i = 0; i < index.n_refs(); ++i) {
+    write_pod<std::uint32_t>(os,
+                             static_cast<std::uint32_t>(index.ref(i).size()));
+  }
+  for (Index i = 0; i < index.n_refs(); ++i) {
+    const auto seq = index.ref(i);
+    os.write(seq.data(), static_cast<std::streamsize>(seq.size()));
+  }
+
+  std::vector<char> buf;
+  for (int s = 0; s < index.n_shards(); ++s) {
+    const auto& shard = index.shard(s);
+    write_pod<std::uint64_t>(os, shard.nnz());
+    // Pack the shard's postings into one fixed-width block (12 bytes per
+    // posting) and write it with a single call.
+    buf.resize(shard.nnz() * kDiskBytesPerPosting);
+    char* out = buf.data();
+    shard.for_each([&](Index row, Index col, const KmerPos& v) {
+      const std::uint32_t fields[3] = {row, col, v.pos};
+      std::memcpy(out, fields, sizeof(fields));
+      out += sizeof(fields);
+    });
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+
+  os.write(kFooter, sizeof(kFooter));
+  if (!os) {
+    throw std::runtime_error("index_io: write failed: " + path);
+  }
+}
+
+std::uint64_t peek_index_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("index_io: cannot open: " + path);
+  }
+  return read_header(is).logical_bytes();
+}
+
+KmerIndex load_index(const std::string& path, std::uint64_t max_bytes) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("index_io: cannot open: " + path);
+  }
+  const Header h = read_header(is);
+
+  // Header sanity before any allocation sized from it: every declared
+  // section must fit inside the file, or the header is corrupt (a
+  // bit-flipped count must throw, not trigger an exabyte allocation that
+  // would bypass the memory-budget gate below).
+  const std::uint64_t file_size = std::filesystem::file_size(path);
+  if (h.n_shards == 0 ||
+      h.n_refs > file_size / sizeof(std::uint32_t) ||
+      h.ref_residues > file_size ||
+      h.total_nnz > file_size / kDiskBytesPerPosting) {
+    throw std::runtime_error(
+        "index_io: header counts exceed the file size (corrupt header)");
+  }
+
+  // Memory-budget gate: decided from the header alone, before any posting
+  // is materialized.
+  if (max_bytes != 0 && h.logical_bytes() > max_bytes) {
+    throw std::runtime_error(
+        "index_io: index needs ~" + std::to_string(h.logical_bytes()) +
+        " logical bytes, over the " + std::to_string(max_bytes) +
+        "-byte budget");
+  }
+
+  std::vector<std::uint32_t> lengths(h.n_refs);
+  is.read(reinterpret_cast<char*>(lengths.data()),
+          static_cast<std::streamsize>(h.n_refs * sizeof(std::uint32_t)));
+  if (!is) {
+    throw std::runtime_error("index_io: truncated file reading ref lengths");
+  }
+  std::uint64_t residues = 0;
+  for (const auto len : lengths) residues += len;
+  if (residues != h.ref_residues) {
+    throw std::runtime_error("index_io: corrupt reference section");
+  }
+  std::vector<std::string> refs(h.n_refs);
+  for (std::uint64_t i = 0; i < h.n_refs; ++i) {
+    refs[i].resize(lengths[i]);
+    is.read(refs[i].data(), lengths[i]);
+  }
+  if (!is) {
+    throw std::runtime_error("index_io: truncated reference section");
+  }
+
+  guard_corruption([&] {
+    const kmer::Alphabet alphabet(h.params.alphabet);
+    const kmer::KmerCodec codec(alphabet.size(), h.params.k);
+    if (codec.space() != h.kmer_space) {
+      throw std::runtime_error("index_io: header k-mer space disagrees with k");
+    }
+  });
+
+  std::vector<sparse::SpMat<KmerPos>> shards;
+  shards.reserve(h.n_shards);
+  std::uint64_t total_nnz = 0;
+  std::vector<char> buf;
+  for (std::uint32_t s = 0; s < h.n_shards; ++s) {
+    const auto nnz = read_pod<std::uint64_t>(is, "shard nnz");
+    total_nnz += nnz;
+    if (total_nnz > h.total_nnz) {
+      throw std::runtime_error("index_io: shard postings exceed header total");
+    }
+    // One bulk read per shard (the format is fixed-width little-endian).
+    buf.resize(nnz * kDiskBytesPerPosting);
+    is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!is) {
+      throw std::runtime_error("index_io: truncated file reading postings");
+    }
+    std::vector<sparse::Triple<KmerPos>> triples;
+    triples.reserve(nnz);
+    const char* in = buf.data();
+    for (std::uint64_t t = 0; t < nnz; ++t) {
+      std::uint32_t fields[3];
+      std::memcpy(fields, in, sizeof(fields));
+      in += sizeof(fields);
+      triples.push_back({fields[0], fields[1], KmerPos{fields[2]}});
+    }
+    const Index rows =
+        sim::ProcGrid::split_point(static_cast<Index>(h.kmer_space),
+                                   static_cast<int>(h.n_shards),
+                                   static_cast<int>(s) + 1) -
+        sim::ProcGrid::split_point(static_cast<Index>(h.kmer_space),
+                                   static_cast<int>(h.n_shards),
+                                   static_cast<int>(s));
+    shards.push_back(sparse::SpMat<KmerPos>::from_triples(
+        rows, static_cast<Index>(h.n_refs), std::move(triples)));
+  }
+  if (total_nnz != h.total_nnz) {
+    throw std::runtime_error("index_io: shard postings disagree with header");
+  }
+
+  char footer[8];
+  is.read(footer, sizeof(footer));
+  if (!is || std::memcmp(footer, kFooter, sizeof(kFooter)) != 0) {
+    throw std::runtime_error("index_io: missing footer (truncated file)");
+  }
+
+  return guard_corruption([&] {
+    return KmerIndex::from_parts(h.params, static_cast<int>(h.n_shards),
+                                 std::move(refs), std::move(shards));
+  });
+}
+
+}  // namespace pastis::index

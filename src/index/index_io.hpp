@@ -1,0 +1,46 @@
+// Versioned binary persistence for KmerIndex.
+//
+// The paper's production searches spent hours forming the k-mer matrix of
+// the known side over and over; persisting the sharded index turns that
+// into a one-time cost (§III's annotation workload amortizes it across
+// every query stream). The format is a single little-endian file:
+//
+//   [magic "PASTIDX\0"] [version u32] [IndexParams fields i32×7]
+//   [n_refs u64] [ref_residues u64] [n_shards u32] [kmer_space u64]
+//   [total_nnz u64]
+//   [ref lengths u32 × n_refs] [ref residues, concatenated]
+//   per shard: [nnz u64] [(row u32, col u32, pos u32) × nnz]
+//   [footer magic "XDITSAP\0"]
+//
+// Load verifies magic, version and footer (truncation check), and — before
+// materializing anything — computes the logical bytes the index will occupy
+// from the header alone, rejecting files that exceed the caller's memory
+// budget (the paper's memory-consumption discipline, §VI-A, applied to
+// serving nodes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "index/kmer_index.hpp"
+
+namespace pastis::index {
+
+/// Current format version.
+inline constexpr std::uint32_t kIndexFormatVersion = 1;
+
+/// Serializes the index. Throws std::runtime_error on IO failure.
+void save_index(const std::string& path, const KmerIndex& index);
+
+/// Deserializes an index. `max_bytes` is the serving node's memory budget
+/// for the index (0 disables the check); exceeding it throws
+/// std::runtime_error *before* the postings are materialized. Corrupt,
+/// truncated or version-mismatched files also throw std::runtime_error.
+[[nodiscard]] KmerIndex load_index(const std::string& path,
+                                   std::uint64_t max_bytes = 0);
+
+/// The logical bytes `load_index` would admit against the budget, read from
+/// the file header only (cheap pre-flight for capacity planning).
+[[nodiscard]] std::uint64_t peek_index_bytes(const std::string& path);
+
+}  // namespace pastis::index

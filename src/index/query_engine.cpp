@@ -1,0 +1,284 @@
+#include "index/query_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/load_balance.hpp"
+#include "core/stages.hpp"
+#include "kmer/codec.hpp"
+#include "kmer/nearest.hpp"
+#include "sim/grid.hpp"
+
+namespace pastis::index {
+
+namespace {
+
+using align::AlignResult;
+using align::AlignTask;
+using core::CommonKmers;
+using core::KmerPos;
+using sparse::SpMat;
+using sparse::Triple;
+
+}  // namespace
+
+QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
+                         sim::MachineModel model, Options opt,
+                         util::ThreadPool* pool)
+    : index_(&index), cfg_(cfg), model_(model), opt_(opt), pool_(pool) {
+  if (!index.params().matches(cfg)) {
+    throw std::invalid_argument(
+        "QueryEngine: config discovery parameters disagree with the index "
+        "(k / alphabet / substitute-k-mer settings must match)");
+  }
+  if (opt_.nprocs < 1) {
+    throw std::invalid_argument("QueryEngine: need nprocs >= 1");
+  }
+  next_query_id_ = index.n_refs();
+}
+
+std::vector<io::SimilarityEdge> QueryEngine::search_batch(
+    std::span<const std::string> queries, QueryBatchStats* stats) {
+  const Index n_refs = index_->n_refs();
+  const int n_shards = index_->n_shards();
+  const int p = opt_.nprocs;
+  const Index batch_base = next_query_id_;
+  next_query_id_ += static_cast<Index>(queries.size());
+
+  QueryBatchStats st;
+  st.n_queries = queries.size();
+  if (queries.empty() || n_refs == 0) {
+    if (stats != nullptr) *stats = st;
+    return {};
+  }
+
+  // ---- A_query extraction (Fig. 1 left, queries only) ----------------------
+  // Identical machinery to the index build / the pipeline's k-mer matrix:
+  // distinct k-mers at their first occurrence, plus substitute neighbours,
+  // deduplicated per (query, k-mer) keeping the smallest position.
+  const kmer::Alphabet alphabet(cfg_.alphabet);
+  const kmer::KmerCodec codec(alphabet.size(), cfg_.k);
+  const align::Scoring scoring = cfg_.make_scoring();
+  const kmer::NeighborGenerator neighbors(alphabet, codec, scoring,
+                                          cfg_.subs_max_loss);
+
+  // Null pool = serial execution (the convention KmerIndex::build and
+  // core::build_kmer_matrix follow); results are identical either way.
+  auto par_for = [&](std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (pool_ != nullptr) {
+      pool_->parallel_for(n, fn);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+  };
+
+  const std::size_t nq = queries.size();
+  std::vector<std::vector<Triple<KmerPos>>> per_query(nq);
+  std::uint64_t query_residues = 0;
+  for (const auto& q : queries) query_residues += q.size();
+  par_for(nq, [&](std::size_t i) {
+    core::extract_sequence_kmers(queries[i], static_cast<Index>(i), alphabet,
+                                 codec, neighbors, cfg_.subs_kmers,
+                                 per_query[i]);
+  });
+
+  // Route query nonzeros to the index's k-mer-range shards.
+  const Index kmer_space = index_->kmer_space();
+  std::vector<std::vector<Triple<KmerPos>>> per_shard(
+      static_cast<std::size_t>(n_shards));
+  for (auto& v : per_query) {
+    for (const auto& t : v) {
+      const int s = sim::ProcGrid::part_of(t.col, kmer_space, n_shards);
+      per_shard[static_cast<std::size_t>(s)].push_back(
+          {t.row, t.col - index_->shard_begin(s), t.val});
+    }
+    v.clear();
+    v.shrink_to_fit();
+  }
+
+  std::vector<SpMat<KmerPos>> a_query(static_cast<std::size_t>(n_shards));
+  par_for(a_query.size(), [&](std::size_t s) {
+    const Index cols = index_->shard_begin(static_cast<int>(s) + 1) -
+                       index_->shard_begin(static_cast<int>(s));
+    a_query[s] = SpMat<KmerPos>::from_triples(
+        static_cast<Index>(nq), cols, std::move(per_shard[s]),
+        [](KmerPos& acc, const KmerPos& v) { core::keep_min_pos(acc, v); });
+  });
+
+  // ---- shard-by-shard discovery SpGEMM -------------------------------------
+  std::vector<SpMat<CrossKmers>> parts(static_cast<std::size_t>(n_shards));
+  std::vector<sparse::SpGemmStats> shard_stats(
+      static_cast<std::size_t>(n_shards));
+  par_for(parts.size(), [&](std::size_t s) {
+    if (a_query[s].empty() || index_->shard(static_cast<int>(s)).empty()) {
+      return;
+    }
+    parts[s] =
+        sparse::spgemm<CrossSemiring>(a_query[s], index_->shard(static_cast<int>(s)),
+                                      cfg_.spgemm_kernel, &shard_stats[s]);
+  });
+
+  // Merge in shard order — the semiring add is order-independent, so the
+  // merged overlap matrix is invariant to the shard count.
+  auto C = sparse::add_merge(
+      parts, static_cast<Index>(nq), n_refs,
+      [](CrossKmers& acc, const CrossKmers& v) { CrossSemiring::add(acc, v); });
+  st.candidates = C.nnz();
+  for (const auto& s : shard_stats) st.spgemm.merge(s);
+
+  // ---- modeled discovery time (max serving rank) ---------------------------
+  // Shards are dealt round-robin to ranks; the query batch is broadcast.
+  {
+    std::uint64_t aq_bytes = 0;
+    for (const auto& a : a_query) aq_bytes += a.bytes();
+    double t_max = 0.0;
+    for (int r = 0; r < p; ++r) {
+      double t = model_.bcast_time(aq_bytes + query_residues, p) +
+                 model_.sparse_stream_time(query_residues / p);
+      for (int s = r; s < n_shards; s += p) {
+        const auto& ss = shard_stats[static_cast<std::size_t>(s)];
+        if (ss.products > 0) t += model_.spgemm_time(ss.products);
+        t += model_.sparse_stream_time(
+            2 * parts[static_cast<std::size_t>(s)].bytes());
+      }
+      t += model_.sparse_stream_time(C.bytes() / p);
+      t_max = std::max(t_max, t);
+    }
+    st.t_sparse = t_max;
+  }
+
+  // ---- candidate extraction ------------------------------------------------
+  // Replays the load-balance scheme of the concatenated pipeline: the
+  // scheme decides which triangle's element a pair is aligned from, which
+  // in turn fixes the seed pair the banded/x-drop kernels see (§VI-B).
+  const bool parity_scheme =
+      cfg_.load_balance == core::LoadBalanceScheme::kIndexBased;
+  std::vector<std::vector<AlignTask>> rank_tasks(static_cast<std::size_t>(p));
+  C.for_each([&](Index qi, Index rj, const CrossKmers& ck) {
+    if (ck.count < cfg_.common_kmer_threshold) return;
+    const Index q_global = batch_base + qi;
+    CommonKmers eq;
+    eq.count = ck.count;
+    const bool upper =
+        !parity_scheme || core::BlockPlan::index_based_keep(rj, q_global);
+    AlignTask task;
+    if (upper) {
+      eq.first = ck.first_rq;  // element (reference, query)
+      task = core::canonical_task(rj, q_global, eq);
+    } else {
+      eq.first = ck.first_qr;  // element (query, reference)
+      task = core::canonical_task(q_global, rj, eq);
+    }
+    const int owner = sim::ProcGrid::part_of(rj, n_refs, p);
+    rank_tasks[static_cast<std::size_t>(owner)].push_back(task);
+  });
+
+  // ---- alignment (flattened onto the host pool, per-rank accounting) -------
+  auto seq_of = [&](std::uint32_t id) -> std::string_view {
+    return id < n_refs ? index_->ref(id) : queries[id - batch_base];
+  };
+  std::vector<std::size_t> rank_offset(static_cast<std::size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r) {
+    rank_offset[static_cast<std::size_t>(r) + 1] =
+        rank_offset[static_cast<std::size_t>(r)] +
+        rank_tasks[static_cast<std::size_t>(r)].size();
+  }
+  std::vector<AlignTask> flat_tasks;
+  flat_tasks.reserve(rank_offset.back());
+  for (const auto& v : rank_tasks) {
+    flat_tasks.insert(flat_tasks.end(), v.begin(), v.end());
+  }
+  st.aligned_pairs = flat_tasks.size();
+
+  const align::BatchAligner aligner = core::make_batch_aligner(cfg_, model_);
+  std::vector<AlignResult> flat_results(flat_tasks.size());
+  par_for(flat_tasks.size(), [&](std::size_t t) {
+    flat_results[t] = aligner.align_one_task(seq_of, flat_tasks[t]);
+  });
+
+  // ---- filter + per-rank device accounting ---------------------------------
+  std::vector<io::SimilarityEdge> hits;
+  for (int r = 0; r < p; ++r) {
+    const auto& tasks = rank_tasks[static_cast<std::size_t>(r)];
+    const std::span<const AlignResult> results(
+        flat_results.data() + rank_offset[static_cast<std::size_t>(r)],
+        tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (auto edge = core::edge_if_similar(tasks[t], results[t],
+                                            seq_of(tasks[t].q_id).size(),
+                                            seq_of(tasks[t].r_id).size(), cfg_)) {
+        hits.push_back(*edge);
+      }
+    }
+    const align::BatchStats bstats = aligner.stats_for(seq_of, tasks, results);
+    st.t_align = std::max(
+        st.t_align,
+        core::modeled_align_seconds(model_, bstats, tasks.size(), 1.0));
+  }
+
+  // ---- top-k + canonical order ---------------------------------------------
+  if (opt_.top_k > 0) {
+    // Per query (seq_b): best score first, ties to the smaller reference.
+    std::sort(hits.begin(), hits.end(),
+              [](const io::SimilarityEdge& a, const io::SimilarityEdge& b) {
+                if (a.seq_b != b.seq_b) return a.seq_b < b.seq_b;
+                if (a.score != b.score) return a.score > b.score;
+                return a.seq_a < b.seq_a;
+              });
+    std::vector<io::SimilarityEdge> kept;
+    kept.reserve(hits.size());
+    std::uint32_t run = 0;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      run = (i > 0 && hits[i].seq_b == hits[i - 1].seq_b) ? run + 1 : 0;
+      if (run < opt_.top_k) kept.push_back(hits[i]);
+    }
+    hits = std::move(kept);
+  }
+  io::sort_edges(hits);
+  st.hits = hits.size();
+
+  if (stats != nullptr) *stats = st;
+  return hits;
+}
+
+QueryEngine::Result QueryEngine::serve(
+    const std::vector<std::vector<std::string>>& batches) {
+  Result result;
+  ServeStats& st = result.stats;
+  st.nprocs = opt_.nprocs;
+  st.n_shards = index_->n_shards();
+  st.preblocking = opt_.preblocking;
+  st.t_index_build = index_->modeled_build_seconds(model_, opt_.nprocs);
+
+  for (const auto& batch : batches) {
+    QueryBatchStats bst;
+    auto hits = search_batch(batch, &bst);
+    result.hits.insert(result.hits.end(), hits.begin(), hits.end());
+    st.total_queries += bst.n_queries;
+    st.aligned_pairs += bst.aligned_pairs;
+    st.hits += bst.hits;
+    st.batches.push_back(std::move(bst));
+  }
+  io::sort_edges(result.hits);
+
+  // §VI-C timeline: with pre-blocking, batch b+1's discovery runs on the
+  // CPU while batch b aligns on the devices; both sides pay the
+  // MachineModel's contention dilations (pipeline block loop, Table I).
+  const std::size_t nb = st.batches.size();
+  if (opt_.preblocking && nb > 0) {
+    const double ds = model_.preblock_sparse_dilation();
+    const double da = model_.preblock_align_dilation;
+    double t = st.batches[0].t_sparse * ds;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const double next_sparse =
+          b + 1 < nb ? st.batches[b + 1].t_sparse * ds : 0.0;
+      t += std::max(st.batches[b].t_align * da, next_sparse);
+    }
+    st.t_serve = t;
+  } else {
+    for (const auto& b : st.batches) st.t_serve += b.t_sparse + b.t_align;
+  }
+  return result;
+}
+
+}  // namespace pastis::index

@@ -1,0 +1,166 @@
+// Batched query-serving engine over a persistent KmerIndex.
+//
+// Paper mapping:
+//   * §III (use case 1): annotation of unknown queries against a known
+//     reference set. The full pipeline serves this only as the degenerate
+//     concatenation [references || queries]; this engine serves it
+//     directly, reusing the stored Aᵀ_ref shards instead of rebuilding and
+//     re-transposing the k-mer matrix per request.
+//   * Fig. 1 / §V: per batch the engine forms A_query (batch × k-mers),
+//     multiplies it shard-by-shard against the index under the
+//     common-k-mers semiring, and merges with the order-independent add —
+//     hits are therefore bit-identical to the concatenated many-against-
+//     many run (cross edges), for ANY shard count and ANY process count.
+//   * §VI-B: the concatenated pipeline aligns each candidate once, from the
+//     overlap-matrix element its load-balance scheme keeps; which element
+//     decides the seed orientation the seeded kernels (banded/x-drop) see.
+//     The engine tracks both orientation minima in its semiring payload and
+//     replays the scheme's choice exactly (see CrossKmers below).
+//   * §VI-C pre-blocking: batch b+1's SpGEMM (CPU) is overlapped with batch
+//     b's alignment (GPU); the serve() timeline charges
+//     max(align_b, sparse_{b+1}) with the MachineModel's contention
+//     dilations, exactly like the pipeline's block loop.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/common_kmers.hpp"
+#include "core/config.hpp"
+#include "index/kmer_index.hpp"
+#include "io/graph_io.hpp"
+#include "sim/machine_model.hpp"
+#include "sparse/spgemm.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pastis::index {
+
+/// Overlap payload of one (query, reference) candidate. The concatenated
+/// pipeline may align the pair from either triangle of its symmetric
+/// overlap matrix, and the two triangles carry *different* minimum seed
+/// pairs (the min of (pos_q, pos_r) lexicographic order is not the swap of
+/// the min of (pos_r, pos_q)). Tracking both minima keeps the engine able
+/// to reproduce either choice bit-identically.
+struct CrossKmers {
+  std::uint32_t count = 0;    // shared k-mers
+  core::SeedPair first_qr;    // min by (query pos, reference pos)
+  core::SeedPair first_rq;    // min by (reference pos, query pos), stored
+                              // as (reference pos, query pos)
+
+  friend bool operator==(const CrossKmers&, const CrossKmers&) = default;
+};
+
+/// Candidate-discovery semiring of the serving path: rows are batch
+/// queries, columns are references. Commutative and order-independent like
+/// core::OverlapSemiring, hence shard- and process-count invariant.
+struct CrossSemiring {
+  using left_type = core::KmerPos;   // A_query payload
+  using right_type = core::KmerPos;  // index shard (Aᵀ_ref) payload
+  using value_type = CrossKmers;
+
+  static CrossKmers multiply(const core::KmerPos& a, const core::KmerPos& b) {
+    CrossKmers c;
+    c.count = 1;
+    c.first_qr = {a.pos, b.pos};
+    c.first_rq = {b.pos, a.pos};
+    return c;
+  }
+  static void add(CrossKmers& acc, const CrossKmers& v) {
+    if (acc.count == 0) {
+      acc = v;
+      return;
+    }
+    acc.count += v.count;
+    if (v.first_qr < acc.first_qr) acc.first_qr = v.first_qr;
+    if (v.first_rq < acc.first_rq) acc.first_rq = v.first_rq;
+  }
+};
+
+/// Modeled accounting of one served batch (undilated; serve() applies the
+/// pre-blocking contention dilations when it assembles the timeline).
+struct QueryBatchStats {
+  std::uint64_t n_queries = 0;
+  std::uint64_t candidates = 0;     // overlap nonzeros
+  std::uint64_t aligned_pairs = 0;  // candidates clearing the k-mer threshold
+  std::uint64_t hits = 0;           // edges passing ANI + coverage
+  sparse::SpGemmStats spgemm;
+  double t_sparse = 0.0;  // max-rank discovery seconds (bcast + SpGEMM + merge)
+  double t_align = 0.0;   // max-rank device alignment seconds
+};
+
+/// Aggregated serving statistics for a stream of batches.
+struct ServeStats {
+  int nprocs = 0;
+  int n_shards = 0;
+  bool preblocking = false;
+  std::uint64_t total_queries = 0;
+  std::uint64_t aligned_pairs = 0;
+  std::uint64_t hits = 0;
+  /// Overlap-aware modeled wall time of the serving loop (§VI-C timeline).
+  double t_serve = 0.0;
+  /// One-time modeled index construction, for amortization comparisons.
+  double t_index_build = 0.0;
+  std::vector<QueryBatchStats> batches;
+
+  [[nodiscard]] double amortized_batch_seconds() const {
+    return batches.empty()
+               ? 0.0
+               : (t_index_build + t_serve) /
+                     static_cast<double>(batches.size());
+  }
+};
+
+class QueryEngine {
+ public:
+  struct Options {
+    /// Simulated serving ranks; shards are dealt round-robin, references
+    /// (and their alignment work) block-partitioned — neither affects hits.
+    int nprocs = 1;
+    /// Keep only the best `top_k` hits per query by (score desc, ref asc);
+    /// 0 keeps all hits (the concatenated-equivalence mode).
+    std::uint32_t top_k = 0;
+    /// Overlap batch b+1's SpGEMM with batch b's alignment in the modeled
+    /// serve() timeline (§VI-C).
+    bool preblocking = true;
+  };
+
+  /// The engine serves `cfg` against `index`; the discovery parameters of
+  /// the two must agree (throws std::invalid_argument otherwise — a k or
+  /// alphabet mismatch would silently change the candidate set).
+  QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
+              sim::MachineModel model, Options opt,
+              util::ThreadPool* pool = &util::ThreadPool::global());
+
+  /// Serves one batch. Hits are canonical SimilarityEdges with
+  /// seq_a = reference id and seq_b = n_refs + (stream position of the
+  /// query) — the id a concatenated [references || queries] run would
+  /// assign, so outputs are directly comparable. The stream position
+  /// advances across calls; reset_stream() rewinds it.
+  [[nodiscard]] std::vector<io::SimilarityEdge> search_batch(
+      std::span<const std::string> queries, QueryBatchStats* stats = nullptr);
+
+  struct Result {
+    std::vector<io::SimilarityEdge> hits;
+    ServeStats stats;
+  };
+
+  /// Serves a stream of batches with the pre-blocking overlap timeline.
+  [[nodiscard]] Result serve(const std::vector<std::vector<std::string>>& batches);
+
+  void reset_stream() { next_query_id_ = index_->n_refs(); }
+
+  [[nodiscard]] const KmerIndex& index() const { return *index_; }
+  [[nodiscard]] const core::PastisConfig& config() const { return cfg_; }
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+ private:
+  const KmerIndex* index_;
+  core::PastisConfig cfg_;
+  sim::MachineModel model_;
+  Options opt_;
+  util::ThreadPool* pool_;
+  Index next_query_id_ = 0;
+};
+
+}  // namespace pastis::index

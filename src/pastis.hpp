@@ -26,10 +26,14 @@
 #include "core/load_balance.hpp"
 #include "core/pipeline.hpp"
 #include "core/seq_store.hpp"
+#include "core/stages.hpp"
 #include "core/stats.hpp"
 #include "dist/distmat.hpp"
 #include "dist/summa.hpp"
 #include "gen/protein_gen.hpp"
+#include "index/index_io.hpp"
+#include "index/kmer_index.hpp"
+#include "index/query_engine.hpp"
 #include "io/fasta.hpp"
 #include "io/graph_io.hpp"
 #include "kmer/alphabet.hpp"

@@ -113,7 +113,9 @@ TEST_P(SummaSweep, MatchesSerialSpGemm) {
   for (int r = 0; r < c.p; ++r) {
     charged += rt.clock(r).get(psim::Comp::kSpGemm);
   }
-  if (c.p > 1 && !ta.empty()) EXPECT_GT(charged, 0.0);
+  if (c.p > 1 && !ta.empty()) {
+    EXPECT_GT(charged, 0.0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

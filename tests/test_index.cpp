@@ -1,0 +1,378 @@
+// Index subsystem tests: persistence round-trips bit-identically, the
+// serving engine reproduces the concatenated many-against-many search
+// exactly (cross edges), and results are invariant to shard and process
+// counts — the acceptance bar of the serving layer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "core/pipeline.hpp"
+#include "gen/protein_gen.hpp"
+#include "index/index_io.hpp"
+#include "index/kmer_index.hpp"
+#include "index/query_engine.hpp"
+#include "util/rng.hpp"
+
+namespace pc = pastis::core;
+namespace pg = pastis::gen;
+namespace pidx = pastis::index;
+namespace pio = pastis::io;
+
+namespace {
+
+std::vector<std::string> make_refs(std::uint32_t n = 150,
+                                   std::uint64_t seed = 91) {
+  pg::GenConfig g;
+  g.n_sequences = n;
+  g.seed = seed;
+  g.mean_length = 120.0;
+  g.max_length = 500;
+  return pg::generate_proteins(g).seqs;
+}
+
+/// Queries related to the references (diverged copies) plus decoys, so the
+/// cross edge set is non-trivial.
+std::vector<std::string> make_queries(const std::vector<std::string>& refs,
+                                      std::uint32_t n = 60,
+                                      std::uint64_t seed = 123) {
+  static const std::string aas = "ARNDCQEGHILKMFPSTWYV";
+  pastis::util::Xoshiro256 rng(seed);
+  std::vector<std::string> queries;
+  for (std::uint32_t q = 0; q < n; ++q) {
+    if (rng.chance(0.75)) {
+      std::string s = refs[rng.below(refs.size())];
+      for (auto& c : s) {
+        if (rng.chance(0.08)) c = aas[rng.below(aas.size())];
+      }
+      queries.push_back(std::move(s));
+    } else {
+      std::string s(100 + rng.below(150), 'A');
+      for (auto& c : s) c = aas[rng.below(aas.size())];
+      queries.push_back(std::move(s));
+    }
+  }
+  return queries;
+}
+
+/// The reference<->query edges of a concatenated [refs || queries] run.
+std::vector<pio::SimilarityEdge> cross_edges(
+    const std::vector<pio::SimilarityEdge>& edges, std::uint32_t n_ref) {
+  std::vector<pio::SimilarityEdge> out;
+  for (const auto& e : edges) {
+    if (e.seq_a < n_ref && e.seq_b >= n_ref) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<pio::SimilarityEdge> concatenated_cross(
+    const std::vector<std::string>& refs,
+    const std::vector<std::string>& queries, const pc::PastisConfig& cfg,
+    int nprocs) {
+  std::vector<std::string> seqs = refs;
+  seqs.insert(seqs.end(), queries.begin(), queries.end());
+  pc::SimilaritySearch search(cfg, pastis::sim::MachineModel{}, nprocs);
+  return cross_edges(search.run(seqs).edges,
+                     static_cast<std::uint32_t>(refs.size()));
+}
+
+/// Splits queries into `nb` consecutive batches.
+std::vector<std::vector<std::string>> split_batches(
+    const std::vector<std::string>& queries, std::size_t nb) {
+  std::vector<std::vector<std::string>> batches(nb);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    batches[i * nb / queries.size()].push_back(queries[i]);
+  }
+  return batches;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+}  // namespace
+
+TEST(KmerIndex, ShardsTileTheKmerSpaceAndKeepAllPostings) {
+  const auto refs = make_refs();
+  pc::PastisConfig cfg;
+  for (int shards : {1, 3, 8}) {
+    const auto idx = pidx::KmerIndex::build(refs, cfg, shards);
+    EXPECT_EQ(idx.n_shards(), shards);
+    EXPECT_EQ(idx.shard_begin(0), 0u);
+    EXPECT_EQ(idx.shard_begin(shards), idx.kmer_space());
+    std::uint64_t nnz = 0;
+    for (int s = 0; s < shards; ++s) {
+      EXPECT_EQ(idx.shard(s).nrows(),
+                idx.shard_begin(s + 1) - idx.shard_begin(s));
+      EXPECT_EQ(idx.shard(s).ncols(), idx.n_refs());
+      nnz += idx.shard(s).nnz();
+    }
+    EXPECT_EQ(nnz, idx.nnz());
+    EXPECT_GT(nnz, 0u);
+    // The posting count is shard-invariant (same matrix, different cuts).
+    EXPECT_EQ(nnz, pidx::KmerIndex::build(refs, cfg, 1).nnz());
+  }
+}
+
+TEST(IndexIo, SaveLoadRoundTripIsBitIdentical) {
+  const auto refs = make_refs(100, 5);
+  pc::PastisConfig cfg;
+  cfg.subs_kmers = 1;  // exercise the substitute-k-mer postings too
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 4);
+
+  const auto path = temp_path("pastis_index_roundtrip.pidx");
+  pidx::save_index(path, idx);
+  const auto loaded = pidx::load_index(path);
+  EXPECT_TRUE(loaded == idx);
+
+  // Re-saving the loaded index reproduces the file byte-for-byte.
+  const auto path2 = temp_path("pastis_index_roundtrip2.pidx");
+  pidx::save_index(path2, loaded);
+  std::ifstream f1(path, std::ios::binary), f2(path2, std::ios::binary);
+  const std::string b1((std::istreambuf_iterator<char>(f1)),
+                       std::istreambuf_iterator<char>());
+  const std::string b2((std::istreambuf_iterator<char>(f2)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(b1, b2);
+  EXPECT_FALSE(b1.empty());
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path2);
+}
+
+TEST(IndexIo, MemoryBudgetIsEnforcedFromTheHeader) {
+  const auto refs = make_refs(80, 7);
+  const auto idx = pidx::KmerIndex::build(refs, pc::PastisConfig{}, 2);
+  const auto path = temp_path("pastis_index_budget.pidx");
+  pidx::save_index(path, idx);
+
+  const auto need = pidx::peek_index_bytes(path);
+  EXPECT_GT(need, 0u);
+  EXPECT_THROW((void)pidx::load_index(path, need / 2), std::runtime_error);
+  EXPECT_NO_THROW((void)pidx::load_index(path, need));
+  EXPECT_NO_THROW((void)pidx::load_index(path, 0));  // 0 = unbudgeted
+
+  std::filesystem::remove(path);
+}
+
+TEST(IndexIo, RejectsCorruptAndTruncatedFiles) {
+  const auto refs = make_refs(40, 9);
+  const auto idx = pidx::KmerIndex::build(refs, pc::PastisConfig{}, 2);
+  const auto path = temp_path("pastis_index_corrupt.pidx");
+  pidx::save_index(path, idx);
+
+  // Truncation (footer missing).
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 16);
+  EXPECT_THROW((void)pidx::load_index(path), std::runtime_error);
+
+  // Bit-flipped header count: must throw std::runtime_error, not attempt
+  // an absurd allocation (n_refs is the u64 after magic+version+params =
+  // byte offset 40).
+  pidx::save_index(path, idx);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);
+    const std::uint64_t absurd = 1ull << 60;
+    f.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  EXPECT_THROW((void)pidx::load_index(path), std::runtime_error);
+
+  // Bit-flipped param field (alphabet i32 at offset magic+version+k = 16):
+  // still the documented std::runtime_error, not a leaked invalid_argument.
+  pidx::save_index(path, idx);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(16);
+    const std::int32_t bogus = 99;
+    f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  EXPECT_THROW((void)pidx::load_index(path), std::runtime_error);
+
+  // Bad magic.
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << "not an index";
+  }
+  EXPECT_THROW((void)pidx::load_index(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(QueryEngine, NullPoolRunsSeriallyWithIdenticalHits) {
+  const auto refs = make_refs(80, 85);
+  const auto queries = make_queries(refs, 20, 87);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 3);
+  pidx::QueryEngine pooled(idx, cfg, {}, {});
+  pidx::QueryEngine serial(idx, cfg, {}, {}, nullptr);
+  EXPECT_EQ(pooled.serve({queries}).hits, serial.serve({queries}).hits);
+}
+
+TEST(QueryEngine, RejectsMismatchedDiscoveryConfig) {
+  const auto refs = make_refs(40, 11);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 2);
+  pc::PastisConfig other = cfg;
+  other.k = 5;
+  EXPECT_THROW(pidx::QueryEngine(idx, other, {}, {}), std::invalid_argument);
+  EXPECT_NO_THROW(pidx::QueryEngine(idx, cfg, {}, {}));
+}
+
+TEST(QueryEngine, MatchesConcatenatedSearchAcrossShardAndProcessCounts) {
+  // The acceptance bar: engine hits for [references || queries] are
+  // bit-identical to SimilaritySearch::run on the concatenation
+  // (cross-boundary edges only), for >= 2 shard counts and >= 2 process
+  // counts — on both sides.
+  const auto refs = make_refs();
+  const auto queries = make_queries(refs);
+  pc::PastisConfig cfg;
+
+  const auto expected = concatenated_cross(refs, queries, cfg, 1);
+  ASSERT_GT(expected.size(), 10u);
+  EXPECT_EQ(expected, concatenated_cross(refs, queries, cfg, 4));
+
+  for (int shards : {1, 6}) {
+    const auto idx = pidx::KmerIndex::build(refs, cfg, shards);
+    for (int nprocs : {1, 5}) {
+      pidx::QueryEngine::Options opt;
+      opt.nprocs = nprocs;
+      pidx::QueryEngine engine(idx, cfg, {}, opt);
+      const auto result = engine.serve(split_batches(queries, 3));
+      EXPECT_EQ(result.hits, expected)
+          << "shards=" << shards << " nprocs=" << nprocs;
+      EXPECT_EQ(result.stats.hits, expected.size());
+      EXPECT_EQ(result.stats.total_queries, queries.size());
+    }
+  }
+}
+
+TEST(QueryEngine, SeededAlignmentAndSchemesStayBitIdentical) {
+  // Banded alignment consumes the seed pair, whose orientation depends on
+  // which overlap-matrix triangle the pipeline's scheme aligns from — the
+  // subtlest part of the equivalence. Exercise both schemes and substitute
+  // k-mers.
+  const auto refs = make_refs(120, 33);
+  const auto queries = make_queries(refs, 50, 57);
+
+  pc::PastisConfig cfg;
+  cfg.align_kind = pastis::align::AlignKind::kBanded;
+  cfg.subs_kmers = 1;
+  for (auto scheme : {pc::LoadBalanceScheme::kIndexBased,
+                      pc::LoadBalanceScheme::kTriangularity}) {
+    cfg.load_balance = scheme;
+    const auto expected = concatenated_cross(refs, queries, cfg, 4);
+    ASSERT_GT(expected.size(), 5u);
+    const auto idx = pidx::KmerIndex::build(refs, cfg, 4);
+    pidx::QueryEngine engine(idx, cfg, {}, {});
+    const auto result = engine.serve(split_batches(queries, 2));
+    EXPECT_EQ(result.hits, expected) << pc::to_string(scheme);
+  }
+}
+
+TEST(QueryEngine, BatchSplitIsInvisible) {
+  const auto refs = make_refs(100, 41);
+  const auto queries = make_queries(refs, 40, 43);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 3);
+
+  pidx::QueryEngine one(idx, cfg, {}, {});
+  const auto as_one = one.serve({queries});
+  pidx::QueryEngine many(idx, cfg, {}, {});
+  const auto as_many = many.serve(split_batches(queries, 5));
+  EXPECT_EQ(as_one.hits, as_many.hits);
+}
+
+TEST(QueryEngine, ServedIndexSurvivesPersistence) {
+  const auto refs = make_refs(100, 51);
+  const auto queries = make_queries(refs, 30, 53);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 5);
+
+  const auto path = temp_path("pastis_index_served.pidx");
+  pidx::save_index(path, idx);
+  const auto loaded = pidx::load_index(path);
+  std::filesystem::remove(path);
+
+  pidx::QueryEngine fresh(idx, cfg, {}, {});
+  pidx::QueryEngine revived(loaded, cfg, {}, {});
+  EXPECT_EQ(fresh.serve({queries}).hits, revived.serve({queries}).hits);
+}
+
+TEST(QueryEngine, TopKKeepsBestHitsPerQuery) {
+  const auto refs = make_refs(150, 61);
+  const auto queries = make_queries(refs, 40, 63);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 2);
+
+  pidx::QueryEngine all(idx, cfg, {}, {});
+  const auto full = all.serve({queries});
+
+  pidx::QueryEngine::Options opt;
+  opt.top_k = 1;
+  pidx::QueryEngine best(idx, cfg, {}, opt);
+  const auto top1 = best.serve({queries});
+
+  // At most one hit per query, each the max-score hit of that query.
+  std::map<std::uint32_t, int> best_score;
+  std::map<std::uint32_t, std::size_t> count;
+  for (const auto& e : full.hits) {
+    auto it = best_score.find(e.seq_b);
+    if (it == best_score.end() || e.score > it->second) {
+      best_score[e.seq_b] = e.score;
+    }
+  }
+  for (const auto& e : top1.hits) {
+    EXPECT_EQ(++count[e.seq_b], 1u);
+    EXPECT_EQ(e.score, best_score.at(e.seq_b));
+  }
+  // Every query with any hit keeps exactly one.
+  EXPECT_EQ(top1.hits.size(), best_score.size());
+}
+
+TEST(QueryEngine, PreblockingOverlapShortensTheServeTimeline) {
+  const auto refs = make_refs(150, 71);
+  const auto queries = make_queries(refs, 60, 73);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 4);
+  const auto batches = split_batches(queries, 4);
+
+  pidx::QueryEngine::Options opt;
+  opt.preblocking = false;
+  pidx::QueryEngine plain(idx, cfg, {}, opt);
+  const auto without = plain.serve(batches);
+
+  opt.preblocking = true;
+  pidx::QueryEngine overlapped(idx, cfg, {}, opt);
+  const auto with = overlapped.serve(batches);
+
+  EXPECT_EQ(with.hits, without.hits);  // schedule changes, data doesn't
+  EXPECT_GT(without.stats.t_serve, 0.0);
+  // Undilated per-batch components are identical; the overlapped timeline
+  // must beat the sum whenever contention dilations don't eat the overlap.
+  double undilated_sum = 0.0;
+  for (const auto& b : without.stats.batches) {
+    undilated_sum += b.t_sparse + b.t_align;
+  }
+  EXPECT_NEAR(without.stats.t_serve, undilated_sum, 1e-12);
+  EXPECT_LT(with.stats.t_serve,
+            undilated_sum * pastis::sim::MachineModel{}.preblock_sparse_dilation());
+}
+
+TEST(QueryEngine, EmptyBatchesAndNoCandidates) {
+  const auto refs = make_refs(50, 81);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 2);
+  pidx::QueryEngine engine(idx, cfg, {}, {});
+
+  pidx::QueryBatchStats st;
+  EXPECT_TRUE(engine.search_batch({}, &st).empty());
+  EXPECT_EQ(st.n_queries, 0u);
+
+  // A query with no shared k-mers produces no hits but valid stats.
+  const std::vector<std::string> alien = {std::string(80, 'W')};
+  const auto hits = engine.search_batch(alien, &st);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(st.n_queries, 1u);
+}

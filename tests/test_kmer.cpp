@@ -92,7 +92,9 @@ TEST(Codec, LexicographicOrderIsNumeric) {
     for (std::uint8_t b = 0; b < 4; ++b) {
       for (std::uint8_t c = 0; c < 4; ++c) {
         const std::uint64_t v = codec.encode(std::vector<std::uint8_t>{a, b, c});
-        if (!first) EXPECT_EQ(v, prev + 1);
+        if (!first) {
+          EXPECT_EQ(v, prev + 1);
+        }
         prev = v;
         first = false;
       }
@@ -198,7 +200,9 @@ TEST(Neighbors, SortedByLossAndDeterministic) {
   ASSERT_EQ(n1.size(), 25u);
   for (std::size_t i = 0; i < n1.size(); ++i) {
     EXPECT_EQ(n1[i].code, n2[i].code);
-    if (i > 0) EXPECT_GE(n1[i].loss, n1[i - 1].loss);
+    if (i > 0) {
+      EXPECT_GE(n1[i].loss, n1[i - 1].loss);
+    }
     EXPECT_NE(n1[i].code, v);  // the k-mer itself is excluded
   }
 }
