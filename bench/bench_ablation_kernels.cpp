@@ -141,6 +141,27 @@ void BM_SpGemmHeap(benchmark::State& state) {
 }
 BENCHMARK(BM_SpGemmHeap)->Arg(512)->Arg(2048);
 
+void BM_SpGemmHash2Phase(benchmark::State& state) {
+  const auto n = static_cast<sparse::Index>(state.range(0));
+  const auto A = random_sparse(n, 0.01, 47);
+  const auto B = random_sparse(n, 0.01, 48);
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  util::ThreadPool pool(threads);
+  sparse::SpGemmStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spgemm_hash2p<sparse::PlusTimes<int>>(
+        A, B, &stats, &pool));
+  }
+  state.counters["products/s"] = benchmark::Counter(
+      static_cast<double>(stats.products), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpGemmHash2Phase)
+    ->Args({512, 1})
+    ->Args({2048, 1})
+    ->Args({2048, 4})
+    ->Args({8192, 1})
+    ->Args({8192, 4});
+
 void BM_KmerExtraction(benchmark::State& state) {
   const auto seqs = random_proteins(1, 10000, 51);
   const kmer::Alphabet alphabet(kmer::Alphabet::Kind::kProtein25);

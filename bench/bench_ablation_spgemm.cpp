@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
 
   util::banner("ablation — SpGEMM kernels on the overlap product");
   util::TextTable t({"seqs", "A nnz", "products", "C nnz", "compression",
-                     "hash wall (s)", "heap wall (s)", "hash/heap"});
+                     "hash wall (s)", "heap wall (s)", "hash2p wall (s)",
+                     "hash2p/hash"});
 
   ShapeChecks sc;
   for (std::uint32_t n : {base, base * 2, base * 4}) {
@@ -32,20 +33,26 @@ int main(int argc, char** argv) {
     const auto& a_local = A.local(0);
     const auto& b_local = B.local(0);
 
-    sparse::SpGemmStats hs, ps;
+    sparse::SpGemmStats hs, ps, ts;
     util::Timer th;
     auto Ch = sparse::spgemm_hash<core::OverlapSemiring>(a_local, b_local, &hs);
     const double hash_wall = th.seconds();
     util::Timer tp;
     auto Cp = sparse::spgemm_heap<core::OverlapSemiring>(a_local, b_local, &ps);
     const double heap_wall = tp.seconds();
+    util::Timer t2;
+    auto C2 = sparse::spgemm_hash2p<core::OverlapSemiring>(
+        a_local, b_local, &ts, &util::ThreadPool::global());
+    const double hash2p_wall = t2.seconds();
 
     t.add_row({std::to_string(n), util::with_commas(info.nnz),
                util::with_commas(hs.products), util::with_commas(hs.out_nnz),
                f2(hs.compression_factor()), f4(hash_wall), f4(heap_wall),
-               f2(hash_wall / heap_wall)});
+               f4(hash2p_wall), f2(hash2p_wall / hash_wall)});
 
     sc.check(Ch == Cp, "hash and heap kernels agree at n=" + std::to_string(n));
+    sc.check(Ch == C2,
+             "two-phase kernel bit-identical at n=" + std::to_string(n));
     sc.check(hs.compression_factor() > 1.0 &&
                  hs.compression_factor() < 200.0,
              "compression factor in the genomics regime (§V-B: 'a modest "

@@ -44,6 +44,11 @@ class Args {
     const auto it = values_.find(key);
     return it == values_.end() ? def : std::atof(it->second.c_str());
   }
+  [[nodiscard]] std::string s(const std::string& key,
+                              const std::string& def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
   [[nodiscard]] bool has(const std::string& key) const {
     return values_.count(key) != 0;
   }

@@ -1,7 +1,6 @@
 #include "align/batch.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 namespace pastis::align {
 
@@ -47,10 +46,16 @@ std::vector<int> BatchAligner::assign_lanes(
 BatchStats BatchAligner::stats_for(const SeqAccessor& seq_of,
                                    std::span<const AlignTask> tasks,
                                    std::span<const AlignResult> results) const {
+  return stats_for(seq_of, tasks, results, assign_lanes(seq_of, tasks));
+}
+
+BatchStats BatchAligner::stats_for(const SeqAccessor& seq_of,
+                                   std::span<const AlignTask> tasks,
+                                   std::span<const AlignResult> results,
+                                   std::span<const int> lanes) const {
   const int devices = std::max(1, config_.devices);
   std::vector<std::uint64_t> device_cells(devices, 0);
   std::vector<std::uint64_t> device_pairs(devices, 0);
-  const auto lanes = assign_lanes(seq_of, tasks);
   BatchStats stats;
   for (std::size_t t = 0; t < results.size(); ++t) {
     const int lane = lanes[t];
@@ -79,30 +84,17 @@ std::vector<AlignResult> BatchAligner::align_batch(
   std::vector<AlignResult> results(tasks.size());
   const int devices = std::max(1, config_.devices);
 
-  // Per-device accounting: kernel time is the max over devices because the
-  // devices run concurrently; packing is per driver thread, also concurrent.
-  std::vector<std::uint64_t> device_cells(devices, 0);
-  std::vector<std::uint64_t> device_pairs(devices, 0);
-  std::atomic<std::uint64_t> h2d_bytes{0};
-
+  // Lanes are computed exactly once per batch and shared between the run
+  // and the device-model accounting below.
   const auto lanes = assign_lanes(seq_of, tasks);
   auto run_lane = [&](int lane) {
-    std::uint64_t cells = 0, pairs = 0, bytes = 0;
     // ADEPT distributes alignments across the node's devices; the driver
     // balances per-GPU batches by DP size (see assign_lanes).
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       if (lanes[t] != lane) continue;
       const AlignTask& task = tasks[t];
-      const std::string_view q = seq_of(task.q_id);
-      const std::string_view r = seq_of(task.r_id);
-      results[t] = align_one(q, r, task);
-      cells += results[t].cells;
-      ++pairs;
-      bytes += q.size() + r.size();
+      results[t] = align_one(seq_of(task.q_id), seq_of(task.r_id), task);
     }
-    device_cells[lane] = cells;
-    device_pairs[lane] = pairs;
-    h2d_bytes.fetch_add(bytes, std::memory_order_relaxed);
   };
 
   if (pool != nullptr && tasks.size() > 1) {
@@ -113,19 +105,7 @@ std::vector<AlignResult> BatchAligner::align_batch(
   }
 
   if (stats != nullptr) {
-    std::uint64_t max_cells = 0, max_pairs = 0, total_cells = 0;
-    for (int d = 0; d < devices; ++d) {
-      max_cells = std::max(max_cells, device_cells[d]);
-      max_pairs = std::max(max_pairs, device_pairs[d]);
-      total_cells += device_cells[d];
-    }
-    stats->pairs += tasks.size();
-    stats->cells += total_cells;
-    stats->kernel_seconds +=
-        static_cast<double>(max_cells) / config_.cups_per_device;
-    stats->packing_seconds +=
-        static_cast<double>(max_pairs) * config_.pack_seconds_per_pair;
-    stats->h2d_bytes += h2d_bytes.load(std::memory_order_relaxed);
+    stats->merge(stats_for(seq_of, tasks, results, lanes));
   }
   return results;
 }

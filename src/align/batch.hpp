@@ -93,11 +93,18 @@ class BatchAligner {
     return align_one(seq_of(task.q_id), seq_of(task.r_id), task);
   }
 
-  /// Device-model accounting for a batch whose results are already known:
-  /// reproduces align_batch's greedy lane assignment.
+  /// Device-model accounting for a batch whose results are already known.
+  /// The overload without `lanes` reproduces align_batch's greedy lane
+  /// assignment; when the caller already holds the lanes (align_batch
+  /// itself, or a caller aligning + accounting the same task list), pass
+  /// them through to skip the redundant O(tasks × devices) pass.
   [[nodiscard]] BatchStats stats_for(const SeqAccessor& seq_of,
                                      std::span<const AlignTask> tasks,
                                      std::span<const AlignResult> results) const;
+  [[nodiscard]] BatchStats stats_for(const SeqAccessor& seq_of,
+                                     std::span<const AlignTask> tasks,
+                                     std::span<const AlignResult> results,
+                                     std::span<const int> lanes) const;
 
   /// Deterministic device assignment: tasks go to the least-loaded device
   /// by the DP-size proxy |q|*|r| (the ADEPT driver balances its per-GPU

@@ -1,39 +1,46 @@
 #include "baseline/replicated_index.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <stdexcept>
 
 #include "align/batch.hpp"
+#include "core/stages.hpp"
 #include "kmer/extract.hpp"
 #include "sim/grid.hpp"
+#include "sparse/matrix.hpp"
 #include "util/timer.hpp"
 
 namespace pastis::baseline {
 
 namespace {
 
-/// Inverted k-mer index: code -> posting list of sequence ids. Postings are
-/// built from distinct per-sequence k-mers so shared-k-mer counts equal
-/// PASTIS's overlap counts.
-struct InvertedIndex {
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> postings;
-  std::uint64_t bytes = 0;
-
-  void build(const std::vector<std::string>& seqs, std::uint32_t begin,
-             std::uint32_t end, const kmer::Alphabet& alphabet,
-             const kmer::KmerCodec& codec) {
-    for (std::uint32_t s = begin; s < end; ++s) {
-      for (const auto& h :
-           kmer::extract_distinct_kmers(seqs[s], alphabet, codec)) {
-        postings[h.code].push_back(s);
-      }
-    }
-    bytes = 0;
-    for (const auto& [code, list] : postings) {
-      bytes += 16 + list.size() * sizeof(std::uint32_t);
+/// Sequence-by-k-mer pattern matrix for seqs[begin, end) (rows re-indexed
+/// to the range), one nonzero per distinct per-sequence k-mer — the same
+/// candidate rule as PASTIS's k-mer matrix, so shared-k-mer counts from a
+/// (+, *) SpGEMM equal PASTIS's overlap counts. Replaces the former
+/// hand-rolled unordered_map posting lists: the baseline's inverted index
+/// is exactly the transpose of this matrix, and the candidate scan is
+/// exactly a sparse multiply, so both now run on the shared (two-phase)
+/// SpGEMM kernel.
+sparse::SpMat<std::uint32_t> pattern_matrix(const std::vector<std::string>& seqs,
+                                            std::uint32_t begin,
+                                            std::uint32_t end,
+                                            const kmer::Alphabet& alphabet,
+                                            const kmer::KmerCodec& codec) {
+  if (codec.space() > std::uint64_t(sparse::Index(-1))) {
+    throw std::invalid_argument(
+        "replicated_index: k-mer space exceeds 32-bit column indices");
+  }
+  std::vector<sparse::Triple<std::uint32_t>> t;
+  for (std::uint32_t s = begin; s < end; ++s) {
+    for (const auto& h :
+         kmer::extract_distinct_kmers(seqs[s], alphabet, codec)) {
+      t.push_back({s - begin, static_cast<sparse::Index>(h.code), 1u});
     }
   }
-};
+  return sparse::SpMat<std::uint32_t>::from_triples(
+      end - begin, static_cast<sparse::Index>(codec.space()), std::move(t));
+}
 
 }  // namespace
 
@@ -67,60 +74,78 @@ std::vector<io::SimilarityEdge> replicated_index_search(
   std::vector<std::uint64_t> rank_products(static_cast<std::size_t>(nprocs));
   std::vector<std::uint64_t> rank_index_bytes(static_cast<std::size_t>(nprocs));
 
+  // The full-range side is identical on every rank (that replication is
+  // the baseline's modeled memory wall — each rank is *charged* for its
+  // copy below), so the host materializes it once: the replicated query
+  // set of mode 1, or the replicated reference index of mode 2.
+  const bool ref_chunked = mode == ReplicationMode::kReferenceChunked;
+  const auto full_side = pattern_matrix(seqs, 0, n, alphabet, codec);
+  const auto full_index =
+      ref_chunked ? sparse::SpMat<std::uint32_t>() : full_side.transposed();
+
   auto rank_task = [&](std::size_t qr) {
     const int q = static_cast<int>(qr);
     const std::uint32_t my_begin = chunk_begin(q);
     const std::uint32_t my_end = chunk_begin(q + 1);
 
-    // The index this rank holds: its reference chunk (mode 1) or the full
-    // reference set (mode 2).
-    InvertedIndex index;
-    if (mode == ReplicationMode::kReferenceChunked) {
-      index.build(seqs, my_begin, my_end, alphabet, codec);
-      rank_index_bytes[qr] = index.bytes + seq_bytes;  // + replicated queries
+    // The index this rank holds (as the transposed k-mer-by-sequence
+    // matrix): its reference chunk (mode 1) or the full set (mode 2).
+    const std::uint32_t r_begin = ref_chunked ? my_begin : 0;
+    sparse::SpMat<std::uint32_t> chunk_side;  // this rank's chunked half
+    if (ref_chunked) {
+      chunk_side =
+          pattern_matrix(seqs, my_begin, my_end, alphabet, codec).transposed();
     } else {
-      index.build(seqs, 0, n, alphabet, codec);
+      chunk_side = pattern_matrix(seqs, my_begin, my_end, alphabet, codec);
+    }
+    const auto& index = ref_chunked ? chunk_side : full_index;
+    if (ref_chunked) {
+      rank_index_bytes[qr] = index.bytes() + seq_bytes;  // + replicated queries
+    } else {
       rank_index_bytes[qr] =
-          index.bytes +
+          index.bytes() +
           (seq_bytes * (my_end - my_begin)) / std::max<std::uint32_t>(1, n) +
           seq_bytes;  // full index + chunk of queries + target residues
     }
 
     // Queries this rank scans: all (mode 1) or its chunk (mode 2).
-    const std::uint32_t q_begin =
-        mode == ReplicationMode::kReferenceChunked ? 0 : my_begin;
-    const std::uint32_t q_end =
-        mode == ReplicationMode::kReferenceChunked ? n : my_end;
+    const std::uint32_t q_begin = ref_chunked ? 0 : my_begin;
+    const auto& a_query = ref_chunked ? full_side : chunk_side;
 
-    std::unordered_map<std::uint32_t, std::uint32_t> counts;
-    for (std::uint32_t i = q_begin; i < q_end; ++i) {
-      counts.clear();
-      for (const auto& h :
-           kmer::extract_distinct_kmers(seqs[i], alphabet, codec)) {
-        const auto it = index.postings.find(h.code);
-        if (it == index.postings.end()) continue;
-        for (std::uint32_t j : it->second) {
-          if (j == i) continue;
-          ++counts[j];
-          ++rank_products[qr];
-        }
+    // Candidate discovery: shared-distinct-k-mer counts via the configured
+    // SpGEMM kernel (the rank tasks already fan out over the pool; the
+    // two-phase kernel may fan out further — nested parallel_for is safe).
+    sparse::SpGemmStats gstats;
+    const auto counts =
+        core::discovery_spgemm<sparse::PlusTimes<std::uint32_t>>(
+            a_query, index, cfg, &gstats, pool);
+    rank_products[qr] = gstats.products;
+
+    counts.for_each([&](sparse::Index qi, sparse::Index rj,
+                        const std::uint32_t& cnt) {
+      const std::uint32_t i = q_begin + qi;
+      const std::uint32_t j = r_begin + rj;
+      if (j == i) {
+        // The matrix form includes each sequence's products against
+        // itself, which the posting-scan formulation skipped; remove them
+        // from the work counter (one product per shared distinct k-mer).
+        rank_products[qr] -= cnt;
+        return;
       }
-      for (const auto& [j, cnt] : counts) {
-        // Unordered pair (i, j) is owned where the smaller id is the query.
-        if (i > j) continue;
-        ++rank_candidates[qr];
-        if (cnt < cfg.common_kmer_threshold) continue;
-        ++rank_aligned[qr];
-        const auto res = align::smith_waterman(seqs[i], seqs[j], scoring);
-        rank_cells[qr] += res.cells;
-        const double ani = res.identity();
-        const double cov = res.coverage(seqs[i].size(), seqs[j].size());
-        if (ani >= cfg.ani_threshold && cov >= cfg.cov_threshold) {
-          rank_edges[qr].push_back({i, j, static_cast<float>(ani),
-                                    static_cast<float>(cov), res.score});
-        }
+      // Unordered pair (i, j) is owned where the smaller id is the query.
+      if (i > j) return;
+      ++rank_candidates[qr];
+      if (cnt < cfg.common_kmer_threshold) return;
+      ++rank_aligned[qr];
+      const auto res = align::smith_waterman(seqs[i], seqs[j], scoring);
+      rank_cells[qr] += res.cells;
+      const double ani = res.identity();
+      const double cov = res.coverage(seqs[i].size(), seqs[j].size());
+      if (ani >= cfg.ani_threshold && cov >= cfg.cov_threshold) {
+        rank_edges[qr].push_back({i, j, static_cast<float>(ani),
+                                  static_cast<float>(cov), res.score});
       }
-    }
+    });
   };
   if (pool != nullptr) {
     pool->parallel_for(static_cast<std::size_t>(nprocs), rank_task);

@@ -51,7 +51,14 @@ struct PastisConfig {
   LoadBalanceScheme load_balance = LoadBalanceScheme::kIndexBased;
   /// Overlap next-block SpGEMM (CPU) with current-block alignment (GPU).
   bool preblocking = false;
-  sparse::SpGemmKernel spgemm_kernel = sparse::SpGemmKernel::kHash;
+  /// Local SpGEMM kernel for candidate discovery. The two-phase
+  /// symbolic/numeric kernel is the default (bit-identical to the serial
+  /// hash/heap oracles for any thread count); kHash/kHeap remain as
+  /// cross-check and ablation kernels.
+  sparse::SpGemmKernel spgemm_kernel = sparse::SpGemmKernel::kHash2Phase;
+  /// Host threads one two-phase SpGEMM call may fan out to (0 = the whole
+  /// pool). Purely a scheduling knob: results are thread-count invariant.
+  int spgemm_threads = 0;
 
   [[nodiscard]] int n_blocks() const { return block_rows * block_cols; }
 

@@ -169,10 +169,7 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
     std::vector<double> before(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) before[static_cast<std::size_t>(r)] = sparse_seconds(rt.clock(r));
 
-    dist::SummaOptions opt;
-    opt.kernel = cfg.spgemm_kernel;
-    opt.charge = Comp::kSpGemm;
-    opt.merge_charge = Comp::kSpGemm;  // stage-merge is part of the multiply
+    const dist::SummaOptions opt = discovery_summa_options(cfg, pool_);
     sparse::SpGemmStats block_stats;
     auto C = dist::summa<OverlapSemiring>(
         rt, stripes_a[static_cast<std::size_t>(blk.r)],

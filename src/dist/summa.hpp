@@ -23,11 +23,17 @@
 namespace pastis::dist {
 
 struct SummaOptions {
-  sparse::SpGemmKernel kernel = sparse::SpGemmKernel::kHash;
+  sparse::SpGemmKernel kernel = sparse::SpGemmKernel::kHash2Phase;
   /// Component the broadcasts + local multiplies are charged to.
   sim::Comp charge = sim::Comp::kSpGemm;
   /// Component the stage merge is charged to.
   sim::Comp merge_charge = sim::Comp::kSpGemm;
+  /// Pool the two-phase kernel's row ranges run on (nullptr = in-rank
+  /// serial; the rank lambdas themselves already run on the host pool, and
+  /// nested parallel_for is safe — idle workers steal chunks).
+  util::ThreadPool* pool = nullptr;
+  /// Per-call thread cap for the two-phase kernel (0 = whole pool).
+  int spgemm_threads = 0;
 };
 
 template <sparse::SemiringLike SR>
@@ -69,7 +75,8 @@ template <sparse::SemiringLike SR>
 
       if (a_tile.empty() || b_tile.empty()) continue;
       sparse::SpGemmStats stage;
-      parts.push_back(sparse::spgemm<SR>(a_tile, b_tile, opt.kernel, &stage));
+      parts.push_back(sparse::spgemm<SR>(a_tile, b_tile, opt.kernel, &stage,
+                                         opt.pool, opt.spgemm_threads));
       part_bytes += parts.back().bytes();
       clock.charge(opt.charge, rt.model().spgemm_time(stage.products));
       clock.spgemm_products += stage.products;

@@ -113,9 +113,12 @@ std::vector<io::SimilarityEdge> QueryEngine::search_batch(
     if (a_query[s].empty() || index_->shard(static_cast<int>(s)).empty()) {
       return;
     }
-    parts[s] =
-        sparse::spgemm<CrossSemiring>(a_query[s], index_->shard(static_cast<int>(s)),
-                                      cfg_.spgemm_kernel, &shard_stats[s]);
+    // Shards already fan out over the pool; the two-phase kernel may fan
+    // out further (nested parallel_for is safe — see util::ThreadPool),
+    // which matters when a batch hits few shards.
+    parts[s] = core::discovery_spgemm<CrossSemiring>(
+        a_query[s], index_->shard(static_cast<int>(s)), cfg_,
+        &shard_stats[s], pool_);
   });
 
   // Merge in shard order — the semiring add is order-independent, so the

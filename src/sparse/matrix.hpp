@@ -68,6 +68,42 @@ class SpMat {
                         [](T& acc, const T& v) { acc = v; });
   }
 
+  /// Trusted direct build from ready-made DCSR arrays — the fast path the
+  /// two-phase SpGEMM and the transpose/prune/extract rewrites use to skip
+  /// from_triples's sort + dedup when ordering is guaranteed by
+  /// construction. The caller promises (checked by asserts in debug
+  /// builds): `row_ids` strictly increasing with no empty rows, `row_ptr`
+  /// of size row_ids.size()+1 strictly increasing from 0 to col_ids.size(),
+  /// and columns strictly increasing within each row.
+  static SpMat from_sorted_parts(Index nrows, Index ncols,
+                                 std::vector<Index> row_ids,
+                                 std::vector<Offset> row_ptr,
+                                 std::vector<Index> col_ids,
+                                 std::vector<T> vals) {
+    SpMat m(nrows, ncols);
+    if (col_ids.empty()) return m;  // normalized empty form (as from_triples)
+    assert(row_ptr.size() == row_ids.size() + 1);
+    assert(row_ptr.front() == 0);
+    assert(row_ptr.back() == col_ids.size());
+    assert(col_ids.size() == vals.size());
+#ifndef NDEBUG
+    for (std::size_t k = 0; k < row_ids.size(); ++k) {
+      assert(row_ids[k] < nrows);
+      assert(row_ptr[k] < row_ptr[k + 1]);  // no empty rows in the directory
+      if (k > 0) assert(row_ids[k - 1] < row_ids[k]);
+      for (Offset o = row_ptr[k]; o < row_ptr[k + 1]; ++o) {
+        assert(col_ids[o] < ncols);
+        if (o > row_ptr[k]) assert(col_ids[o - 1] < col_ids[o]);
+      }
+    }
+#endif
+    m.row_ids_ = std::move(row_ids);
+    m.row_ptr_ = std::move(row_ptr);
+    m.col_ids_ = std::move(col_ids);
+    m.vals_ = std::move(vals);
+    return m;
+  }
+
   [[nodiscard]] Index nrows() const { return nrows_; }
   [[nodiscard]] Index ncols() const { return ncols_; }
   [[nodiscard]] Offset nnz() const { return col_ids_.size(); }
@@ -81,6 +117,7 @@ class SpMat {
   }
 
   /// Directory access (k-th nonempty row and its nonzero range).
+  [[nodiscard]] std::span<const Index> row_ids() const { return row_ids_; }
   [[nodiscard]] Index row_id(std::size_t k) const { return row_ids_[k]; }
   [[nodiscard]] Offset row_begin(std::size_t k) const { return row_ptr_[k]; }
   [[nodiscard]] Offset row_end(std::size_t k) const { return row_ptr_[k + 1]; }
@@ -115,36 +152,102 @@ class SpMat {
     return out;
   }
 
-  /// Transposes via sort (dimension-independent; safe for hypersparse).
+  /// Transposes via a counting pass over the distinct columns
+  /// (dimension-independent; safe for hypersparse). Row-major input order
+  /// means that, within any output row, the original row ids arrive
+  /// strictly increasing — so the transpose assembles directly into sorted
+  /// DCSR arrays with no triple sort and no dedup.
   [[nodiscard]] SpMat transposed() const {
-    std::vector<Triple<T>> t;
-    t.reserve(nnz());
-    for_each([&](Index i, Index j, const T& v) { t.push_back({j, i, v}); });
-    return from_triples(ncols_, nrows_, std::move(t));
+    if (col_ids_.empty()) return SpMat(ncols_, nrows_);
+    // Distinct columns of this matrix = nonempty rows of the transpose.
+    std::vector<Index> out_rows(col_ids_);
+    std::sort(out_rows.begin(), out_rows.end());
+    out_rows.erase(std::unique(out_rows.begin(), out_rows.end()),
+                   out_rows.end());
+    // Slot of each nonzero's column in the output directory (computed once,
+    // reused by the scatter pass below).
+    std::vector<Index> slot(col_ids_.size());
+    std::vector<Offset> counts(out_rows.size(), 0);
+    for (std::size_t o = 0; o < col_ids_.size(); ++o) {
+      const auto it =
+          std::lower_bound(out_rows.begin(), out_rows.end(), col_ids_[o]);
+      slot[o] = static_cast<Index>(it - out_rows.begin());
+      ++counts[slot[o]];
+    }
+    std::vector<Offset> ptr(out_rows.size() + 1, 0);
+    for (std::size_t k = 0; k < out_rows.size(); ++k) {
+      ptr[k + 1] = ptr[k] + counts[k];
+    }
+    std::vector<Offset> cursor(ptr.begin(), ptr.end() - 1);
+    std::vector<Index> out_cols(col_ids_.size());
+    std::vector<T> out_vals(col_ids_.size());
+    for (std::size_t k = 0; k < row_ids_.size(); ++k) {
+      for (Offset o = row_ptr_[k]; o < row_ptr_[k + 1]; ++o) {
+        const Offset at = cursor[slot[o]]++;
+        out_cols[at] = row_ids_[k];
+        out_vals[at] = vals_[o];
+      }
+    }
+    return from_sorted_parts(ncols_, nrows_, std::move(out_rows),
+                             std::move(ptr), std::move(out_cols),
+                             std::move(out_vals));
   }
 
-  /// Keeps nonzeros for which pred(row, col, val) holds.
+  /// Keeps nonzeros for which pred(row, col, val) holds. A row-major scan
+  /// preserves sorted order, so the survivors build directly.
   template <typename Pred>
   [[nodiscard]] SpMat pruned(Pred pred) const {
-    std::vector<Triple<T>> t;
-    t.reserve(nnz());
-    for_each([&](Index i, Index j, const T& v) {
-      if (pred(i, j, v)) t.push_back({i, j, v});
-    });
-    return from_triples(nrows_, ncols_, std::move(t));
+    std::vector<Index> out_rows;
+    std::vector<Offset> ptr;
+    std::vector<Index> out_cols;
+    std::vector<T> out_vals;
+    for (std::size_t k = 0; k < row_ids_.size(); ++k) {
+      const std::size_t row_start = out_cols.size();
+      for (Offset o = row_ptr_[k]; o < row_ptr_[k + 1]; ++o) {
+        if (pred(row_ids_[k], col_ids_[o], vals_[o])) {
+          out_cols.push_back(col_ids_[o]);
+          out_vals.push_back(vals_[o]);
+        }
+      }
+      if (out_cols.size() > row_start) {
+        out_rows.push_back(row_ids_[k]);
+        ptr.push_back(static_cast<Offset>(row_start));
+      }
+    }
+    ptr.push_back(static_cast<Offset>(out_cols.size()));
+    return from_sorted_parts(nrows_, ncols_, std::move(out_rows),
+                             std::move(ptr), std::move(out_cols),
+                             std::move(out_vals));
   }
 
   /// Extracts the sub-matrix [r0, r1) × [c0, c1), re-indexed to local
-  /// coordinates. Used to split stripes for the blocked SUMMA.
+  /// coordinates (direct build, same ordering argument as pruned). Used to
+  /// split stripes for the blocked SUMMA.
   [[nodiscard]] SpMat extract(Index r0, Index r1, Index c0, Index c1) const {
     assert(r0 <= r1 && r1 <= nrows_ && c0 <= c1 && c1 <= ncols_);
-    std::vector<Triple<T>> t;
-    for_each([&](Index i, Index j, const T& v) {
-      if (i >= r0 && i < r1 && j >= c0 && j < c1) {
-        t.push_back({i - r0, j - c0, v});
+    std::vector<Index> out_rows;
+    std::vector<Offset> ptr;
+    std::vector<Index> out_cols;
+    std::vector<T> out_vals;
+    for (std::size_t k = 0; k < row_ids_.size(); ++k) {
+      const Index i = row_ids_[k];
+      if (i < r0 || i >= r1) continue;
+      const std::size_t row_start = out_cols.size();
+      for (Offset o = row_ptr_[k]; o < row_ptr_[k + 1]; ++o) {
+        if (col_ids_[o] >= c0 && col_ids_[o] < c1) {
+          out_cols.push_back(col_ids_[o] - c0);
+          out_vals.push_back(vals_[o]);
+        }
       }
-    });
-    return from_triples(r1 - r0, c1 - c0, std::move(t));
+      if (out_cols.size() > row_start) {
+        out_rows.push_back(i - r0);
+        ptr.push_back(static_cast<Offset>(row_start));
+      }
+    }
+    ptr.push_back(static_cast<Offset>(out_cols.size()));
+    return from_sorted_parts(r1 - r0, c1 - c0, std::move(out_rows),
+                             std::move(ptr), std::move(out_cols),
+                             std::move(out_vals));
   }
 
   /// Structural + value equality (same shape, same nonzeros).

@@ -8,6 +8,8 @@ std::string to_string(SpGemmKernel k) {
       return "hash";
     case SpGemmKernel::kHeap:
       return "heap";
+    case SpGemmKernel::kHash2Phase:
+      return "hash2p";
   }
   return "unknown";
 }

@@ -1,24 +1,36 @@
-// Semiring SpGEMM kernels (local, single-threaded — one rank's work).
+// Semiring SpGEMM kernels (one rank's local work).
 //
-// Two accumulators are provided, mirroring the CPU SpGEMM literature the
+// Three kernels are provided, mirroring the CPU SpGEMM literature the
 // paper builds on [Nagasaka et al., ICPP'18; CombBLAS 2.0]:
-//   * hash  — open-addressing accumulator per output row (default; fastest
-//             for the short, hypersparse rows of the overlap computation);
-//   * heap  — k-way merge of B rows (predictable memory, used as the
-//             cross-check kernel and in the ablation bench).
-// Both are exact over any semiring; tests assert they agree.
+//   * hash2p — two-phase symbolic/numeric hash kernel (default): a
+//              count-only symbolic pass computes exact per-row output
+//              sizes, an exact prefix sum pre-sizes the DCSR arrays, and
+//              the numeric pass writes columns/values directly into their
+//              final positions — no triple intermediary, no global sort,
+//              no per-row allocations. Both passes run thread-parallel
+//              over flop-balanced row ranges on a util::ThreadPool, and
+//              per-product row lookups go through a precomputed B-row
+//              directory instead of a binary search. Output is
+//              bit-identical to the serial kernels for any thread count.
+//   * hash   — serial open-addressing accumulator per output row (the
+//              cross-check oracle the two-phase kernel must match).
+//   * heap   — serial k-way merge of B rows (predictable memory; second
+//              oracle and ablation kernel).
+// All are exact over any semiring; tests assert they agree.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "sparse/matrix.hpp"
 #include "sparse/semiring.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pastis::sparse {
 
-enum class SpGemmKernel { kHash, kHeap };
+enum class SpGemmKernel { kHash, kHeap, kHash2Phase };
 
 [[nodiscard]] std::string to_string(SpGemmKernel k);
 
@@ -55,6 +67,11 @@ class HashAccumulator {
     if (cap > keys_.size()) {
       keys_.assign(cap, kEmpty);
       vals_.resize(cap);
+    } else if (keys_.size() > kShrinkMin && keys_.size() / 8 >= cap) {
+      // High-water release: one skewed row must not pin a huge table for
+      // the rest of the call. Swap-allocate so capacity actually returns.
+      std::vector<Index>(cap, kEmpty).swap(keys_);
+      std::vector<V>(cap).swap(vals_);
     }
     used_.clear();
   }
@@ -79,10 +96,32 @@ class HashAccumulator {
     }
   }
 
+  /// Count-only insertion for the symbolic pass: records the key's
+  /// presence, never touches values.
+  void insert(Index key) {
+    if ((used_.size() + 1) * 2 > keys_.size()) grow_keys();
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t slot = (static_cast<std::size_t>(key) * 0x9e3779b1u) & mask;
+    for (;;) {
+      if (keys_[slot] == kEmpty) {
+        keys_[slot] = key;
+        used_.push_back(slot);
+        return;
+      }
+      if (keys_[slot] == key) return;
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  /// Resets the table without extracting (symbolic-pass row end).
+  void clear_row() {
+    for (std::size_t slot : used_) keys_[slot] = kEmpty;
+    used_.clear();
+  }
+
   /// Appends this row's entries sorted by column and resets the table.
   void extract_sorted(std::vector<Index>& cols, std::vector<V>& vals) {
-    std::sort(used_.begin(), used_.end(),
-              [&](std::size_t a, std::size_t b) { return keys_[a] < keys_[b]; });
+    sort_used();
     for (std::size_t slot : used_) {
       cols.push_back(keys_[slot]);
       vals.push_back(vals_[slot]);
@@ -91,9 +130,27 @@ class HashAccumulator {
     used_.clear();
   }
 
+  /// Writes this row's entries sorted by column into pre-sized storage
+  /// (the numeric pass's direct DCSR assembly) and resets the table.
+  void extract_sorted_to(Index* cols, V* vals) {
+    sort_used();
+    for (std::size_t t = 0; t < used_.size(); ++t) {
+      const std::size_t slot = used_[t];
+      cols[t] = keys_[slot];
+      vals[t] = vals_[slot];
+      keys_[slot] = kEmpty;
+    }
+    used_.clear();
+  }
+
   [[nodiscard]] std::size_t row_size() const { return used_.size(); }
 
  private:
+  void sort_used() {
+    std::sort(used_.begin(), used_.end(),
+              [&](std::size_t a, std::size_t b) { return keys_[a] < keys_[b]; });
+  }
+
   template <typename SR>
   void grow() {
     std::vector<Index> old_keys = std::move(keys_);
@@ -107,15 +164,115 @@ class HashAccumulator {
     }
   }
 
+  void grow_keys() {
+    std::vector<Index> old_keys = std::move(keys_);
+    std::vector<std::size_t> old_used = std::move(used_);
+    keys_.assign(old_keys.size() * 2, kEmpty);
+    vals_.resize(old_keys.size() * 2);
+    used_.clear();
+    for (std::size_t slot : old_used) insert(old_keys[slot]);
+  }
+
   static constexpr Index kEmpty = static_cast<Index>(-1);
+  /// Tables at or below this size are never shrunk (re-touching a few KB
+  /// costs more than it saves).
+  static constexpr std::size_t kShrinkMin = 1u << 12;
   std::vector<Index> keys_;
   std::vector<V> vals_;
   std::vector<std::size_t> used_;
 };
 
+/// O(1) row-id -> directory-slot lookup over B's nonempty rows, built once
+/// per SpGEMM call and shared (read-only) by every thread. Replaces the
+/// per-product binary search of SpMat::find_row. A flat array over the
+/// inner dimension is used when that dimension is small enough to be worth
+/// the memory; hypersparse operands (the 244M-row transposed k-mer matrix)
+/// fall back to an open-addressing table over the nonempty rows only, so
+/// the directory stays Θ(nonempty rows), never Θ(dimension).
+class RowDirectory {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  RowDirectory(Index nrows, std::span<const Index> row_ids) {
+    const std::size_t n = row_ids.size();
+    if (n == 0) return;
+    if (static_cast<std::size_t>(nrows) <=
+        std::max<std::size_t>(kFlatMin, 4 * n)) {
+      flat_.assign(nrows, kMiss);
+      for (std::size_t k = 0; k < n; ++k) {
+        flat_[row_ids[k]] = static_cast<std::uint32_t>(k);
+      }
+      return;
+    }
+    std::size_t cap = 16;
+    while (cap < n * 2) cap <<= 1;
+    hash_keys_.assign(cap, kEmptyKey);
+    hash_slots_.resize(cap);
+    const std::size_t mask = cap - 1;
+    for (std::size_t k = 0; k < n; ++k) {
+      const Index key = row_ids[k];
+      std::size_t slot = (static_cast<std::size_t>(key) * 0x9e3779b1u) & mask;
+      while (hash_keys_[slot] != kEmptyKey) slot = (slot + 1) & mask;
+      hash_keys_[slot] = key;
+      hash_slots_[slot] = static_cast<std::uint32_t>(k);
+    }
+  }
+
+  /// Directory slot of row `r`, or npos if the row is empty.
+  [[nodiscard]] std::size_t lookup(Index r) const {
+    if (!flat_.empty()) {
+      const std::uint32_t s = flat_[r];
+      return s == kMiss ? npos : s;
+    }
+    if (hash_keys_.empty()) return npos;
+    const std::size_t mask = hash_keys_.size() - 1;
+    std::size_t slot = (static_cast<std::size_t>(r) * 0x9e3779b1u) & mask;
+    for (;;) {
+      if (hash_keys_[slot] == kEmptyKey) return npos;
+      if (hash_keys_[slot] == r) return hash_slots_[slot];
+      slot = (slot + 1) & mask;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kMiss = static_cast<std::uint32_t>(-1);
+  static constexpr Index kEmptyKey = static_cast<Index>(-1);
+  static constexpr std::size_t kFlatMin = 1u << 16;
+  std::vector<std::uint32_t> flat_;   // dimension-indexed (small dims only)
+  std::vector<Index> hash_keys_;      // open addressing (hypersparse dims)
+  std::vector<std::uint32_t> hash_slots_;
+};
+
+/// Splits `prefix` (a cumulative-flops array of size n+1, prefix[0] == 0)
+/// into at most `parts` contiguous ranges of roughly equal flops. Returns
+/// the boundary list (size n_chunks + 1). Deterministic in the inputs only,
+/// and output-invariant anyway: chunking decides scheduling, not results.
+inline std::vector<std::size_t> flop_chunks(
+    const std::vector<std::uint64_t>& prefix, std::size_t parts) {
+  const std::size_t n = prefix.size() - 1;
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  const std::uint64_t total = prefix.back();
+  if (parts <= 1 || n <= 1 || total == 0) {
+    bounds.push_back(n);
+    return bounds;
+  }
+  for (std::size_t c = 1; c < parts; ++c) {
+    const std::uint64_t target =
+        total / parts * c + (total % parts) * c / parts;
+    auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    std::size_t b = static_cast<std::size_t>(it - prefix.begin());
+    b = std::min(b, n);
+    if (b > bounds.back()) bounds.push_back(b);
+  }
+  if (bounds.back() < n) bounds.push_back(n);
+  return bounds;
+}
+
 }  // namespace detail
 
-/// C = A ·_SR B with a hash accumulator. A is M×K, B is K×N; C is M×N.
+/// C = A ·_SR B with a serial hash accumulator. A is M×K, B is K×N; C is
+/// M×N. Kept as the primary cross-check oracle for the two-phase kernel.
 template <SemiringLike SR>
 [[nodiscard]] SpMat<typename SR::value_type> spgemm_hash(
     const SpMat<typename SR::left_type>& A,
@@ -127,6 +284,8 @@ template <SemiringLike SR>
 
   std::vector<Triple<V>> out;  // row-major by construction
   detail::HashAccumulator<V> acc;
+  std::vector<Index> cols;  // per-row drain buffers, reused across rows
+  std::vector<V> vals;
 
   for (std::size_t ka = 0; ka < A.n_nonempty_rows(); ++ka) {
     const Index i = A.row_id(ka);
@@ -154,10 +313,8 @@ template <SemiringLike SR>
     }
 
     // Drain the accumulator into triples for this row.
-    std::vector<Index> cols;
-    std::vector<V> vals;
-    cols.reserve(acc.row_size());
-    vals.reserve(acc.row_size());
+    cols.clear();
+    vals.clear();
     acc.extract_sorted(cols, vals);
     for (std::size_t t = 0; t < cols.size(); ++t) {
       out.push_back({i, cols[t], vals[t]});
@@ -170,6 +327,161 @@ template <SemiringLike SR>
   }
   // Triples are already (row, col)-sorted and unique; build directly.
   return SpMat<V>::from_triples(A.nrows(), B.ncols(), std::move(out));
+}
+
+/// C = A ·_SR B with the two-phase symbolic/numeric hash kernel.
+///
+/// Phase 1 (symbolic) runs the hash accumulator in count-only mode to get
+/// the exact nnz of every output row; an exact prefix sum then pre-sizes
+/// the output DCSR arrays. Phase 2 (numeric) recomputes the products with
+/// values and writes each row's sorted entries directly into its final
+/// [offset, offset + nnz) slice — no Triple intermediary, no global
+/// re-sort, no per-row allocations. Both phases are parallelized over
+/// `pool` in contiguous row ranges balanced by accumulated flops
+/// (`max_threads` caps the ranges; 0 means the pool size); every range
+/// writes disjoint state, so the result is bit-identical to spgemm_hash
+/// for ANY thread count, including pool == nullptr (serial).
+template <SemiringLike SR>
+[[nodiscard]] SpMat<typename SR::value_type> spgemm_hash2p(
+    const SpMat<typename SR::left_type>& A,
+    const SpMat<typename SR::right_type>& B, SpGemmStats* stats = nullptr,
+    util::ThreadPool* pool = nullptr, int max_threads = 0) {
+  using V = typename SR::value_type;
+  if (A.ncols() != B.nrows()) {
+    throw std::invalid_argument("spgemm: inner dimensions disagree");
+  }
+  const std::size_t nka = A.n_nonempty_rows();
+  auto finish_stats = [&](std::uint64_t products, std::uint64_t out_nnz) {
+    if (stats != nullptr) {
+      stats->products += products;
+      stats->out_nnz += out_nnz;
+      ++stats->calls;
+    }
+  };
+  if (nka == 0 || B.n_nonempty_rows() == 0) {
+    finish_stats(0, 0);
+    return SpMat<V>(A.nrows(), B.ncols());
+  }
+
+  const detail::RowDirectory dir(B.nrows(), B.row_ids());
+
+  // One directory pass over A's nonzeros: cache each nonzero's B-row slot
+  // (so the symbolic and numeric passes do zero lookups) and accumulate
+  // the per-row flops (= exactly the products the row will perform) whose
+  // prefix sum balances the row ranges.
+  constexpr std::uint32_t kMissSlot = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> kb_of(A.nnz());
+  std::vector<std::uint64_t> flops(nka + 1, 0);
+  for (std::size_t ka = 0; ka < nka; ++ka) {
+    std::uint64_t f = 0;
+    for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+      const std::size_t kb = dir.lookup(A.col(o));
+      if (kb != detail::RowDirectory::npos) {
+        kb_of[o] = static_cast<std::uint32_t>(kb);
+        f += static_cast<std::uint64_t>(B.row_end(kb) - B.row_begin(kb));
+      } else {
+        kb_of[o] = kMissSlot;
+      }
+    }
+    flops[ka + 1] = flops[ka] + f;
+  }
+  const std::uint64_t total_flops = flops[nka];
+  if (total_flops == 0) {
+    finish_stats(0, 0);
+    return SpMat<V>(A.nrows(), B.ncols());
+  }
+
+  std::size_t threads = pool != nullptr ? pool->size() : 1;
+  if (max_threads > 0) {
+    threads = std::min(threads, static_cast<std::size_t>(max_threads));
+  }
+  // Tiny multiplies are not worth fan-out (a SUMMA stage on a small tile).
+  if (total_flops < (1u << 14)) threads = 1;
+  const std::vector<std::size_t> bounds = detail::flop_chunks(flops, threads);
+  const std::size_t n_chunks = bounds.size() - 1;
+
+  auto run_chunks = [&](const std::function<void(std::size_t)>& chunk_fn) {
+    if (pool == nullptr || n_chunks <= 1) {
+      for (std::size_t c = 0; c < n_chunks; ++c) chunk_fn(c);
+    } else {
+      pool->parallel_for(n_chunks, chunk_fn);
+    }
+  };
+
+  // ---- symbolic pass: exact nnz of every output row ------------------------
+  // The table-size hint is capped: high-compression rows (many products,
+  // few distinct columns — the §V-B genomics regime) would otherwise pay
+  // cold-cache probes in a needlessly huge table; rows that really do
+  // exceed the cap just rehash a few times (keys only, cheap).
+  constexpr std::size_t kSymbolicSizeCap = 4096;
+  std::vector<Offset> row_nnz(nka, 0);
+  run_chunks([&](std::size_t c) {
+    detail::HashAccumulator<V> acc;  // keys only; values untouched
+    for (std::size_t ka = bounds[c]; ka < bounds[c + 1]; ++ka) {
+      const std::uint64_t f = flops[ka + 1] - flops[ka];
+      if (f == 0) continue;
+      acc.begin_row(
+          std::min(static_cast<std::size_t>(f), kSymbolicSizeCap));
+      for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+        const std::uint32_t kb = kb_of[o];
+        if (kb == kMissSlot) continue;
+        for (Offset ob = B.row_begin(kb); ob < B.row_end(kb); ++ob) {
+          acc.insert(B.col(ob));
+        }
+      }
+      row_nnz[ka] = static_cast<Offset>(acc.row_size());
+      acc.clear_row();
+    }
+  });
+
+  // ---- exact prefix sum → pre-sized output arrays --------------------------
+  std::vector<Offset> row_off(nka + 1, 0);
+  for (std::size_t ka = 0; ka < nka; ++ka) {
+    row_off[ka + 1] = row_off[ka] + row_nnz[ka];
+  }
+  const Offset out_nnz = row_off[nka];
+  std::vector<Index> out_cols(out_nnz);
+  std::vector<V> out_vals(out_nnz);
+
+  // ---- numeric pass: direct DCSR assembly ----------------------------------
+  run_chunks([&](std::size_t c) {
+    detail::HashAccumulator<V> acc;
+    for (std::size_t ka = bounds[c]; ka < bounds[c + 1]; ++ka) {
+      if (row_nnz[ka] == 0) continue;
+      acc.begin_row(static_cast<std::size_t>(row_nnz[ka]));
+      for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+        const std::uint32_t kb = kb_of[o];
+        if (kb == kMissSlot) continue;
+        const auto& aval = A.val(o);
+        for (Offset ob = B.row_begin(kb); ob < B.row_end(kb); ++ob) {
+          acc.template add<SR>(B.col(ob), SR::multiply(aval, B.val(ob)));
+        }
+      }
+      acc.extract_sorted_to(out_cols.data() + row_off[ka],
+                            out_vals.data() + row_off[ka]);
+    }
+  });
+
+  // ---- directory of nonempty output rows -----------------------------------
+  std::size_t n_out_rows = 0;
+  for (std::size_t ka = 0; ka < nka; ++ka) n_out_rows += row_nnz[ka] != 0;
+  std::vector<Index> out_row_ids;
+  std::vector<Offset> out_row_ptr;
+  out_row_ids.reserve(n_out_rows);
+  out_row_ptr.reserve(n_out_rows + 1);
+  for (std::size_t ka = 0; ka < nka; ++ka) {
+    if (row_nnz[ka] != 0) {
+      out_row_ids.push_back(A.row_id(ka));
+      out_row_ptr.push_back(row_off[ka]);
+    }
+  }
+  out_row_ptr.push_back(out_nnz);
+
+  finish_stats(total_flops, out_nnz);
+  return SpMat<V>::from_sorted_parts(A.nrows(), B.ncols(),
+                                     std::move(out_row_ids),
+                                     std::move(out_row_ptr),
+                                     std::move(out_cols), std::move(out_vals));
 }
 
 /// C = A ·_SR B with a k-way heap merge per output row.
@@ -190,6 +502,7 @@ template <SemiringLike SR>
 
   std::vector<Triple<V>> out;
   std::vector<Cursor> cursors;
+  std::vector<std::size_t> heap;  // reused across rows
 
   for (std::size_t ka = 0; ka < A.n_nonempty_rows(); ++ka) {
     const Index i = A.row_id(ka);
@@ -206,7 +519,7 @@ template <SemiringLike SR>
     auto heap_less = [&](std::size_t x, std::size_t y) {
       return B.col(cursors[x].pos) > B.col(cursors[y].pos);  // min-heap
     };
-    std::vector<std::size_t> heap(cursors.size());
+    heap.resize(cursors.size());
     for (std::size_t h = 0; h < heap.size(); ++h) heap[h] = h;
     std::make_heap(heap.begin(), heap.end(), heap_less);
 
@@ -238,14 +551,23 @@ template <SemiringLike SR>
   return SpMat<V>::from_triples(A.nrows(), B.ncols(), std::move(out));
 }
 
-/// Kernel-dispatching entry point.
+/// Kernel-dispatching entry point. `pool`/`max_threads` only apply to the
+/// two-phase kernel (the serial oracles ignore them).
 template <SemiringLike SR>
 [[nodiscard]] SpMat<typename SR::value_type> spgemm(
     const SpMat<typename SR::left_type>& A,
     const SpMat<typename SR::right_type>& B, SpGemmKernel kernel,
-    SpGemmStats* stats = nullptr) {
-  return kernel == SpGemmKernel::kHash ? spgemm_hash<SR>(A, B, stats)
-                                       : spgemm_heap<SR>(A, B, stats);
+    SpGemmStats* stats = nullptr, util::ThreadPool* pool = nullptr,
+    int max_threads = 0) {
+  switch (kernel) {
+    case SpGemmKernel::kHash:
+      return spgemm_hash<SR>(A, B, stats);
+    case SpGemmKernel::kHeap:
+      return spgemm_heap<SR>(A, B, stats);
+    case SpGemmKernel::kHash2Phase:
+      break;
+  }
+  return spgemm_hash2p<SR>(A, B, stats, pool, max_threads);
 }
 
 /// Merges partial results (e.g. the √p SUMMA stage outputs) into one matrix,

@@ -2,8 +2,11 @@
 //
 // This is the only source of real on-node concurrency in the code base. The
 // simulated SPMD runtime (sim/runtime.hpp) executes per-rank lambdas on this
-// pool; leaf kernels (SpGEMM, Smith-Waterman batches) are sequential per
-// task so nesting never oversubscribes.
+// pool, and leaf kernels (the two-phase SpGEMM's row ranges, Smith-Waterman
+// batches) may call parallel_for again from inside those lambdas. Nesting
+// is deadlock-free by construction: the calling thread participates and
+// keeps claiming chunks until none remain, so completion never depends on a
+// free worker; idle workers merely steal chunks when they exist.
 #pragma once
 
 #include <condition_variable>

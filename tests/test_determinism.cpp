@@ -89,7 +89,15 @@ INSTANTIATE_TEST_SUITE_P(
         DeterminismCase{9, 2, 2, LB::kIndexBased, false, K::kHeap},
         DeterminismCase{1, 5, 7, LB::kTriangularity, false, K::kHeap},
         DeterminismCase{25, 1, 1, LB::kIndexBased, false, K::kHash},
-        DeterminismCase{25, 6, 2, LB::kTriangularity, true, K::kHash}));
+        DeterminismCase{25, 6, 2, LB::kTriangularity, true, K::kHash},
+        // Two-phase kernel (the default; the serial reference run above
+        // already uses it — these sweep it across decompositions, and the
+        // kHash/kHeap cases prove cross-kernel bit-identity).
+        DeterminismCase{1, 1, 1, LB::kIndexBased, false, K::kHash2Phase},
+        DeterminismCase{4, 2, 2, LB::kTriangularity, false, K::kHash2Phase},
+        DeterminismCase{9, 3, 4, LB::kIndexBased, false, K::kHash2Phase},
+        DeterminismCase{16, 4, 4, LB::kTriangularity, true,
+                        K::kHash2Phase}));
 
 TEST(Determinism, RepeatedRunsAreIdentical) {
   pc::PastisConfig cfg;

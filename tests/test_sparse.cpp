@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 
 #include "sparse/matrix.hpp"
 #include "util/rng.hpp"
@@ -164,6 +165,94 @@ TEST(SpMat, EqualityDetectsValueDifference) {
   Triples t1 = {{0, 0, 1}};
   Triples t2 = {{0, 0, 2}};
   EXPECT_FALSE(IntMat::from_triples(1, 1, t1) == IntMat::from_triples(1, 1, t2));
+}
+
+namespace {
+
+/// Triple-rebuild reference for the direct-build fast paths: the pre-
+/// rewrite transposed/pruned/extract went through from_triples, so
+/// equality against these is equality with the old behavior.
+IntMat transpose_ref(const IntMat& m) {
+  Triples t;
+  m.for_each([&](ps::Index i, ps::Index j, int v) { t.push_back({j, i, v}); });
+  return IntMat::from_triples(m.ncols(), m.nrows(), std::move(t));
+}
+
+}  // namespace
+
+TEST(SpMatDirectBuild, FromSortedPartsEqualsFromTriples) {
+  const auto m = random_matrix(37, 23, 0.2, 77);
+  std::vector<ps::Index> row_ids, col_ids;
+  std::vector<ps::Offset> row_ptr;
+  std::vector<int> vals;
+  ps::Index last_row = ps::Index(-1);
+  m.for_each([&](ps::Index i, ps::Index j, int v) {
+    if (i != last_row) {
+      row_ids.push_back(i);
+      row_ptr.push_back(static_cast<ps::Offset>(col_ids.size()));
+      last_row = i;
+    }
+    col_ids.push_back(j);
+    vals.push_back(v);
+  });
+  row_ptr.push_back(static_cast<ps::Offset>(col_ids.size()));
+  const auto direct = IntMat::from_sorted_parts(
+      37, 23, std::move(row_ids), std::move(row_ptr), std::move(col_ids),
+      std::move(vals));
+  EXPECT_TRUE(direct == m);
+}
+
+TEST(SpMatDirectBuild, EmptyNormalizesLikeFromTriples) {
+  const auto direct = IntMat::from_sorted_parts(5, 6, {}, {0}, {}, {});
+  EXPECT_TRUE(direct == IntMat::from_triples(5, 6, Triples{}));
+  EXPECT_TRUE(direct == IntMat(5, 6));
+  EXPECT_EQ(direct.nnz(), 0u);
+}
+
+TEST(SpMatDirectBuild, TransposedMatchesTripleRebuild) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto m = random_matrix(40, 31, 0.15, seed);
+    EXPECT_TRUE(m.transposed() == transpose_ref(m));
+  }
+  // Hypersparse shape (dimension ≫ nnz) and fully-empty matrix.
+  Triples t = {{0, 3000000000u, 1}, {17, 5, 2}, {17, 3000000000u, 3}};
+  const auto h = IntMat::from_triples(20, 3000000001u, t);
+  EXPECT_TRUE(h.transposed() == transpose_ref(h));
+  const IntMat e(8, 9);
+  EXPECT_TRUE(e.transposed() == transpose_ref(e));
+}
+
+TEST(SpMatDirectBuild, PrunedMatchesTripleRebuild) {
+  const auto m = random_matrix(30, 30, 0.3, 88);
+  auto pred = [](ps::Index i, ps::Index j, int v) {
+    return (i + j + static_cast<ps::Index>(v)) % 3 == 0;
+  };
+  Triples kept;
+  m.for_each([&](ps::Index i, ps::Index j, int v) {
+    if (pred(i, j, v)) kept.push_back({i, j, v});
+  });
+  EXPECT_TRUE(m.pruned(pred) ==
+              IntMat::from_triples(m.nrows(), m.ncols(), std::move(kept)));
+  EXPECT_EQ(m.pruned([](ps::Index, ps::Index, int) { return false; }).nnz(),
+            0u);
+}
+
+TEST(SpMatDirectBuild, ExtractMatchesTripleRebuild) {
+  const auto m = random_matrix(50, 45, 0.2, 89);
+  for (const auto [r0, r1, c0, c1] :
+       {std::array<ps::Index, 4>{0, 50, 0, 45},
+        std::array<ps::Index, 4>{10, 30, 5, 25},
+        std::array<ps::Index, 4>{49, 50, 0, 45},
+        std::array<ps::Index, 4>{20, 20, 10, 10}}) {
+    Triples kept;
+    m.for_each([&](ps::Index i, ps::Index j, int v) {
+      if (i >= r0 && i < r1 && j >= c0 && j < c1) {
+        kept.push_back({i - r0, j - c0, v});
+      }
+    });
+    EXPECT_TRUE(m.extract(r0, r1, c0, c1) ==
+                IntMat::from_triples(r1 - r0, c1 - c0, std::move(kept)));
+  }
 }
 
 TEST(TripleHelpers, SortAndCombine) {

@@ -1,5 +1,6 @@
-// SpGEMM kernel tests: hash and heap kernels against a dense reference,
-// against each other, and over non-arithmetic semirings.
+// SpGEMM kernel tests: hash, heap and two-phase kernels against a dense
+// reference, against each other (bit-identical, for every thread count),
+// and over non-arithmetic semirings.
 #include <gtest/gtest.h>
 
 #include <limits>
@@ -7,6 +8,7 @@
 
 #include "sparse/spgemm.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ps = pastis::sparse;
 
@@ -96,6 +98,40 @@ TEST_P(SpGemmSweep, HashAndHeapAgree) {
   EXPECT_EQ(sh.out_nnz, sp.out_nnz);
 }
 
+TEST_P(SpGemmSweep, TwoPhaseMatchesDenseReference) {
+  const auto c = GetParam();
+  auto A = random_matrix(c.m, c.k, c.da, c.seed + 6);
+  auto B = random_matrix(c.k, c.n, c.db, c.seed + 7);
+  auto C = ps::spgemm_hash2p<ps::PlusTimes<int>>(A, B);
+  expect_equals_dense(C, dense_multiply(A, B));
+}
+
+TEST_P(SpGemmSweep, TwoPhaseBitIdenticalToSerialForAnyThreadCount) {
+  const auto c = GetParam();
+  auto A = random_matrix(c.m, c.k, c.da, c.seed + 8);
+  auto B = random_matrix(c.k, c.n, c.db, c.seed + 9);
+  ps::SpGemmStats sh;
+  auto Ch = ps::spgemm_hash<ps::PlusTimes<int>>(A, B, &sh);
+
+  // No pool (serial) first, then pools of several sizes including the
+  // machine's own; operator== compares the raw DCSR arrays, so equality
+  // here really is bit-identity.
+  ps::SpGemmStats s0;
+  auto C0 = ps::spgemm_hash2p<ps::PlusTimes<int>>(A, B, &s0);
+  EXPECT_TRUE(C0 == Ch);
+  EXPECT_EQ(s0.products, sh.products);
+  EXPECT_EQ(s0.out_nnz, sh.out_nnz);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                              std::size_t{0}}) {  // 0 = hardware
+    pastis::util::ThreadPool pool(threads);
+    ps::SpGemmStats st;
+    auto Ct = ps::spgemm_hash2p<ps::PlusTimes<int>>(A, B, &st, &pool);
+    EXPECT_TRUE(Ct == Ch) << "threads=" << threads;
+    EXPECT_EQ(st.products, sh.products);
+    EXPECT_EQ(st.out_nnz, sh.out_nnz);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, SpGemmSweep,
     ::testing::Values(SpGemmCase{1, 1, 1, 1.0, 1.0, 1},
@@ -105,6 +141,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SpGemmCase{100, 100, 100, 0.05, 0.05, 5},
                       SpGemmCase{30, 200, 30, 0.02, 0.02, 6},
                       SpGemmCase{50, 50, 50, 0.0, 0.5, 7},   // empty A
+                      SpGemmCase{1, 40, 60, 0.6, 0.2, 9},    // single row
+                      SpGemmCase{200, 150, 200, 0.15, 0.15, 10},  // > serial
+                                                                  // cutoff
                       SpGemmCase{40, 40, 40, 0.9, 0.9, 8})); // dense-ish
 
 TEST(SpGemm, DimensionMismatchThrows) {
@@ -113,6 +152,8 @@ TEST(SpGemm, DimensionMismatchThrows) {
   EXPECT_THROW(ps::spgemm_hash<ps::PlusTimes<int>>(A, B),
                std::invalid_argument);
   EXPECT_THROW(ps::spgemm_heap<ps::PlusTimes<int>>(A, B),
+               std::invalid_argument);
+  EXPECT_THROW(ps::spgemm_hash2p<ps::PlusTimes<int>>(A, B),
                std::invalid_argument);
 }
 
@@ -144,6 +185,19 @@ TEST(SpGemm, MinPlusSemiring) {
   EXPECT_EQ(C.to_triples()[0].val, 5);  // min(3+2, 1+5)
   auto C2 = ps::spgemm_heap<MP>(A, B);
   EXPECT_TRUE(C == C2);
+  auto C3 = ps::spgemm_hash2p<MP>(A, B);
+  EXPECT_TRUE(C == C3);
+}
+
+TEST(SpGemm, MinPlusSemiringAcrossThreadCounts) {
+  using MP = ps::MinPlus<int>;
+  auto A = random_matrix(60, 60, 0.2, 30);
+  auto B = random_matrix(60, 60, 0.2, 31);
+  const auto ref = ps::spgemm_hash<MP>(A, B);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    pastis::util::ThreadPool pool(threads);
+    EXPECT_TRUE(ps::spgemm_hash2p<MP>(A, B, nullptr, &pool) == ref);
+  }
 }
 
 TEST(SpGemm, BoolSemiring) {
@@ -155,6 +209,7 @@ TEST(SpGemm, BoolSemiring) {
   auto C = ps::spgemm_hash<ps::BoolOrAnd>(A, B);
   EXPECT_EQ(C.nnz(), 2u);
   C.for_each([](ps::Index, ps::Index, std::uint8_t v) { EXPECT_EQ(v, 1); });
+  EXPECT_TRUE(ps::spgemm_hash2p<ps::BoolOrAnd>(A, B) == C);
 }
 
 TEST(SpGemm, EmptyOperands) {
@@ -163,10 +218,13 @@ TEST(SpGemm, EmptyOperands) {
   EXPECT_EQ(C.nnz(), 0u);
   EXPECT_EQ(C.nrows(), 10u);
   EXPECT_EQ(C.ncols(), 10u);
+  EXPECT_TRUE(ps::spgemm_hash2p<ps::PlusTimes<int>>(A, B) == C);
 }
 
 TEST(SpGemm, HypersparseInnerDimension) {
-  // Simulates the k-mer matrix shape: tiny row count, huge inner dimension.
+  // Simulates the k-mer matrix shape: tiny row count, huge inner dimension
+  // (this also forces the two-phase kernel's B-row directory onto its
+  // hash fallback — a flat array over 100M rows would be absurd).
   std::vector<ps::Triple<int>> ta = {{0, 1000000, 2}, {1, 1000000, 3},
                                      {1, 99999999, 1}};
   std::vector<ps::Triple<int>> tb = {{1000000, 0, 5}, {99999999, 1, 7}};
@@ -178,6 +236,61 @@ TEST(SpGemm, HypersparseInnerDimension) {
   EXPECT_EQ(t[0].val, 10);  // (0,0) = 2*5
   EXPECT_EQ(t[1].val, 15);  // (1,0) = 3*5
   EXPECT_EQ(t[2].val, 7);   // (1,1) = 1*7
+  EXPECT_TRUE(ps::spgemm_hash2p<ps::PlusTimes<int>>(A, B) == C);
+}
+
+TEST(SpGemm, SkewedRowsAllKernelsAgree) {
+  // One sequence-like "heavy" row whose intermediate blows past the small
+  // rows (exercises the accumulator's high-water shrink between rows and
+  // the flop-balanced chunking around a dominant row).
+  pastis::util::Xoshiro256 rng(99);
+  std::vector<ps::Triple<int>> ta, tb;
+  for (ps::Index j = 0; j < 400; ++j) ta.push_back({0, j, 1});  // dense row 0
+  for (ps::Index i = 1; i < 200; ++i) {
+    ta.push_back({i, static_cast<ps::Index>(rng.below(400)), 2});
+  }
+  for (ps::Index i = 0; i < 400; ++i) {
+    for (int r = 0; r < 3; ++r) {
+      tb.push_back({i, static_cast<ps::Index>(rng.below(300)), 1});
+    }
+  }
+  auto A = IntMat::from_triples(200, 400, ta,
+                                [](int& a, const int& b) { a += b; });
+  auto B = IntMat::from_triples(400, 300, tb,
+                                [](int& a, const int& b) { a += b; });
+  ps::SpGemmStats sh, s2;
+  auto Ch = ps::spgemm_hash<ps::PlusTimes<int>>(A, B, &sh);
+  auto Cp = ps::spgemm_heap<ps::PlusTimes<int>>(A, B);
+  pastis::util::ThreadPool pool(4);
+  auto C2 = ps::spgemm_hash2p<ps::PlusTimes<int>>(A, B, &s2, &pool);
+  EXPECT_TRUE(Ch == Cp);
+  EXPECT_TRUE(Ch == C2);
+  EXPECT_EQ(sh.products, s2.products);
+}
+
+TEST(SpGemm, DispatcherRoutesAllKernels) {
+  auto A = random_matrix(30, 30, 0.3, 40);
+  auto B = random_matrix(30, 30, 0.3, 41);
+  const auto ref = ps::spgemm_hash<ps::PlusTimes<int>>(A, B);
+  pastis::util::ThreadPool pool(2);
+  for (auto k : {ps::SpGemmKernel::kHash, ps::SpGemmKernel::kHeap,
+                 ps::SpGemmKernel::kHash2Phase}) {
+    EXPECT_TRUE(ps::spgemm<ps::PlusTimes<int>>(A, B, k) == ref);
+    EXPECT_TRUE(ps::spgemm<ps::PlusTimes<int>>(A, B, k, nullptr, &pool, 2) ==
+                ref);
+  }
+}
+
+TEST(SpGemm, ThreadCapKnobDoesNotChangeResults) {
+  auto A = random_matrix(120, 90, 0.2, 50);
+  auto B = random_matrix(90, 110, 0.2, 51);
+  const auto ref = ps::spgemm_hash<ps::PlusTimes<int>>(A, B);
+  pastis::util::ThreadPool pool(7);
+  for (int cap : {0, 1, 2, 3, 100}) {
+    EXPECT_TRUE(ps::spgemm_hash2p<ps::PlusTimes<int>>(A, B, nullptr, &pool,
+                                                      cap) == ref)
+        << "cap=" << cap;
+  }
 }
 
 TEST(SpGemm, AddMergeCombinesParts) {
@@ -203,4 +316,32 @@ TEST(SpGemm, AddMergeCombinesParts) {
 TEST(SpGemm, KernelNames) {
   EXPECT_EQ(ps::to_string(ps::SpGemmKernel::kHash), "hash");
   EXPECT_EQ(ps::to_string(ps::SpGemmKernel::kHeap), "heap");
+  EXPECT_EQ(ps::to_string(ps::SpGemmKernel::kHash2Phase), "hash2p");
+}
+
+TEST(SpGemm, RowDirectoryFlatAndHashAgreeWithFindRow) {
+  // Small dimension → flat directory; huge dimension → hash fallback.
+  auto small = random_matrix(500, 10, 0.1, 60);
+  std::vector<ps::Triple<int>> th = {{7, 0, 1}, {123456789, 0, 1},
+                                     {4000000000u, 0, 1}};
+  auto huge = IntMat::from_triples(4000000001u, 1, th);
+  {
+    ps::detail::RowDirectory dir(small.nrows(), small.row_ids());
+    for (ps::Index r = 0; r < small.nrows(); ++r) {
+      const auto expect = small.find_row(r);
+      EXPECT_EQ(dir.lookup(r) == ps::detail::RowDirectory::npos,
+                expect == IntMat::npos);
+      if (expect != IntMat::npos) {
+        EXPECT_EQ(dir.lookup(r), expect);
+      }
+    }
+  }
+  {
+    ps::detail::RowDirectory dir(huge.nrows(), huge.row_ids());
+    EXPECT_EQ(dir.lookup(7), huge.find_row(7));
+    EXPECT_EQ(dir.lookup(123456789), huge.find_row(123456789));
+    EXPECT_EQ(dir.lookup(4000000000u), huge.find_row(4000000000u));
+    EXPECT_EQ(dir.lookup(8), ps::detail::RowDirectory::npos);
+    EXPECT_EQ(dir.lookup(3999999999u), ps::detail::RowDirectory::npos);
+  }
 }
