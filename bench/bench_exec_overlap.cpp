@@ -1,0 +1,158 @@
+// Streaming-executor overlap: the Table 2 / §VI-C story as a depth sweep.
+//
+// Runs the same overlap workload (pre-blocking regime: discovery and
+// alignment comparable, the paper's "no more than 2:1" ratio) through the
+// blocked pipeline at pipeline_depth 1, 2, 4, ... and reports the modeled
+// block-loop makespan per depth: depth 1 is the serial sum, depth 2 the
+// paper's pre-blocking schedule, deeper depths the executor's
+// generalization. The difference to depth 1 is the alignment wait the
+// software pipeline hides (the C_wait-style reduction). Edges must be
+// bit-identical across depths — the executor's headline invariant — and
+// that check gates the exit code (CI smoke-run).
+//
+//   --seqs=N --procs=N --blocks=N --depths=1,2,4 --seed=N --out=FILE
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+using namespace pastis;
+using namespace pastis::bench;
+
+namespace {
+
+std::vector<int> parse_depths(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const int d = std::atoi(tok.c_str());
+    if (d >= 1) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.i("seqs", 800));
+  const int procs = static_cast<int>(args.i("procs", 4));
+  const int blocks = static_cast<int>(args.i("blocks", 3));
+  const auto seed = static_cast<std::uint64_t>(args.i("seed", 17));
+  const std::string out_path = args.s("out", "BENCH_exec.json");
+  const auto depths = parse_depths(args.s("depths", "1,2,4,8"));
+  if (depths.empty() || depths.front() != 1) {
+    std::fprintf(stderr,
+                 "bench_exec_overlap: --depths must start with the serial "
+                 "oracle depth 1\n");
+    return 1;
+  }
+
+  util::banner("streaming blocked executor — depth sweep on the overlap "
+               "workload");
+  const auto data = make_dataset(n, seed);
+  // Paper-regime machine (workload homothety vs the 20M-sequence runs):
+  // lands align:sparse inside the §VI-C "no more than 2:1" window.
+  const auto model = sim::MachineModel::summit_scaled(1.1e9, 3.3e4);
+
+  struct Point {
+    int depth;
+    double makespan;     // modeled block-loop seconds (t_blocks)
+    double total;        // modeled end-to-end seconds (t_total)
+    double hidden;       // makespan reduction vs depth 1 (the C_wait story)
+    double wall;         // harness wall seconds (real overlap, host-bound)
+    std::uint64_t peak;  // modeled peak rank bytes (windowed residency)
+    std::size_t edges;
+  };
+  std::vector<Point> points;
+  std::vector<io::SimilarityEdge> oracle_edges;
+  std::uint64_t sparse_sum = 0;
+  bool identical = true;  // full edge-set equality, not just counts
+
+  for (const int depth : depths) {
+    core::PastisConfig cfg;
+    cfg.block_rows = cfg.block_cols = blocks;
+    cfg.pipeline_depth = depth;
+    core::SimilaritySearch search(cfg, model, procs);
+    const auto r = search.run(data.seqs);
+    if (points.empty()) {
+      oracle_edges = r.edges;
+      sparse_sum = r.stats.spgemm.products;
+    }
+    points.push_back({depth, r.stats.t_blocks, r.stats.t_total,
+                      points.empty() ? 0.0
+                                     : points.front().makespan - r.stats.t_blocks,
+                      r.stats.wall_seconds, r.stats.peak_rank_bytes,
+                      r.edges.size()});
+    if (r.edges != oracle_edges) {
+      identical = false;
+      std::fprintf(stderr,
+                   "FATAL: depth %d edges diverged from the depth-1 oracle\n",
+                   depth);
+    }
+  }
+
+  util::TextTable t({"depth", "block loop (s)", "hidden vs d1 (s)",
+                     "hidden %", "total (s)", "peak rank mem", "wall (s)"});
+  for (const auto& p : points) {
+    const double pct =
+        points.front().makespan > 0.0
+            ? 100.0 * p.hidden / points.front().makespan
+            : 0.0;
+    t.add_row({std::to_string(p.depth), f4(p.makespan), f4(p.hidden),
+               f2(pct), f4(p.total),
+               util::bytes_human(static_cast<double>(p.peak)), f2(p.wall)});
+  }
+  t.print();
+  std::printf("\nworkload: %u seqs, %dx%d blocks, %d ranks, %s products\n", n,
+              blocks, blocks, procs, util::with_commas(sparse_sum).c_str());
+
+  util::banner("shape checks");
+  ShapeChecks sc;
+  bool overlap_wins = true;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].depth >= 2) {
+      overlap_wins = overlap_wins && points[i].makespan < points[0].makespan;
+    }
+  }
+  sc.check(identical, "edges bit-identical across all depths (hard gate)");
+  sc.check(overlap_wins,
+           "modeled makespan at depth >= 2 strictly below the depth-1 "
+           "serial loop (hard gate: the Table 2 C_wait reduction)");
+  bool monotone = true;
+  for (std::size_t i = 2; i < points.size(); ++i) {
+    monotone = monotone && points[i].makespan <= points[i - 1].makespan + 1e-12;
+  }
+  sc.check(monotone, "deeper pipelines never lengthen the modeled makespan");
+  sc.summary();
+
+  // ---- machine-readable trajectory -----------------------------------------
+  {
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"bench\": \"exec_overlap\",\n"
+        << "  \"workload\": \"overlap_product\",\n"
+        << "  \"seqs\": " << n << ",\n"
+        << "  \"procs\": " << procs << ",\n"
+        << "  \"blocks\": " << blocks * blocks << ",\n"
+        << "  \"depths\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      out << "    {\"depth\": " << p.depth
+          << ", \"modeled_makespan_s\": " << p.makespan
+          << ", \"hidden_vs_depth1_s\": " << p.hidden
+          << ", \"modeled_total_s\": " << p.total
+          << ", \"peak_rank_bytes\": " << p.peak
+          << ", \"wall_s\": " << p.wall << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Bit-identity AND the modeled overlap win are hard failures (the CI
+  // smoke-run goes red); monotonicity stays advisory.
+  return identical && overlap_wins ? 0 : 1;
+}

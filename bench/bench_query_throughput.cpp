@@ -10,10 +10,12 @@
 // soon as the index is reused for a couple of batches.
 //
 //   --refs=N --queries=N --batches=N --shards=N --procs=N --seed=N
+//   --out=FILE (machine-readable trajectory, default BENCH_query.json)
 #include "bench_common.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 namespace {
 
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
   const int shards = static_cast<int>(args.i("shards", 16));
   const int procs = static_cast<int>(args.i("procs", 16));
   const auto seed = static_cast<std::uint64_t>(args.i("seed", 7));
+  const std::string out_path = args.s("out", "BENCH_query.json");
 
   const int side = static_cast<int>(std::lround(std::sqrt(double(procs))));
   if (n_refs == 0 || n_queries == 0 || n_batches == 0) {
@@ -158,5 +161,50 @@ int main(int argc, char** argv) {
   sc.check(q_per_s_engine > q_per_s_baseline,
            "serving throughput (queries/s) exceeds rebuild baseline");
   sc.summary();
-  return 0;
+
+  // ---- machine-readable trajectory (CI artifact) ---------------------------
+  {
+    const double batches_per_s_engine =
+        st.t_index_build + st.t_serve > 0.0
+            ? nb / (st.t_index_build + st.t_serve)
+            : 0.0;
+    const double batches_per_s_baseline =
+        baseline_total > 0.0 ? nb / baseline_total : 0.0;
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"bench\": \"query_throughput\",\n"
+        << "  \"refs\": " << n_refs << ",\n"
+        << "  \"queries\": " << n_queries << ",\n"
+        << "  \"batches\": " << n_batches << ",\n"
+        << "  \"shards\": " << shards << ",\n"
+        << "  \"procs\": " << procs << ",\n"
+        << "  \"pipeline_depth\": " << st.pipeline_depth << ",\n"
+        << "  \"baseline_s_per_batch\": " << baseline_per_batch << ",\n"
+        << "  \"baseline_batches_per_s\": " << batches_per_s_baseline << ",\n"
+        << "  \"baseline_queries_per_s\": " << q_per_s_baseline << ",\n"
+        << "  \"engine_index_build_s\": " << st.t_index_build << ",\n"
+        << "  \"engine_serve_s\": " << st.t_serve << ",\n"
+        << "  \"engine_amortized_s_per_batch\": " << engine_amortized << ",\n"
+        << "  \"engine_batches_per_s\": " << batches_per_s_engine << ",\n"
+        << "  \"engine_queries_per_s\": " << q_per_s_engine << ",\n"
+        << "  \"speedup_per_batch\": "
+        << (engine_amortized > 0.0 ? baseline_per_batch / engine_amortized
+                                   : 0.0)
+        << ",\n"
+        << "  \"per_batch\": [\n";
+    for (std::size_t b = 0; b < n_batches; ++b) {
+      const auto& bs = st.batches[b];
+      out << "    {\"batch\": " << b << ", \"queries\": " << bs.n_queries
+          << ", \"baseline_s\": " << baseline_s[b]
+          << ", \"engine_sparse_s\": " << bs.t_sparse
+          << ", \"engine_align_s\": " << bs.t_align
+          << ", \"hits\": " << bs.hits << "}"
+          << (b + 1 < n_batches ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  // Hit bit-identity to the rebuild baseline is the hard gate (CI smoke).
+  return served.hits == baseline_hits ? 0 : 1;
 }

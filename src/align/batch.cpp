@@ -22,40 +22,68 @@ AlignResult BatchAligner::align_one(std::string_view q, std::string_view r,
   return {};
 }
 
-std::vector<int> BatchAligner::assign_lanes(
-    const SeqAccessor& seq_of, std::span<const AlignTask> tasks) const {
+void BatchAligner::assign_lanes(const SeqAccessor& seq_of,
+                                std::span<const AlignTask> tasks,
+                                LaneScratch& scratch) const {
   const int devices = std::max(1, config_.devices);
-  std::vector<int> lanes(tasks.size(), 0);
-  std::vector<std::uint64_t> load(static_cast<std::size_t>(devices), 0);
+  scratch.lanes.assign(tasks.size(), 0);
+  scratch.load.assign(static_cast<std::size_t>(devices), 0);
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     int best = 0;
     for (int d = 1; d < devices; ++d) {
-      if (load[static_cast<std::size_t>(d)] <
-          load[static_cast<std::size_t>(best)]) {
+      if (scratch.load[static_cast<std::size_t>(d)] <
+          scratch.load[static_cast<std::size_t>(best)]) {
         best = d;
       }
     }
-    lanes[t] = best;
-    load[static_cast<std::size_t>(best)] +=
+    scratch.lanes[t] = best;
+    scratch.load[static_cast<std::size_t>(best)] +=
         static_cast<std::uint64_t>(seq_of(tasks[t].q_id).size()) *
         static_cast<std::uint64_t>(seq_of(tasks[t].r_id).size());
   }
-  return lanes;
+}
+
+std::vector<int> BatchAligner::assign_lanes(
+    const SeqAccessor& seq_of, std::span<const AlignTask> tasks) const {
+  LaneScratch scratch;
+  assign_lanes(seq_of, tasks, scratch);
+  return std::move(scratch.lanes);
 }
 
 BatchStats BatchAligner::stats_for(const SeqAccessor& seq_of,
                                    std::span<const AlignTask> tasks,
                                    std::span<const AlignResult> results) const {
-  return stats_for(seq_of, tasks, results, assign_lanes(seq_of, tasks));
+  LaneScratch scratch;
+  return stats_for(seq_of, tasks, results, scratch);
+}
+
+BatchStats BatchAligner::stats_for(const SeqAccessor& seq_of,
+                                   std::span<const AlignTask> tasks,
+                                   std::span<const AlignResult> results,
+                                   LaneScratch& scratch) const {
+  assign_lanes(seq_of, tasks, scratch);
+  return stats_with(seq_of, tasks, results,
+                    std::span<const int>(scratch.lanes), scratch.device_cells,
+                    scratch.device_pairs);
 }
 
 BatchStats BatchAligner::stats_for(const SeqAccessor& seq_of,
                                    std::span<const AlignTask> tasks,
                                    std::span<const AlignResult> results,
                                    std::span<const int> lanes) const {
+  std::vector<std::uint64_t> device_cells;
+  std::vector<std::uint64_t> device_pairs;
+  return stats_with(seq_of, tasks, results, lanes, device_cells, device_pairs);
+}
+
+BatchStats BatchAligner::stats_with(
+    const SeqAccessor& seq_of, std::span<const AlignTask> tasks,
+    std::span<const AlignResult> results, std::span<const int> lanes,
+    std::vector<std::uint64_t>& device_cells,
+    std::vector<std::uint64_t>& device_pairs) const {
   const int devices = std::max(1, config_.devices);
-  std::vector<std::uint64_t> device_cells(devices, 0);
-  std::vector<std::uint64_t> device_pairs(devices, 0);
+  device_cells.assign(static_cast<std::size_t>(devices), 0);
+  device_pairs.assign(static_cast<std::size_t>(devices), 0);
   BatchStats stats;
   for (std::size_t t = 0; t < results.size(); ++t) {
     const int lane = lanes[t];
@@ -78,22 +106,23 @@ BatchStats BatchAligner::stats_for(const SeqAccessor& seq_of,
   return stats;
 }
 
-std::vector<AlignResult> BatchAligner::align_batch(
+std::span<const AlignResult> BatchAligner::align_batch(
     const SeqAccessor& seq_of, std::span<const AlignTask> tasks,
-    BatchStats* stats, util::ThreadPool* pool) const {
-  std::vector<AlignResult> results(tasks.size());
+    AlignWorkspace& ws, BatchStats* stats, util::ThreadPool* pool) const {
+  ws.results.assign(tasks.size(), AlignResult{});
   const int devices = std::max(1, config_.devices);
 
   // Lanes are computed exactly once per batch and shared between the run
   // and the device-model accounting below.
-  const auto lanes = assign_lanes(seq_of, tasks);
+  assign_lanes(seq_of, tasks, ws.lanes);
+  const auto& lanes = ws.lanes.lanes;
   auto run_lane = [&](int lane) {
     // ADEPT distributes alignments across the node's devices; the driver
     // balances per-GPU batches by DP size (see assign_lanes).
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       if (lanes[t] != lane) continue;
       const AlignTask& task = tasks[t];
-      results[t] = align_one(seq_of(task.q_id), seq_of(task.r_id), task);
+      ws.results[t] = align_one(seq_of(task.q_id), seq_of(task.r_id), task);
     }
   };
 
@@ -105,9 +134,19 @@ std::vector<AlignResult> BatchAligner::align_batch(
   }
 
   if (stats != nullptr) {
-    stats->merge(stats_for(seq_of, tasks, results, lanes));
+    stats->merge(stats_with(seq_of, tasks, ws.results,
+                            std::span<const int>(lanes),
+                            ws.lanes.device_cells, ws.lanes.device_pairs));
   }
-  return results;
+  return ws.results;
+}
+
+std::vector<AlignResult> BatchAligner::align_batch(
+    const SeqAccessor& seq_of, std::span<const AlignTask> tasks,
+    BatchStats* stats, util::ThreadPool* pool) const {
+  AlignWorkspace ws;
+  align_batch(seq_of, tasks, ws, stats, pool);
+  return std::move(ws.results);
 }
 
 }  // namespace pastis::align

@@ -51,6 +51,24 @@ struct BatchStats {
   }
 };
 
+/// Reusable lane-assignment buffers (one per rank, or per executor slot).
+/// The aligner itself is immutable and re-entrant; all mutable per-batch
+/// state lives in these scratch objects, so the streaming executor keeps
+/// one per in-flight slot instead of allocating per call.
+struct LaneScratch {
+  std::vector<int> lanes;
+  std::vector<std::uint64_t> load;          // per device: Σ |q|·|r| proxy
+  std::vector<std::uint64_t> device_cells;  // stats_for accumulators
+  std::vector<std::uint64_t> device_pairs;
+};
+
+/// Reusable whole-batch buffers for one executor slot: the flattened
+/// result array plus lane scratch for batch-granular calls.
+struct AlignWorkspace {
+  std::vector<AlignResult> results;
+  LaneScratch lanes;
+};
+
 class BatchAligner {
  public:
   struct Config {
@@ -85,6 +103,15 @@ class BatchAligner {
                                        BatchStats* stats = nullptr,
                                        util::ThreadPool* pool = nullptr) const;
 
+  /// Workspace variant of align_batch for re-entrant streaming use: results
+  /// land in `ws.results` (capacity reused across calls) and the returned
+  /// span views them. Element-wise identical to align_batch.
+  std::span<const AlignResult> align_batch(const SeqAccessor& seq_of,
+                                           std::span<const AlignTask> tasks,
+                                           AlignWorkspace& ws,
+                                           BatchStats* stats = nullptr,
+                                           util::ThreadPool* pool = nullptr) const;
+
   /// Aligns a single task (element-wise identical to align_batch). The
   /// simulated runtime uses this to flatten many ranks' batches onto one
   /// host pool while keeping per-rank accounting exact.
@@ -105,12 +132,22 @@ class BatchAligner {
                                      std::span<const AlignTask> tasks,
                                      std::span<const AlignResult> results,
                                      std::span<const int> lanes) const;
+  /// Allocation-free accounting on a reusable scratch (re-entrant stage
+  /// path): assigns lanes into `scratch` and accumulates through its
+  /// per-device buffers. Identical numbers to the allocating overloads.
+  [[nodiscard]] BatchStats stats_for(const SeqAccessor& seq_of,
+                                     std::span<const AlignTask> tasks,
+                                     std::span<const AlignResult> results,
+                                     LaneScratch& scratch) const;
 
   /// Deterministic device assignment: tasks go to the least-loaded device
   /// by the DP-size proxy |q|*|r| (the ADEPT driver balances its per-GPU
   /// batches; plain round-robin quantizes badly when batches are small).
   [[nodiscard]] std::vector<int> assign_lanes(
       const SeqAccessor& seq_of, std::span<const AlignTask> tasks) const;
+  /// Scratch variant: fills `scratch.lanes` reusing its capacity.
+  void assign_lanes(const SeqAccessor& seq_of, std::span<const AlignTask> tasks,
+                    LaneScratch& scratch) const;
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const Scoring& scoring() const { return scoring_; }
@@ -118,6 +155,12 @@ class BatchAligner {
  private:
   [[nodiscard]] AlignResult align_one(std::string_view q, std::string_view r,
                                       const AlignTask& task) const;
+  [[nodiscard]] BatchStats stats_with(const SeqAccessor& seq_of,
+                                      std::span<const AlignTask> tasks,
+                                      std::span<const AlignResult> results,
+                                      std::span<const int> lanes,
+                                      std::vector<std::uint64_t>& device_cells,
+                                      std::vector<std::uint64_t>& device_pairs) const;
 
   Scoring scoring_;
   Config config_;

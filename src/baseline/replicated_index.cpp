@@ -54,6 +54,16 @@ std::vector<io::SimilarityEdge> replicated_index_search(
   const kmer::KmerCodec codec(alphabet.size(), cfg.k);
   const align::Scoring scoring = cfg.make_scoring();
 
+  // MMseqs2 has no seeded/GPU path (§IV): candidates go through full
+  // Smith-Waterman regardless of cfg.align_kind. The batch aligner is the
+  // same re-entrant stage the pipeline and the query engine run on — the
+  // baseline's discovery → alignment flow shares their machinery, it only
+  // schedules it per replicated chunk instead of per streamed block.
+  align::BatchAligner::Config bcfg;
+  bcfg.kind = align::AlignKind::kFullSW;
+  const align::BatchAligner aligner(scoring, bcfg);
+  auto seq_of = [&](std::uint32_t id) -> std::string_view { return seqs[id]; };
+
   std::uint64_t seq_bytes = 0;
   for (const auto& s : seqs) seq_bytes += s.size();
 
@@ -121,6 +131,9 @@ std::vector<io::SimilarityEdge> replicated_index_search(
             a_query, index, cfg, &gstats, pool);
     rank_products[qr] = gstats.products;
 
+    // Prune stage: candidates clearing the shared-k-mer threshold become
+    // canonical alignment tasks (query = smaller id, like the pipeline).
+    std::vector<align::AlignTask> tasks;
     counts.for_each([&](sparse::Index qi, sparse::Index rj,
                         const std::uint32_t& cnt) {
       const std::uint32_t i = q_begin + qi;
@@ -136,16 +149,22 @@ std::vector<io::SimilarityEdge> replicated_index_search(
       if (i > j) return;
       ++rank_candidates[qr];
       if (cnt < cfg.common_kmer_threshold) return;
-      ++rank_aligned[qr];
-      const auto res = align::smith_waterman(seqs[i], seqs[j], scoring);
-      rank_cells[qr] += res.cells;
-      const double ani = res.identity();
-      const double cov = res.coverage(seqs[i].size(), seqs[j].size());
-      if (ani >= cfg.ani_threshold && cov >= cfg.cov_threshold) {
-        rank_edges[qr].push_back({i, j, static_cast<float>(ani),
-                                  static_cast<float>(cov), res.score});
-      }
+      tasks.push_back(align::AlignTask{i, j, 0, 0});
     });
+    rank_aligned[qr] = tasks.size();
+
+    // Align + filter stage on the shared aligner (rank-level parallelism
+    // comes from the chunk fan-out, so the batch itself runs inline).
+    align::AlignWorkspace ws;
+    const auto results = aligner.align_batch(seq_of, tasks, ws);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      rank_cells[qr] += results[t].cells;
+      if (auto edge = core::edge_if_similar(tasks[t], results[t],
+                                            seqs[tasks[t].q_id].size(),
+                                            seqs[tasks[t].r_id].size(), cfg)) {
+        rank_edges[qr].push_back(*edge);
+      }
+    }
   };
   if (pool != nullptr) {
     pool->parallel_for(static_cast<std::size_t>(nprocs), rank_task);

@@ -3,6 +3,7 @@
 // threshold 2, ANI 0.30, coverage 0.70).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "align/batch.hpp"
@@ -50,7 +51,30 @@ struct PastisConfig {
   int block_cols = 1;
   LoadBalanceScheme load_balance = LoadBalanceScheme::kIndexBased;
   /// Overlap next-block SpGEMM (CPU) with current-block alignment (GPU).
+  /// Legacy alias for the streaming executor's depth: with `pipeline_depth`
+  /// left at 0, preblocking selects depth 2 (the paper's §VI-C schedule)
+  /// and off selects depth 1 (the serial loop).
   bool preblocking = false;
+  /// Streaming-executor depth: the maximum pre-blocked blocks (or query
+  /// batches) in flight at once through discovery → prune → align. 0 defers
+  /// to `preblocking`; 1 is the serial oracle; >= 2 runs block b+1's SpGEMM
+  /// concurrently with block b's alignment and charges the modeled
+  /// timeline as the pipeline makespan (max, not sum — exec/timeline.hpp).
+  /// Results are bit-identical for any depth.
+  int pipeline_depth = 0;
+  /// Admission gate of the streaming executor: while the in-flight items
+  /// (pipeline overlap blocks; serving-path task batches) hold more
+  /// registered bytes than this, no new item's discovery is admitted
+  /// (0 = unbounded). Bounds the *host* memory of the streaming
+  /// execution; the modeled stats (timeline, peak_rank_bytes) assume the
+  /// configured depth and are therefore a conservative upper bound on
+  /// what a gated schedule can hold in flight.
+  std::uint64_t exec_memory_budget_bytes = 0;
+  /// Collect the full per-rank × per-block timeline in SearchStats
+  /// (rank_block_sparse_s / rank_block_align_s). Off by default: the
+  /// streaming reduction only needs O(ranks × depth) state, and the dense
+  /// n_blocks × p matrices are pure reporting overhead.
+  bool collect_rank_block_timeline = false;
   /// Local SpGEMM kernel for candidate discovery. The two-phase
   /// symbolic/numeric kernel is the default (bit-identical to the serial
   /// hash/heap oracles for any thread count); kHash/kHeap remain as
@@ -61,6 +85,12 @@ struct PastisConfig {
   int spgemm_threads = 0;
 
   [[nodiscard]] int n_blocks() const { return block_rows * block_cols; }
+
+  /// The streaming-executor depth after resolving the legacy alias.
+  [[nodiscard]] int effective_pipeline_depth() const {
+    if (pipeline_depth > 0) return pipeline_depth;
+    return preblocking ? 2 : 1;
+  }
 
   [[nodiscard]] align::Scoring make_scoring() const {
     return align::Scoring(matrix, gap_open, gap_extend);

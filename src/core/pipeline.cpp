@@ -8,6 +8,8 @@
 #include "core/seq_store.hpp"
 #include "core/stages.hpp"
 #include "dist/summa.hpp"
+#include "exec/stream_pipeline.hpp"
+#include "exec/timeline.hpp"
 #include "io/fasta.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -21,10 +23,39 @@ using sim::Comp;
 using sim::SimRuntime;
 using sparse::Index;
 
-/// Component snapshot used to attribute per-phase deltas.
-double sparse_seconds(const sim::RankClock& c) {
-  return c.get(Comp::kSpGemm) + c.get(Comp::kSparseOther);
-}
+/// Per-slot state of one in-flight block as it streams through
+/// discover → prune → align. Slots are reused (item % depth), so every
+/// buffer keeps its capacity across the blocks a slot serves — the
+/// executor guarantees the previous occupant retired before reset() runs.
+struct BlockSlot {
+  DistSpMat<CommonKmers> C;
+  sparse::SpGemmStats spgemm;
+  std::vector<sim::RankClock> frame;                    // per-rank charges
+  std::vector<std::vector<align::AlignTask>> tasks;     // per rank
+  std::vector<std::vector<io::SimilarityEdge>> edges;   // per rank
+  std::vector<double> sparse_s, align_s;                // per rank, dilated
+  std::vector<std::uint64_t> local_bytes;               // per rank
+  std::vector<align::LaneScratch> lane_scratch;         // per rank
+  align::AlignWorkspace ws;                             // flattened DP batch
+  std::vector<align::AlignTask> flat_tasks;
+  std::vector<std::size_t> rank_offset;
+
+  void reset(int p) {
+    const auto np = static_cast<std::size_t>(p);
+    spgemm = {};
+    frame.assign(np, sim::RankClock{});
+    if (tasks.size() != np) tasks.resize(np);
+    for (auto& t : tasks) t.clear();
+    if (edges.size() != np) edges.resize(np);
+    for (auto& e : edges) e.clear();
+    sparse_s.assign(np, 0.0);
+    align_s.assign(np, 0.0);
+    local_bytes.assign(np, 0);
+    if (lane_scratch.size() != np) lane_scratch.resize(np);
+    flat_tasks.clear();
+    rank_offset.assign(np + 1, 0);
+  }
+};
 
 }  // namespace
 
@@ -45,7 +76,9 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
   st.nprocs = p;
   st.block_rows = cfg.block_rows;
   st.block_cols = cfg.block_cols;
-  st.preblocking = cfg.preblocking;
+  const int depth = cfg.effective_pipeline_depth();
+  st.pipeline_depth = depth;
+  st.preblocking = depth >= 2;
 
   DistSeqStore store(std::move(seqs), p);
   const Index n = store.size();
@@ -94,7 +127,7 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
   }
 
   // Per-rank logical bytes resident through the block loop (stripes + A
-  // replacement); the overlap block is added per iteration below.
+  // replacement); the in-flight overlap blocks are windowed in below.
   std::vector<std::uint64_t> setup_bytes(static_cast<std::size_t>(p), 0);
   for (int rank = 0; rank < p; ++rank) {
     std::uint64_t b = 0;
@@ -104,7 +137,7 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
   }
 
   std::vector<double> setup_sparse(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) setup_sparse[static_cast<std::size_t>(r)] = sparse_seconds(rt.clock(r));
+  for (int r = 0; r < p; ++r) setup_sparse[static_cast<std::size_t>(r)] = sim::sparse_seconds(rt.clock(r));
   st.t_setup = *std::max_element(setup_sparse.begin(), setup_sparse.end());
 
   // ---- plan + sequence prefetch accounting ---------------------------------
@@ -142,145 +175,184 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
     });
   }
 
-  // ---- block loop -----------------------------------------------------------
+  // ---- streamed block loop --------------------------------------------------
+  // The Fig. 4 loop as a software pipeline (§VI-C generalized): each
+  // planned block flows through {discover, prune, align} stages on the
+  // streaming executor, so with depth >= 2 block b+1's SUMMA runs
+  // concurrently with block b's alignment on the shared host pool. Every
+  // stage charges a per-slot clock frame; frames are merged and the
+  // overlapped timeline reduced at retirement, which the executor runs
+  // strictly in block order — results and counters are therefore
+  // bit-identical to the depth-1 serial oracle for any depth.
   const align::BatchAligner aligner = make_batch_aligner(cfg, model_);
+  auto seq_of = [&](std::uint32_t id) { return store.seq(id); };
 
   // Discovery-compute dilations: the blocked-SUMMA split penalty (§VI-A,
-  // always active) and the pre-blocking CPU-sharing contention (§VI-C).
+  // always active) and the overlapped CPU-sharing contention (§VI-C).
   const double ds =
       model_.split_dilation(br, bc) *
-      (cfg.preblocking ? model_.preblock_sparse_dilation() : 1.0);
-  const double da = cfg.preblocking ? model_.preblock_align_dilation : 1.0;
+      (st.preblocking ? model_.preblock_sparse_dilation() : 1.0);
+  const double da = st.preblocking ? model_.preblock_align_dilation : 1.0;
 
   const std::size_t n_blocks = plan.blocks().size();
   st.block_sparse_s.assign(n_blocks, 0.0);
   st.block_align_s.assign(n_blocks, 0.0);
-  std::vector<std::vector<double>> rank_block_sparse(
-      n_blocks, std::vector<double>(static_cast<std::size_t>(p), 0.0));
-  std::vector<std::vector<double>> rank_block_align(
-      n_blocks, std::vector<double>(static_cast<std::size_t>(p), 0.0));
+  if (cfg.collect_rank_block_timeline) {
+    st.rank_block_sparse_s.assign(
+        n_blocks, std::vector<double>(static_cast<std::size_t>(p), 0.0));
+    st.rank_block_align_s.assign(
+        n_blocks, std::vector<double>(static_cast<std::size_t>(p), 0.0));
+  }
   std::vector<std::vector<io::SimilarityEdge>> rank_edges(
       static_cast<std::size_t>(p));
 
-  for (std::size_t bi = 0; bi < n_blocks; ++bi) {
-    const BlockInfo& blk = plan.blocks()[bi];
+  exec::OverlapTimeline timeline(p, depth);
+  exec::ResidentWindow resident(p, depth);
+  exec::StreamPipeline* gate = nullptr;
 
-    // -- discovery: one full SUMMA over the block's stripes ---------------
-    std::vector<double> before(static_cast<std::size_t>(p));
-    for (int r = 0; r < p; ++r) before[static_cast<std::size_t>(r)] = sparse_seconds(rt.clock(r));
+  // Sized from pipe.slot_count() once the executor exists (below).
+  std::vector<BlockSlot> slots;
 
-    const dist::SummaOptions opt = discovery_summa_options(cfg, pool_);
-    sparse::SpGemmStats block_stats;
-    auto C = dist::summa<OverlapSemiring>(
-        rt, stripes_a[static_cast<std::size_t>(blk.r)],
-        stripes_b[static_cast<std::size_t>(blk.c)], opt, &block_stats);
-    st.spgemm.merge(block_stats);
-    st.candidates += C.nnz();
+  exec::Stage discover{
+      "discover", [&](std::size_t bi, std::size_t si) {
+        BlockSlot& s = slots[si];
+        s.reset(p);
+        const BlockInfo& blk = plan.blocks()[bi];
+        dist::SummaOptions opt = discovery_summa_options(cfg, pool_);
+        opt.clocks = s.frame.data();
+        s.C = dist::summa<OverlapSemiring>(
+            rt, stripes_a[static_cast<std::size_t>(blk.r)],
+            stripes_b[static_cast<std::size_t>(blk.c)], opt, &s.spgemm);
 
-    // Apply the pre-blocking sparse dilation to this block's charges.
-    for (int r = 0; r < p; ++r) {
-      const double delta =
-          sparse_seconds(rt.clock(r)) - before[static_cast<std::size_t>(r)];
-      const double dilated = delta * ds;
-      if (ds != 1.0) {
-        rt.clock(r).charge(Comp::kSpGemm, dilated - delta);
-      }
-      rank_block_sparse[bi][static_cast<std::size_t>(r)] = dilated;
-    }
-
-    // -- alignment + filtering ---------------------------------------------
-    // Each rank extracts the tasks its local block owns; the DP kernels of
-    // ALL ranks are then flattened onto the host pool (the per-rank device
-    // accounting is computed from each rank's own slice afterwards, so the
-    // flattening is invisible to the modeled timings — it only stops a
-    // skewed rank from idling host cores).
-    auto seq_of = [&](std::uint32_t id) { return store.seq(id); };
-    std::vector<std::vector<align::AlignTask>> rank_tasks(
-        static_cast<std::size_t>(p));
-    rt.spmd([&](int rank) {
-      auto& clock = rt.clock(rank);
-      const auto& local = C.local(rank);
-      const int gi = rt.grid().row_of(rank);
-      const int gj = rt.grid().col_of(rank);
-      const Index grow0 = blk.row0 + C.row_begin(gi);
-      const Index gcol0 = blk.col0 + C.col_begin(gj);
-
-      // Extraction scan of the block's local part.
-      clock.charge(Comp::kSparseOther,
-                   model_.sparse_stream_time(local.bytes()) * ds);
-
-      auto& tasks = rank_tasks[static_cast<std::size_t>(rank)];
-      local.for_each([&](Index li, Index lj, const CommonKmers& ck) {
-        const Index i = grow0 + li;
-        const Index j = gcol0 + lj;
-        if (ck.count < cfg.common_kmer_threshold) return;
-        if (!plan.should_align(blk, i, j)) return;
-        // Canonical orientation (query = smaller id) keeps alignment
-        // results identical across schemes and blockings.
-        tasks.push_back(canonical_task(i, j, ck));
-      });
-      clock.overlap_nnz += local.nnz();
-    });
-
-    // Flattened DP execution.
-    std::vector<std::size_t> rank_offset(static_cast<std::size_t>(p) + 1, 0);
-    for (int r = 0; r < p; ++r) {
-      rank_offset[static_cast<std::size_t>(r) + 1] =
-          rank_offset[static_cast<std::size_t>(r)] +
-          rank_tasks[static_cast<std::size_t>(r)].size();
-    }
-    std::vector<align::AlignTask> flat_tasks;
-    flat_tasks.reserve(rank_offset.back());
-    for (const auto& v : rank_tasks) {
-      flat_tasks.insert(flat_tasks.end(), v.begin(), v.end());
-    }
-    std::vector<align::AlignResult> flat_results(flat_tasks.size());
-    pool_->parallel_for(flat_tasks.size(), [&](std::size_t t) {
-      flat_results[t] = aligner.align_one_task(seq_of, flat_tasks[t]);
-    });
-
-    // Per-rank filtering + device-model charging.
-    rt.spmd([&](int rank) {
-      auto& clock = rt.clock(rank);
-      const auto& tasks = rank_tasks[static_cast<std::size_t>(rank)];
-      const std::span<const align::AlignResult> results(
-          flat_results.data() + rank_offset[static_cast<std::size_t>(rank)],
-          tasks.size());
-
-      for (std::size_t t = 0; t < tasks.size(); ++t) {
-        if (auto edge = edge_if_similar(tasks[t], results[t],
-                                        store.seq(tasks[t].q_id).size(),
-                                        store.seq(tasks[t].r_id).size(), cfg)) {
-          rank_edges[static_cast<std::size_t>(rank)].push_back(*edge);
-          ++clock.similar_pairs;
+        // Apply the overlap sparse dilation to this block's charges and
+        // register the block's resident bytes with the admission gate.
+        std::uint64_t total_bytes = 0;
+        for (int r = 0; r < p; ++r) {
+          const auto ri = static_cast<std::size_t>(r);
+          const double delta = sim::sparse_seconds(s.frame[ri]);
+          const double dilated = delta * ds;
+          if (ds != 1.0) s.frame[ri].charge(Comp::kSpGemm, dilated - delta);
+          s.sparse_s[ri] = dilated;
+          s.local_bytes[ri] = s.C.local(r).bytes();
+          total_bytes += s.local_bytes[ri];
         }
-      }
+        gate->set_resident_bytes(bi, total_bytes);
+      }};
 
-      // Charge the device model (with pre-blocking contention dilation).
-      const align::BatchStats bstats = aligner.stats_for(seq_of, tasks, results);
-      const double kernel = balanced_kernel_seconds(model_, bstats.cells);
-      const double align_s =
-          modeled_align_seconds(model_, bstats, tasks.size(), da);
-      clock.charge(Comp::kAlign, align_s);
-      clock.align_kernel_seconds += kernel;
-      clock.align_cells += bstats.cells;
-      clock.pairs_aligned += tasks.size();
-      rank_block_align[bi][static_cast<std::size_t>(rank)] = align_s;
+  exec::Stage prune{
+      "prune", [&](std::size_t bi, std::size_t si) {
+        BlockSlot& s = slots[si];
+        const BlockInfo& blk = plan.blocks()[bi];
+        // Each rank extracts the alignment tasks its local block owns.
+        rt.spmd([&](int rank) {
+          auto& clock = s.frame[static_cast<std::size_t>(rank)];
+          const auto& local = s.C.local(rank);
+          const int gi = rt.grid().row_of(rank);
+          const int gj = rt.grid().col_of(rank);
+          const Index grow0 = blk.row0 + s.C.row_begin(gi);
+          const Index gcol0 = blk.col0 + s.C.col_begin(gj);
 
-      // Peak logical memory: stripes + this block's local overlap part
-      // (+ the pre-computed next block when pre-blocking).
-      const std::uint64_t peak =
-          setup_bytes[static_cast<std::size_t>(rank)] +
-          C.local(rank).bytes() * (cfg.preblocking ? 2 : 1);
-      clock.peak_memory_bytes = std::max(clock.peak_memory_bytes, peak);
-    });
+          // Extraction scan of the block's local part.
+          clock.charge(Comp::kSparseOther,
+                       model_.sparse_stream_time(local.bytes()) * ds);
 
-    st.block_sparse_s[bi] =
-        *std::max_element(rank_block_sparse[bi].begin(),
-                          rank_block_sparse[bi].end());
-    st.block_align_s[bi] = *std::max_element(rank_block_align[bi].begin(),
-                                             rank_block_align[bi].end());
-  }
+          auto& tasks = s.tasks[static_cast<std::size_t>(rank)];
+          local.for_each([&](Index li, Index lj, const CommonKmers& ck) {
+            const Index i = grow0 + li;
+            const Index j = gcol0 + lj;
+            if (ck.count < cfg.common_kmer_threshold) return;
+            if (!plan.should_align(blk, i, j)) return;
+            // Canonical orientation (query = smaller id) keeps alignment
+            // results identical across schemes and blockings.
+            tasks.push_back(canonical_task(i, j, ck));
+          });
+          clock.overlap_nnz += local.nnz();
+        });
+      }};
+
+  exec::Stage align_stage{
+      "align", [&](std::size_t bi, std::size_t si) {
+        BlockSlot& s = slots[si];
+        // Flattened DP execution: the kernels of ALL ranks run on the host
+        // pool (the per-rank device accounting is computed from each
+        // rank's own slice afterwards, so the flattening is invisible to
+        // the modeled timings — it only stops a skewed rank from idling
+        // host cores).
+        for (int r = 0; r < p; ++r) {
+          s.rank_offset[static_cast<std::size_t>(r) + 1] =
+              s.rank_offset[static_cast<std::size_t>(r)] +
+              s.tasks[static_cast<std::size_t>(r)].size();
+        }
+        s.flat_tasks.reserve(s.rank_offset.back());
+        for (const auto& v : s.tasks) {
+          s.flat_tasks.insert(s.flat_tasks.end(), v.begin(), v.end());
+        }
+        s.ws.results.assign(s.flat_tasks.size(), align::AlignResult{});
+        pool_->parallel_for(s.flat_tasks.size(), [&](std::size_t t) {
+          s.ws.results[t] = aligner.align_one_task(seq_of, s.flat_tasks[t]);
+        });
+
+        // Per-rank filtering + device-model charging.
+        rt.spmd([&](int rank) {
+          const auto ri = static_cast<std::size_t>(rank);
+          auto& clock = s.frame[ri];
+          const auto& tasks = s.tasks[ri];
+          const std::span<const align::AlignResult> results(
+              s.ws.results.data() + s.rank_offset[ri], tasks.size());
+
+          for (std::size_t t = 0; t < tasks.size(); ++t) {
+            if (auto edge = edge_if_similar(
+                    tasks[t], results[t], store.seq(tasks[t].q_id).size(),
+                    store.seq(tasks[t].r_id).size(), cfg)) {
+              s.edges[ri].push_back(*edge);
+              ++clock.similar_pairs;
+            }
+          }
+
+          // Charge the device model (with overlap contention dilation).
+          const align::BatchStats bstats =
+              aligner.stats_for(seq_of, tasks, results, s.lane_scratch[ri]);
+          const double kernel = balanced_kernel_seconds(model_, bstats.cells);
+          const double align_s =
+              modeled_align_seconds(model_, bstats, tasks.size(), da);
+          clock.charge(Comp::kAlign, align_s);
+          clock.align_kernel_seconds += kernel;
+          clock.align_cells += bstats.cells;
+          clock.pairs_aligned += tasks.size();
+          s.align_s[ri] = align_s;
+        });
+
+        // ---- retirement (the executor runs this stage in block order) ----
+        st.spgemm.merge(s.spgemm);
+        st.candidates += s.C.nnz();
+        rt.merge_frame(s.frame);
+        for (int r = 0; r < p; ++r) {
+          const auto ri = static_cast<std::size_t>(r);
+          rank_edges[ri].insert(rank_edges[ri].end(), s.edges[ri].begin(),
+                                s.edges[ri].end());
+        }
+        timeline.add(s.sparse_s, s.align_s);
+        resident.add(s.local_bytes);
+        st.block_sparse_s[bi] =
+            *std::max_element(s.sparse_s.begin(), s.sparse_s.end());
+        st.block_align_s[bi] =
+            *std::max_element(s.align_s.begin(), s.align_s.end());
+        if (cfg.collect_rank_block_timeline) {
+          st.rank_block_sparse_s[bi] = s.sparse_s;
+          st.rank_block_align_s[bi] = s.align_s;
+        }
+        s.C = DistSpMat<CommonKmers>();  // release the block early
+      }};
+
+  exec::StreamOptions exec_opt;
+  exec_opt.depth = depth;
+  exec_opt.memory_budget_bytes = cfg.exec_memory_budget_bytes;
+  exec_opt.pool = pool_;
+  exec::StreamPipeline pipe(n_blocks, {discover, prune, align_stage},
+                            exec_opt);
+  gate = &pipe;
+  slots.resize(pipe.slot_count());
+  pipe.run();
 
   // ---- cwait: residual sequence-communication wait --------------------------
   // Transfers overlap the setup and the first block's discovery.
@@ -322,34 +394,29 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
   });
 
   // ---- per-rank block-loop timers (Table I's align/sparse/sum basis) ----------
-  st.rank_loop_s.assign(static_cast<std::size_t>(p), 0.0);
-  for (int r = 0; r < p; ++r) {
-    double t = 0.0;
-    if (cfg.preblocking && n_blocks > 0) {
-      t += rank_block_sparse[0][static_cast<std::size_t>(r)];
-      for (std::size_t b = 0; b < n_blocks; ++b) {
-        const double next_sparse =
-            b + 1 < n_blocks
-                ? rank_block_sparse[b + 1][static_cast<std::size_t>(r)]
-                : 0.0;
-        t += std::max(rank_block_align[b][static_cast<std::size_t>(r)],
-                      next_sparse);
-      }
-    } else {
-      for (std::size_t b = 0; b < n_blocks; ++b) {
-        t += rank_block_sparse[b][static_cast<std::size_t>(r)] +
-             rank_block_align[b][static_cast<std::size_t>(r)];
-      }
-    }
-    st.rank_loop_s[static_cast<std::size_t>(r)] = t;
-  }
+  // The streaming reduction already holds each rank's pipeline makespan:
+  // depth 1 is the serial sum, depth 2 the paper's pre-blocking formula
+  // S_0 + Σ max(A_b, S_{b+1}), deeper depths its generalization
+  // (exec/timeline.hpp).
+  st.rank_loop_s = timeline.makespans();
+
+  // Peak logical memory: stripes + the windowed resident overlap blocks
+  // (up to `depth` consecutive blocks in flight).
+  rt.spmd([&](int rank) {
+    if (n_blocks == 0) return;
+    auto& clock = rt.clock(rank);
+    clock.peak_memory_bytes =
+        std::max(clock.peak_memory_bytes,
+                 setup_bytes[static_cast<std::size_t>(rank)] +
+                     resident.peak(rank));
+  });
 
   // ---- assemble the timeline ------------------------------------------------
   // The block loop has no global barrier: each rank flows from one block's
   // alignment into the next block's discovery (collectives synchronise
   // row/column teams, which the per-rank loop timers absorb on average).
-  // The loop's wall time is therefore the slowest rank's accumulated loop
-  // time — with pre-blocking, its overlapped variant.
+  // The loop's wall time is therefore the slowest rank's accumulated
+  // pipeline makespan.
   st.t_blocks = st.rank_loop_s.empty()
                     ? 0.0
                     : *std::max_element(st.rank_loop_s.begin(),

@@ -10,12 +10,17 @@
 //        edges += pairs with ANI ≥ 0.30 and coverage ≥ 0.70
 //   write similarity graph.
 //
-// Pre-blocking (§VI-C): with cfg.preblocking the SpGEMM of block b+1 is
-// overlapped with the alignment of block b. Results are identical (the
-// schedule changes, not the data); the modeled timeline charges the
-// overlapped phases as max(align_b, sparse_{b+1}) with the contention
-// dilations of the MachineModel, which is precisely the accounting behind
-// the paper's Table I.
+// Streaming execution (§VI-C generalized): the block loop runs on the
+// streaming executor (exec/stream_pipeline.hpp) as a software pipeline of
+// {discover, prune, align} stages with cfg.effective_pipeline_depth()
+// blocks in flight — depth 1 is the serial loop, depth 2 the paper's
+// pre-blocking (cfg.preblocking maps here), deeper depths its
+// generalization under the bounded-memory admission gate. Results are
+// identical for ANY depth (the schedule changes, not the data); the
+// modeled timeline charges the overlapped phases as the pipeline makespan
+// (for depth 2, exactly max(align_b, sparse_{b+1}) summed — the accounting
+// behind the paper's Table I) with the contention dilations of the
+// MachineModel.
 //
 // Determinism: for a fixed input and configuration, the returned edge set is
 // bit-identical for ANY process count, blocking factor and scheme — the

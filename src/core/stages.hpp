@@ -1,11 +1,15 @@
 // Reusable stages of the discovery → alignment → filter flow.
 //
-// Two consumers drive the same machinery: the many-against-many pipeline
-// (core/pipeline.cpp, paper Fig. 4) and the query-serving engine
-// (index/query_engine.cpp, the §III annotation use case). Factoring the
-// stage logic here keeps the two bit-identical by construction — the
-// canonical task orientation, the ANI/coverage filter and the modeled
-// device-time formula are written exactly once.
+// Three consumers drive the same machinery: the many-against-many pipeline
+// (core/pipeline.cpp, paper Fig. 4), the query-serving engine
+// (index/query_engine.cpp, the §III annotation use case) and the
+// replicated-index baseline (baseline/replicated_index.cpp). The first two
+// wire these leaf helpers into executor nodes on the streaming blocked
+// executor (exec/stream_pipeline.hpp), each node reading/writing an
+// explicit per-slot state; the baseline calls them per replicated chunk.
+// Factoring the stage logic here keeps all consumers bit-identical by
+// construction — the canonical task orientation, the ANI/coverage filter
+// and the modeled device-time formula are written exactly once.
 #pragma once
 
 #include <optional>

@@ -48,8 +48,9 @@ void print_search_report(std::ostream& os, const SearchStats& s) {
 
   os << "--- search report -------------------------------------------\n";
   os << "processes (grid)        " << s.nprocs << "\n";
-  os << "blocking factor         " << s.block_rows << "x" << s.block_cols
-     << (s.preblocking ? "  (pre-blocking on)" : "") << "\n";
+  os << "blocking factor         " << s.block_rows << "x" << s.block_cols;
+  if (s.preblocking) os << "  (pipeline depth " << s.pipeline_depth << ")";
+  os << "\n";
   os << "input sequences         " << with_commas(s.n_seqs) << "\n";
   os << "total residues          " << with_commas(s.total_residues) << "\n";
   os << "k-mer matrix            " << with_commas(s.n_seqs) << " x "

@@ -53,6 +53,13 @@ struct SearchStats {
   std::vector<double> block_sparse_s;
   std::vector<double> block_align_s;
 
+  /// Full per-block × per-rank timeline (dilated seconds). Populated only
+  /// when PastisConfig::collect_rank_block_timeline is set — the makespan
+  /// reduction itself streams with O(ranks × depth) state and never needs
+  /// these dense matrices.
+  std::vector<std::vector<double>> rank_block_sparse_s;
+  std::vector<std::vector<double>> rank_block_align_s;
+
   /// Per-rank time spent in the block loop as that rank's own timer would
   /// measure it: with pre-blocking, Σ_b max(align_b, sparse_{b+1}) plus the
   /// unhidden first discovery; without, Σ_b (sparse_b + align_b). Table I's
@@ -74,7 +81,12 @@ struct SearchStats {
   // --- meta -------------------------------------------------------------------
   int nprocs = 0;
   int block_rows = 1, block_cols = 1;
+  /// True when the block loop was modeled overlapped (effective depth >= 2).
   bool preblocking = false;
+  /// Streaming-executor depth the run was modeled with (and executed
+  /// with, when a host pool is available — without one the executor
+  /// degrades to the serial schedule; results are identical either way).
+  int pipeline_depth = 1;
   double wall_seconds = 0.0;  // real time of the simulation process
 
   // --- derived metrics ----------------------------------------------------------

@@ -34,6 +34,12 @@ struct SummaOptions {
   util::ThreadPool* pool = nullptr;
   /// Per-call thread cap for the two-phase kernel (0 = whole pool).
   int spgemm_threads = 0;
+  /// Charge sink: when non-null, per-rank charges and counters go to
+  /// `clocks[rank]` instead of the runtime's clocks. The streaming
+  /// executor points this at a stage-slot clock frame so concurrently
+  /// running blocks never touch the shared clocks (the frames are merged
+  /// in block order at retirement — see core/pipeline.cpp).
+  sim::RankClock* clocks = nullptr;
 };
 
 template <sparse::SemiringLike SR>
@@ -55,7 +61,7 @@ template <sparse::SemiringLike SR>
   rt.spmd([&](int rank) {
     const int gi = grid.row_of(rank);
     const int gj = grid.col_of(rank);
-    auto& clock = rt.clock(rank);
+    auto& clock = opt.clocks != nullptr ? opt.clocks[rank] : rt.clock(rank);
     auto& rstats = rank_stats[static_cast<std::size_t>(rank)];
 
     std::vector<sparse::SpMat<V>> parts;

@@ -1,0 +1,112 @@
+#include "exec/stream_pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pastis::exec {
+
+StreamPipeline::StreamPipeline(std::size_t n_items, std::vector<Stage> stages,
+                               StreamOptions opt)
+    : n_items_(n_items),
+      stages_(std::move(stages)),
+      depth_(std::max(1, opt.depth)),
+      budget_(opt.memory_budget_bytes),
+      pool_(opt.pool) {
+  if (stages_.empty()) {
+    throw std::invalid_argument("StreamPipeline: need at least one stage");
+  }
+  // Without a pool there is nothing to overlap on: fall back to the oracle.
+  if (pool_ == nullptr) depth_ = 1;
+  slots_ = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(depth_),
+                               std::max<std::size_t>(1, n_items_)));
+  done_.assign(stages_.size(), 0);
+  running_.assign(stages_.size(), 0);
+  resident_.assign(slots_, 0);
+}
+
+void StreamPipeline::set_resident_bytes(std::size_t item, std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  auto& slot = resident_[item % slots_];
+  resident_total_ += bytes - slot;
+  slot = bytes;
+  // Shrinking the resident set can unblock the admission gate.
+  if (depth_ > 1 && active_tasks_ > 0) launch_ready();
+}
+
+void StreamPipeline::run() {
+  if (n_items_ == 0) return;
+  if (depth_ <= 1) {
+    run_serial();
+  } else {
+    run_pipelined();
+  }
+}
+
+void StreamPipeline::run_serial() {
+  // The serial loop the executor generalizes — and the bit-identity oracle
+  // the streaming schedule is tested against.
+  max_in_flight_ = 1;
+  for (std::size_t item = 0; item < n_items_; ++item) {
+    for (auto& stage : stages_) stage.run(item, item % slots_);
+  }
+}
+
+bool StreamPipeline::stage_ready(std::size_t s) const {
+  if (error_ || running_[s] || done_[s] >= n_items_) return false;
+  const std::size_t item = done_[s];
+  if (s > 0) return done_[s - 1] > item;
+  // Admission gate for stage 0: bounded in-flight items and bounded
+  // registered resident bytes. `in_flight` counts admitted-not-retired
+  // items; admitting `item` makes it in_flight + 1.
+  const std::size_t in_flight = done_[0] - done_.back();
+  if (in_flight >= static_cast<std::size_t>(depth_)) return false;
+  if (budget_ > 0 && in_flight > 0 && resident_total_ > budget_) return false;
+  return true;
+}
+
+void StreamPipeline::launch_ready() {
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (!stage_ready(s)) continue;
+    const std::size_t item = done_[s];
+    running_[s] = 1;
+    ++active_tasks_;
+    if (s == 0) {
+      max_in_flight_ = std::max(max_in_flight_, done_[0] - done_.back() + 1);
+    }
+    pool_->submit([this, s, item] {
+      try {
+        stages_[s].run(item, item % slots_);
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      std::lock_guard lock(mutex_);
+      running_[s] = 0;
+      ++done_[s];
+      if (s + 1 == stages_.size()) {
+        // Retired: release its resident bytes.
+        auto& slot = resident_[item % slots_];
+        resident_total_ -= slot;
+        slot = 0;
+      }
+      --active_tasks_;
+      launch_ready();
+      if (active_tasks_ == 0) done_cv_.notify_all();
+    });
+  }
+}
+
+void StreamPipeline::run_pipelined() {
+  {
+    std::lock_guard lock(mutex_);
+    launch_ready();
+  }
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return active_tasks_ == 0 && (error_ || done_.back() >= n_items_);
+  });
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace pastis::exec

@@ -1,0 +1,118 @@
+// Streaming blocked executor (paper §VI-C, generalized).
+//
+// The discovery → prune → align flow of every consumer (the Fig. 4 block
+// loop, the query-serving engine, ad-hoc tools) is a *software pipeline*: a
+// stream of items (pre-blocked output blocks, query batches) each passing
+// through the same ordered stages. This scheduler runs that pipeline with
+// real concurrency on the shared host pool:
+//
+//   * each stage is a serial resource — stage s runs item i only after it
+//     finished item i-1 (the CPU runs one discovery SpGEMM at a time, the
+//     devices one alignment batch at a time), which is what makes item
+//     i+1's discovery overlap item i's alignment exactly like PASTIS's
+//     pre-blocking;
+//   * a data dependency — stage s of item i needs stage s-1 of item i;
+//   * a bounded-memory admission gate — item i enters stage 0 only when at
+//     most `depth` items are in flight AND the registered resident bytes of
+//     in-flight items fit the budget, the §VI-A memory-control property.
+//
+// `depth == 1` degenerates to the serial loop (run inline on the calling
+// thread, no tasks, no pool) — the cross-check oracle: because stages are
+// deterministic functions of their item, results are bit-identical for any
+// depth, pool size, or interleaving; only the schedule (and the modeled
+// timeline derived from it, see exec/timeline.hpp) changes.
+//
+// Retirement order: the last stage runs items strictly in order, so
+// last-stage code can merge per-item results into shared state without
+// locks — the scheduler's own mutex sequences consecutive last-stage tasks
+// (happens-before), which is what keeps the executor ThreadSanitizer-clean.
+//
+// Slots: items are many, in-flight items are few. Stage functions receive
+// `slot = item % depth` addressing one of `depth` reusable state slots; a
+// slot is guaranteed free (its previous item retired) before stage 0 runs
+// its next item, so per-slot buffers (overlap blocks, alignment
+// workspaces) are reused instead of reallocated per item.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace pastis::exec {
+
+struct Stage {
+  /// Display / trace name ("discover", "align", ...).
+  std::string name;
+  /// Runs the stage for one item. `slot` is the reusable state slot
+  /// (item % depth) this item owns for its whole flight.
+  std::function<void(std::size_t item, std::size_t slot)> run;
+};
+
+struct StreamOptions {
+  /// Maximum items in flight (admitted but not retired). 1 = the serial
+  /// oracle: everything runs inline on the calling thread in item order.
+  int depth = 1;
+  /// Admission gate: while the resident bytes registered by in-flight
+  /// items exceed this, no new item is admitted (0 = unbounded). At least
+  /// one item is always admitted, so progress is never blocked.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Pool stage tasks run on when depth >= 2 (nullptr falls back to the
+  /// serial oracle — there is nothing to overlap without workers).
+  util::ThreadPool* pool = nullptr;
+};
+
+class StreamPipeline {
+ public:
+  StreamPipeline(std::size_t n_items, std::vector<Stage> stages,
+                 StreamOptions opt);
+
+  /// Runs the whole stream to completion; rethrows the first stage
+  /// exception (after draining in-flight tasks).
+  void run();
+
+  /// Registers `bytes` as resident for `item` (typically called by stage 0
+  /// once the item's block is materialized); released automatically when
+  /// the item retires. Thread-safe; drives the admission gate.
+  void set_resident_bytes(std::size_t item, std::uint64_t bytes);
+
+  /// Effective depth (>= 1) after clamping against the options.
+  [[nodiscard]] int depth() const { return depth_; }
+  [[nodiscard]] std::size_t slot_count() const { return slots_; }
+
+  /// Highest number of simultaneously in-flight items observed — depth is
+  /// an upper bound; the test suite asserts the gate enforces it.
+  [[nodiscard]] std::size_t max_in_flight() const { return max_in_flight_; }
+
+ private:
+  void run_serial();
+  void run_pipelined();
+  [[nodiscard]] bool stage_ready(std::size_t s) const;  // caller holds mutex_
+  void launch_ready();                                  // caller holds mutex_
+
+  std::size_t n_items_;
+  std::vector<Stage> stages_;
+  int depth_;
+  std::uint64_t budget_;
+  util::ThreadPool* pool_;
+  std::size_t slots_;
+
+  // Scheduler state (guarded by mutex_).
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::vector<std::size_t> done_;    // per stage: items completed
+  std::vector<char> running_;        // per stage: a task is in flight
+  std::vector<std::uint64_t> resident_;  // per slot: registered bytes
+  std::uint64_t resident_total_ = 0;
+  std::size_t active_tasks_ = 0;
+  std::size_t max_in_flight_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace pastis::exec

@@ -5,6 +5,8 @@
 
 #include "core/load_balance.hpp"
 #include "core/stages.hpp"
+#include "exec/stream_pipeline.hpp"
+#include "exec/timeline.hpp"
 #include "kmer/codec.hpp"
 #include "kmer/nearest.hpp"
 #include "sim/grid.hpp"
@@ -22,10 +24,41 @@ using sparse::Triple;
 
 }  // namespace
 
+/// One in-flight batch streaming through discover → align. Slots are
+/// reused across the batches they serve (executor slot = item % depth), so
+/// the alignment workspace and per-rank buffers keep their capacity
+/// instead of being reallocated per batch.
+struct QueryEngine::BatchSlot {
+  std::span<const std::string> queries;
+  Index batch_base = 0;
+  QueryBatchStats st;
+  std::vector<std::vector<AlignTask>> rank_tasks;  // per serving rank
+  std::vector<AlignTask> flat_tasks;
+  std::vector<std::size_t> rank_offset;
+  align::AlignWorkspace ws;
+  std::vector<align::LaneScratch> lane_scratch;  // per serving rank
+  std::vector<io::SimilarityEdge> hits;
+
+  void reset(std::span<const std::string> q, Index base, int p) {
+    const auto np = static_cast<std::size_t>(p);
+    queries = q;
+    batch_base = base;
+    st = {};
+    st.n_queries = q.size();
+    if (rank_tasks.size() != np) rank_tasks.resize(np);
+    for (auto& t : rank_tasks) t.clear();
+    flat_tasks.clear();
+    rank_offset.assign(np + 1, 0);
+    if (lane_scratch.size() != np) lane_scratch.resize(np);
+    hits.clear();
+  }
+};
+
 QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
                          sim::MachineModel model, Options opt,
                          util::ThreadPool* pool)
-    : index_(&index), cfg_(cfg), model_(model), opt_(opt), pool_(pool) {
+    : index_(&index), cfg_(cfg), model_(model), opt_(opt), pool_(pool),
+      aligner_(core::make_batch_aligner(cfg, model)) {
   if (!index.params().matches(cfg)) {
     throw std::invalid_argument(
         "QueryEngine: config discovery parameters disagree with the index "
@@ -37,20 +70,14 @@ QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
   next_query_id_ = index.n_refs();
 }
 
-std::vector<io::SimilarityEdge> QueryEngine::search_batch(
-    std::span<const std::string> queries, QueryBatchStats* stats) {
+void QueryEngine::discover_batch(BatchSlot& slot) const {
   const Index n_refs = index_->n_refs();
   const int n_shards = index_->n_shards();
   const int p = opt_.nprocs;
-  const Index batch_base = next_query_id_;
-  next_query_id_ += static_cast<Index>(queries.size());
-
-  QueryBatchStats st;
-  st.n_queries = queries.size();
-  if (queries.empty() || n_refs == 0) {
-    if (stats != nullptr) *stats = st;
-    return {};
-  }
+  const std::span<const std::string> queries = slot.queries;
+  const Index batch_base = slot.batch_base;
+  QueryBatchStats& st = slot.st;
+  if (queries.empty() || n_refs == 0) return;
 
   // ---- A_query extraction (Fig. 1 left, queries only) ----------------------
   // Identical machinery to the index build / the pipeline's k-mer matrix:
@@ -156,7 +183,6 @@ std::vector<io::SimilarityEdge> QueryEngine::search_batch(
   // in turn fixes the seed pair the banded/x-drop kernels see (§VI-B).
   const bool parity_scheme =
       cfg_.load_balance == core::LoadBalanceScheme::kIndexBased;
-  std::vector<std::vector<AlignTask>> rank_tasks(static_cast<std::size_t>(p));
   C.for_each([&](Index qi, Index rj, const CrossKmers& ck) {
     if (ck.count < cfg_.common_kmer_threshold) return;
     const Index q_global = batch_base + qi;
@@ -173,38 +199,48 @@ std::vector<io::SimilarityEdge> QueryEngine::search_batch(
       task = core::canonical_task(q_global, rj, eq);
     }
     const int owner = sim::ProcGrid::part_of(rj, n_refs, p);
-    rank_tasks[static_cast<std::size_t>(owner)].push_back(task);
+    slot.rank_tasks[static_cast<std::size_t>(owner)].push_back(task);
   });
+}
+
+void QueryEngine::align_batch(BatchSlot& slot) const {
+  const Index n_refs = index_->n_refs();
+  const int p = opt_.nprocs;
+  QueryBatchStats& st = slot.st;
+  if (slot.queries.empty() || n_refs == 0) return;
 
   // ---- alignment (flattened onto the host pool, per-rank accounting) -------
   auto seq_of = [&](std::uint32_t id) -> std::string_view {
-    return id < n_refs ? index_->ref(id) : queries[id - batch_base];
+    return id < n_refs ? index_->ref(id)
+                       : slot.queries[id - slot.batch_base];
   };
-  std::vector<std::size_t> rank_offset(static_cast<std::size_t>(p) + 1, 0);
   for (int r = 0; r < p; ++r) {
-    rank_offset[static_cast<std::size_t>(r) + 1] =
-        rank_offset[static_cast<std::size_t>(r)] +
-        rank_tasks[static_cast<std::size_t>(r)].size();
+    slot.rank_offset[static_cast<std::size_t>(r) + 1] =
+        slot.rank_offset[static_cast<std::size_t>(r)] +
+        slot.rank_tasks[static_cast<std::size_t>(r)].size();
   }
-  std::vector<AlignTask> flat_tasks;
-  flat_tasks.reserve(rank_offset.back());
-  for (const auto& v : rank_tasks) {
-    flat_tasks.insert(flat_tasks.end(), v.begin(), v.end());
+  slot.flat_tasks.reserve(slot.rank_offset.back());
+  for (const auto& v : slot.rank_tasks) {
+    slot.flat_tasks.insert(slot.flat_tasks.end(), v.begin(), v.end());
   }
-  st.aligned_pairs = flat_tasks.size();
+  st.aligned_pairs = slot.flat_tasks.size();
 
-  const align::BatchAligner aligner = core::make_batch_aligner(cfg_, model_);
-  std::vector<AlignResult> flat_results(flat_tasks.size());
-  par_for(flat_tasks.size(), [&](std::size_t t) {
-    flat_results[t] = aligner.align_one_task(seq_of, flat_tasks[t]);
-  });
+  slot.ws.results.assign(slot.flat_tasks.size(), AlignResult{});
+  auto align_one = [&](std::size_t t) {
+    slot.ws.results[t] = aligner_.align_one_task(seq_of, slot.flat_tasks[t]);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(slot.flat_tasks.size(), align_one);
+  } else {
+    for (std::size_t t = 0; t < slot.flat_tasks.size(); ++t) align_one(t);
+  }
 
   // ---- filter + per-rank device accounting ---------------------------------
-  std::vector<io::SimilarityEdge> hits;
+  auto& hits = slot.hits;
   for (int r = 0; r < p; ++r) {
-    const auto& tasks = rank_tasks[static_cast<std::size_t>(r)];
+    const auto& tasks = slot.rank_tasks[static_cast<std::size_t>(r)];
     const std::span<const AlignResult> results(
-        flat_results.data() + rank_offset[static_cast<std::size_t>(r)],
+        slot.ws.results.data() + slot.rank_offset[static_cast<std::size_t>(r)],
         tasks.size());
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       if (auto edge = core::edge_if_similar(tasks[t], results[t],
@@ -213,7 +249,8 @@ std::vector<io::SimilarityEdge> QueryEngine::search_batch(
         hits.push_back(*edge);
       }
     }
-    const align::BatchStats bstats = aligner.stats_for(seq_of, tasks, results);
+    const align::BatchStats bstats = aligner_.stats_for(
+        seq_of, tasks, results, slot.lane_scratch[static_cast<std::size_t>(r)]);
     st.t_align = std::max(
         st.t_align,
         core::modeled_align_seconds(model_, bstats, tasks.size(), 1.0));
@@ -239,9 +276,17 @@ std::vector<io::SimilarityEdge> QueryEngine::search_batch(
   }
   io::sort_edges(hits);
   st.hits = hits.size();
+}
 
-  if (stats != nullptr) *stats = st;
-  return hits;
+std::vector<io::SimilarityEdge> QueryEngine::search_batch(
+    std::span<const std::string> queries, QueryBatchStats* stats) {
+  BatchSlot slot;
+  slot.reset(queries, next_query_id_, opt_.nprocs);
+  next_query_id_ += static_cast<Index>(queries.size());
+  discover_batch(slot);
+  align_batch(slot);
+  if (stats != nullptr) *stats = slot.st;
+  return std::move(slot.hits);
 }
 
 QueryEngine::Result QueryEngine::serve(
@@ -250,36 +295,76 @@ QueryEngine::Result QueryEngine::serve(
   ServeStats& st = result.stats;
   st.nprocs = opt_.nprocs;
   st.n_shards = index_->n_shards();
-  st.preblocking = opt_.preblocking;
+  const int depth = opt_.effective_pipeline_depth();
+  st.pipeline_depth = depth;
+  st.preblocking = depth >= 2;
   st.t_index_build = index_->modeled_build_seconds(model_, opt_.nprocs);
 
-  for (const auto& batch : batches) {
-    QueryBatchStats bst;
-    auto hits = search_batch(batch, &bst);
-    result.hits.insert(result.hits.end(), hits.begin(), hits.end());
-    st.total_queries += bst.n_queries;
-    st.aligned_pairs += bst.aligned_pairs;
-    st.hits += bst.hits;
-    st.batches.push_back(std::move(bst));
+  // Stream positions are fixed before the stream starts: each batch's ids
+  // are a pure function of its position, not of the schedule.
+  const std::size_t nb = batches.size();
+  std::vector<Index> bases(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    bases[b] = next_query_id_;
+    next_query_id_ += static_cast<Index>(batches[b].size());
   }
+  st.batches.resize(nb);
+
+  // ---- the serving stream on the executor ----------------------------------
+  // Same graph as the pipeline's block loop: with depth >= 2, batch b+1's
+  // discovery SpGEMM really overlaps batch b's alignment on the host pool.
+  // The align stage retires batches strictly in order, so appending to the
+  // shared result needs no synchronization beyond the scheduler's.
+  std::vector<BatchSlot> slots;  // sized from pipe.slot_count() below
+  exec::StreamPipeline* gate = nullptr;
+  exec::Stage discover{"discover", [&](std::size_t b, std::size_t si) {
+                         BatchSlot& slot = slots[si];
+                         slot.reset(batches[b], bases[b], opt_.nprocs);
+                         discover_batch(slot);
+                         // Register this batch's resident footprint with
+                         // the admission gate (the overlap block itself
+                         // dies inside discover; what stays in flight are
+                         // the alignment tasks).
+                         std::uint64_t bytes = 0;
+                         for (const auto& t : slot.rank_tasks) {
+                           bytes += t.size() * sizeof(AlignTask);
+                         }
+                         gate->set_resident_bytes(b, bytes);
+                       }};
+  exec::Stage align_stage{"align", [&](std::size_t b, std::size_t si) {
+                      BatchSlot& slot = slots[si];
+                      align_batch(slot);
+                      // Retirement (in batch order).
+                      result.hits.insert(result.hits.end(),
+                                         slot.hits.begin(), slot.hits.end());
+                      st.total_queries += slot.st.n_queries;
+                      st.aligned_pairs += slot.st.aligned_pairs;
+                      st.hits += slot.st.hits;
+                      st.batches[b] = slot.st;
+                    }};
+  exec::StreamOptions exec_opt;
+  exec_opt.depth = depth;
+  exec_opt.memory_budget_bytes = cfg_.exec_memory_budget_bytes;
+  exec_opt.pool = pool_;
+  exec::StreamPipeline pipe(nb, {discover, align_stage}, exec_opt);
+  gate = &pipe;
+  slots.resize(pipe.slot_count());
+  pipe.run();
   io::sort_edges(result.hits);
 
-  // §VI-C timeline: with pre-blocking, batch b+1's discovery runs on the
-  // CPU while batch b aligns on the devices; both sides pay the
-  // MachineModel's contention dilations (pipeline block loop, Table I).
-  const std::size_t nb = st.batches.size();
-  if (opt_.preblocking && nb > 0) {
-    const double ds = model_.preblock_sparse_dilation();
-    const double da = model_.preblock_align_dilation;
-    double t = st.batches[0].t_sparse * ds;
+  // §VI-C timeline, generalized: the modeled serve time is the makespan of
+  // the {discovery (CPU), alignment (device)} software pipeline at the
+  // configured depth, with both sides paying the MachineModel's contention
+  // dilations when overlapped (pipeline block loop, Table I).
+  {
+    const double dsd = st.preblocking ? model_.preblock_sparse_dilation() : 1.0;
+    const double dad = st.preblocking ? model_.preblock_align_dilation : 1.0;
+    std::vector<double> sparse_s(nb), align_s(nb);
     for (std::size_t b = 0; b < nb; ++b) {
-      const double next_sparse =
-          b + 1 < nb ? st.batches[b + 1].t_sparse * ds : 0.0;
-      t += std::max(st.batches[b].t_align * da, next_sparse);
+      sparse_s[b] = st.batches[b].t_sparse * dsd;
+      align_s[b] = st.batches[b].t_align * dad;
     }
-    st.t_serve = t;
-  } else {
-    for (const auto& b : st.batches) st.t_serve += b.t_sparse + b.t_align;
+    st.t_serve = exec::pipelined_makespan(sparse_s, align_s, depth);
   }
   return result;
 }

@@ -16,10 +16,14 @@
 //     decides the seed orientation the seeded kernels (banded/x-drop) see.
 //     The engine tracks both orientation minima in its semiring payload and
 //     replays the scheme's choice exactly (see CrossKmers below).
-//   * §VI-C pre-blocking: batch b+1's SpGEMM (CPU) is overlapped with batch
-//     b's alignment (GPU); the serve() timeline charges
-//     max(align_b, sparse_{b+1}) with the MachineModel's contention
-//     dilations, exactly like the pipeline's block loop.
+//   * §VI-C pre-blocking, generalized: serve() streams query batches
+//     through the same {discover, align} stage graph as the pipeline's
+//     block loop (exec/stream_pipeline.hpp), so with depth >= 2 batch
+//     b+1's SpGEMM (CPU) really runs concurrently with batch b's
+//     alignment (GPU model); the timeline charges the pipeline makespan —
+//     for depth 2 exactly max(align_b, sparse_{b+1}) — with the
+//     MachineModel's contention dilations. Hits are bit-identical for any
+//     depth.
 #pragma once
 
 #include <span>
@@ -93,7 +97,12 @@ struct QueryBatchStats {
 struct ServeStats {
   int nprocs = 0;
   int n_shards = 0;
+  /// True when the serving loop was modeled overlapped (depth >= 2).
   bool preblocking = false;
+  /// Streaming-executor depth the stream was modeled with (and executed
+  /// with, when a host pool is available — without one the executor
+  /// degrades to the serial schedule; hits are identical either way).
+  int pipeline_depth = 1;
   std::uint64_t total_queries = 0;
   std::uint64_t aligned_pairs = 0;
   std::uint64_t hits = 0;
@@ -120,9 +129,19 @@ class QueryEngine {
     /// Keep only the best `top_k` hits per query by (score desc, ref asc);
     /// 0 keeps all hits (the concatenated-equivalence mode).
     std::uint32_t top_k = 0;
-    /// Overlap batch b+1's SpGEMM with batch b's alignment in the modeled
-    /// serve() timeline (§VI-C).
+    /// Overlap batch b+1's SpGEMM with batch b's alignment (§VI-C).
+    /// Legacy alias for `pipeline_depth`: with the depth left at 0, on
+    /// selects depth 2 and off the serial depth 1.
     bool preblocking = true;
+    /// Streaming-executor depth for serve(): maximum query batches in
+    /// flight through discover → align. 0 defers to `preblocking`; hits
+    /// are bit-identical for any depth.
+    int pipeline_depth = 0;
+
+    [[nodiscard]] int effective_pipeline_depth() const {
+      if (pipeline_depth > 0) return pipeline_depth;
+      return preblocking ? 2 : 1;
+    }
   };
 
   /// The engine serves `cfg` against `index`; the discovery parameters of
@@ -155,11 +174,22 @@ class QueryEngine {
   [[nodiscard]] const Options& options() const { return opt_; }
 
  private:
+  /// Per-slot state of one in-flight batch (defined in the .cpp); serve()
+  /// keeps one per pipeline slot, search_batch() a transient one.
+  struct BatchSlot;
+
+  /// The two executor stages every served batch flows through. Both are
+  /// deterministic functions of the slot's (queries, batch_base) — the
+  /// property that makes hits depth- and schedule-invariant.
+  void discover_batch(BatchSlot& slot) const;
+  void align_batch(BatchSlot& slot) const;
+
   const KmerIndex* index_;
   core::PastisConfig cfg_;
   sim::MachineModel model_;
   Options opt_;
   util::ThreadPool* pool_;
+  align::BatchAligner aligner_;
   Index next_query_id_ = 0;
 };
 

@@ -30,6 +30,8 @@
 #include "core/stats.hpp"
 #include "dist/distmat.hpp"
 #include "dist/summa.hpp"
+#include "exec/stream_pipeline.hpp"
+#include "exec/timeline.hpp"
 #include "gen/protein_gen.hpp"
 #include "index/index_io.hpp"
 #include "index/kmer_index.hpp"

@@ -84,4 +84,11 @@ struct RankClock {
   }
 };
 
+/// Modeled seconds of the sparse components (SpGEMM + the other sparse
+/// work) — the discovery side of the §VI-C discovery/alignment overlap.
+/// Used to attribute a stage-slot clock frame's charges to the timeline.
+[[nodiscard]] inline double sparse_seconds(const RankClock& c) {
+  return c.get(Comp::kSpGemm) + c.get(Comp::kSparseOther);
+}
+
 }  // namespace pastis::sim

@@ -67,6 +67,18 @@ class SimRuntime {
     for (auto& c : clocks_) c = RankClock{};
   }
 
+  /// Folds a detached per-rank clock frame (one RankClock per rank) into
+  /// the shared clocks. Concurrent stage-slots of the streaming executor
+  /// each charge their own frame (race-free; see SummaOptions::clocks)
+  /// and merge in a deterministic order at retirement, so component
+  /// totals are schedule-independent.
+  void merge_frame(const std::vector<RankClock>& frame) {
+    for (int r = 0; r < nprocs(); ++r) {
+      clocks_[static_cast<std::size_t>(r)].merge(
+          frame[static_cast<std::size_t>(r)]);
+    }
+  }
+
  private:
   ProcGrid grid_;
   MachineModel model_;
