@@ -1,0 +1,220 @@
+// Thread-scaling bench for the clustering subsystem: connected components
+// and Markov clustering over a planted-partition similarity graph (the
+// Metaclust-shaped workload — Zipf-skewed family blocks plus repeat-driven
+// noise edges, the graph the §III clustering use case consumes).
+//
+// Prints per-thread-count tables (seconds, vertices/sec, clusters, MCL
+// iterations, speedup vs 1 thread) and emits BENCH_cluster.json so CI can
+// track the subsystem's perf trajectory. Exit code gates (CI smoke):
+//   * assignments bit-identical to the serial run at every thread count;
+//   * MCL multithreaded speedup > 1.5x over 1 thread (only enforced when
+//     the host has >= 2 cores — on fewer the check is reported skipped).
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "bench_common.hpp"
+
+using namespace pastis;
+using namespace pastis::bench;
+
+namespace {
+
+/// Best-of-reps wall time for one run.
+template <typename Fn>
+double best_seconds(int reps, Fn fn) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer t;
+    fn();
+    const double s = t.seconds();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Planted-partition similarity graph: Zipf-skewed cluster blocks with
+/// dense intra edges (ANI-like weights) plus uniform noise edges.
+std::vector<io::SimilarityEdge> make_graph(sparse::Index n,
+                                           std::uint32_t mean_block,
+                                           double p_intra, double noise_frac,
+                                           std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<io::SimilarityEdge> edges;
+  sparse::Index v = 0;
+  while (v < n) {
+    const auto skew = rng.zipf(static_cast<std::uint64_t>(mean_block) * 4,
+                               1.1);
+    const auto size = static_cast<sparse::Index>(std::min<std::uint64_t>(
+        std::max<std::uint64_t>(2, skew + 2), n - v));
+    for (sparse::Index i = v; i < v + size; ++i) {
+      for (sparse::Index j = i + 1; j < v + size; ++j) {
+        if (rng.chance(p_intra)) {
+          edges.push_back({i, j,
+                           0.4f + 0.6f * static_cast<float>(rng.uniform()),
+                           0.9f, 120});
+        }
+      }
+    }
+    v += size;
+  }
+  const auto n_noise =
+      static_cast<std::size_t>(noise_frac * static_cast<double>(n));
+  for (std::size_t e = 0; e < n_noise; ++e) {
+    const auto i = static_cast<sparse::Index>(rng.below(n));
+    const auto j = static_cast<sparse::Index>(rng.below(n));
+    if (i != j) edges.push_back({i, j, 0.35f, 0.75f, 40});
+  }
+  return edges;
+}
+
+struct Point {
+  std::size_t threads = 0;
+  double cc_s = 0.0;
+  double mcl_s = 0.0;
+  double cc_speedup = 0.0;
+  double mcl_speedup = 0.0;
+  int mcl_iterations = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<sparse::Index>(args.i("vertices", 20000));
+  const auto mean_block =
+      static_cast<std::uint32_t>(args.i("mean-cluster", 32));
+  const double p_intra = args.d("intra", 0.5);
+  const double noise = args.d("noise", 1.0);
+  const int reps = static_cast<int>(args.i("reps", 3));
+  const long max_threads = args.i("max-threads", 8);
+  const std::string out_path = args.s("out", "BENCH_cluster.json");
+
+  util::banner("cluster scaling — CC + MCL over a planted similarity graph");
+  const auto edges = make_graph(n, mean_block, p_intra, noise,
+                                static_cast<std::uint64_t>(args.i("seed", 7)));
+  const auto g = cluster::SimilarityGraph::from_edges(n, edges);
+  std::printf("vertices %s   edges %s   adjacency %s\n\n",
+              util::with_commas(n).c_str(),
+              util::with_commas(g.n_edges()).c_str(),
+              util::bytes_human(static_cast<double>(g.bytes())).c_str());
+
+  // Serial references: the oracles every threaded run must match bitwise.
+  cluster::MclStats serial_stats;
+  cluster::Clustering cc_ref, mcl_ref;
+  const double cc_serial_s =
+      best_seconds(reps, [&] { cc_ref = cluster::connected_components(g); });
+  const double mcl_serial_s = best_seconds(reps, [&] {
+    mcl_ref = cluster::markov_cluster(g, {}, &serial_stats);
+  });
+  std::printf(
+      "serial: CC %s clusters, MCL %s clusters in %d iterations "
+      "(%s expansion products, peak resident %s)\n\n",
+      util::with_commas(cc_ref.n_clusters).c_str(),
+      util::with_commas(mcl_ref.n_clusters).c_str(), serial_stats.iterations,
+      util::with_commas(serial_stats.spgemm.products).c_str(),
+      util::bytes_human(static_cast<double>(serial_stats.peak_resident_bytes))
+          .c_str());
+
+  ShapeChecks sc;
+  bool identical = true;
+  std::vector<Point> points;
+  util::TextTable t({"threads", "CC (s)", "CC vert/s", "CC speedup",
+                     "MCL (s)", "MCL vert/s", "MCL iters", "MCL speedup"});
+  for (std::size_t threads = 1;
+       threads <= static_cast<std::size_t>(max_threads); threads *= 2) {
+    util::ThreadPool pool(threads);
+    Point p;
+    p.threads = threads;
+    cluster::Clustering cc, mcl;
+    p.cc_s = best_seconds(
+        reps, [&] { cc = cluster::connected_components(g, &pool); });
+    cluster::MclStats stats;
+    p.mcl_s = best_seconds(
+        reps, [&] { mcl = cluster::markov_cluster(g, {}, &stats, &pool); });
+    p.mcl_iterations = stats.iterations;
+    identical = identical && cc == cc_ref && mcl == mcl_ref;
+    sc.check(cc == cc_ref && mcl == mcl_ref,
+             "assignments bit-identical to serial at threads=" +
+                 std::to_string(threads));
+    const auto vps = [&](double s) {
+      return s > 0.0 ? static_cast<double>(n) / s : 0.0;
+    };
+    p.cc_speedup = p.cc_s > 0.0 ? points.empty()
+                                      ? 1.0
+                                      : points.front().cc_s / p.cc_s
+                                : 0.0;
+    p.mcl_speedup = p.mcl_s > 0.0 ? points.empty()
+                                        ? 1.0
+                                        : points.front().mcl_s / p.mcl_s
+                                  : 0.0;
+    t.add_row({std::to_string(threads), f4(p.cc_s),
+               util::with_commas(static_cast<std::uint64_t>(vps(p.cc_s))),
+               f2(p.cc_speedup), f4(p.mcl_s),
+               util::with_commas(static_cast<std::uint64_t>(vps(p.mcl_s))),
+               std::to_string(p.mcl_iterations), f2(p.mcl_speedup)});
+    points.push_back(p);
+  }
+  t.print();
+
+  util::banner("shape checks");
+  double best_mcl_speedup = 0.0;
+  for (const auto& p : points) {
+    if (p.threads >= 2) best_mcl_speedup = std::max(best_mcl_speedup,
+                                                    p.mcl_speedup);
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool multicore = cores >= 2 && points.size() >= 2;
+  bool speedup_ok = true;
+  if (multicore) {
+    speedup_ok = best_mcl_speedup > 1.5;
+    sc.check(speedup_ok,
+             "MCL multithreaded speedup over 1 thread > 1.5x (hard gate; "
+             "measured " + f2(best_mcl_speedup) + "x)");
+  } else {
+    std::printf("[shape SKIP] speedup gate needs >= 2 host cores "
+                "(have %u)\n", cores);
+  }
+  sc.check(identical,
+           "all assignments bit-identical to serial (hard gate)");
+  sc.summary();
+
+  // ---- machine-readable trajectory -----------------------------------------
+  {
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"bench\": \"cluster_scaling\",\n"
+        << "  \"workload\": \"planted_partition\",\n"
+        << "  \"vertices\": " << n << ",\n"
+        << "  \"edges\": " << g.n_edges() << ",\n"
+        << "  \"cc_clusters\": " << cc_ref.n_clusters << ",\n"
+        << "  \"mcl_clusters\": " << mcl_ref.n_clusters << ",\n"
+        << "  \"mcl_iterations\": " << serial_stats.iterations << ",\n"
+        << "  \"mcl_expansion_products\": " << serial_stats.spgemm.products
+        << ",\n"
+        << "  \"mcl_peak_resident_bytes\": "
+        << serial_stats.peak_resident_bytes << ",\n"
+        << "  \"serial_cc_seconds\": " << cc_serial_s << ",\n"
+        << "  \"serial_mcl_seconds\": " << mcl_serial_s << ",\n"
+        << "  \"threads\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      out << "    {\"threads\": " << p.threads
+          << ", \"cc_seconds\": " << p.cc_s
+          << ", \"cc_speedup\": " << p.cc_speedup
+          << ", \"mcl_seconds\": " << p.mcl_s
+          << ", \"mcl_iterations\": " << p.mcl_iterations
+          << ", \"mcl_speedup\": " << p.mcl_speedup
+          << ", \"clusters_per_second\": "
+          << (p.mcl_s > 0.0
+                  ? static_cast<double>(mcl_ref.n_clusters) / p.mcl_s
+                  : 0.0)
+          << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  // Bit-identity always gates; the speedup gate is hard wherever the host
+  // can express it (>= 2 cores — the CI runners can).
+  return identical && speedup_ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+#include "cluster/cluster.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace pastis::cluster {
+
+std::string to_string(Method m) {
+  switch (m) {
+    case Method::kNone: return "none";
+    case Method::kConnectedComponents: return "connected-components";
+    case Method::kMarkov: return "markov";
+  }
+  return "?";
+}
+
+ClusterRun cluster_edges(Index n_vertices,
+                         const std::vector<io::SimilarityEdge>& edges,
+                         Method method, const GraphWeighting& weighting,
+                         const MclOptions& mcl_options, MclStats* mcl_stats,
+                         util::ThreadPool* pool) {
+  util::Timer wall;
+  ClusterRun run;
+  run.method = method;
+  if (method == Method::kNone) {
+    // Degenerate: every vertex its own cluster (callers normally gate on
+    // the method before paying for graph assembly).
+    std::vector<Index> labels(n_vertices);
+    std::iota(labels.begin(), labels.end(), 0);
+    run.clusters = canonicalize(labels);
+    run.wall_seconds = wall.seconds();
+    return run;
+  }
+
+  const SimilarityGraph g =
+      SimilarityGraph::from_edges(n_vertices, edges, weighting);
+  run.graph_edges = g.n_edges();
+  run.graph_bytes = g.bytes();
+  switch (method) {
+    case Method::kConnectedComponents:
+      run.clusters = connected_components(g, pool);
+      break;
+    case Method::kMarkov:
+      run.clusters = markov_cluster(g, mcl_options, &run.mcl, pool);
+      break;
+    case Method::kNone:
+      break;  // handled above
+  }
+  if (mcl_stats != nullptr) *mcl_stats = run.mcl;
+  run.wall_seconds = wall.seconds();
+  return run;
+}
+
+}  // namespace pastis::cluster

@@ -1,0 +1,51 @@
+// Clustering subsystem umbrella — the paper's §III use case 2.
+//
+// The production run's purpose is "find the similar sequences in a given
+// set by clustering them" (the Metaclust workflow); this layer turns the
+// similarity-graph edge streams the search and serving paths emit into
+// cluster assignments: symmetrized weighted graph assembly
+// (cluster/graph.hpp), deterministic parallel connected components
+// (cluster/components.hpp), and sparse Markov clustering on the two-phase
+// SpGEMM kernel (cluster/mcl.hpp), all reduced to one canonical
+// Clustering with a pair-counting quality scorer (cluster/result.hpp).
+#pragma once
+
+#include <string>
+
+#include "cluster/components.hpp"
+#include "cluster/graph.hpp"
+#include "cluster/mcl.hpp"
+#include "cluster/result.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pastis::cluster {
+
+enum class Method {
+  kNone,                 // search only; no post-align clustering
+  kConnectedComponents,  // transitive closure (Metaclust-style families)
+  kMarkov,               // MCL flow simulation (HipMCL-style granularity)
+};
+
+[[nodiscard]] std::string to_string(Method m);
+
+/// One clustering run's outcome and accounting, method-agnostic.
+struct ClusterRun {
+  Method method = Method::kNone;
+  Clustering clusters;
+  /// Populated for kMarkov (empty otherwise).
+  MclStats mcl;
+  Offset graph_edges = 0;
+  std::uint64_t graph_bytes = 0;
+  double wall_seconds = 0.0;
+};
+
+/// End-to-end driver: edge stream → SimilarityGraph → clusters. This is
+/// the call the pipeline's post-align stage and the serving layer share;
+/// results are bit-identical for any pool size.
+[[nodiscard]] ClusterRun cluster_edges(
+    Index n_vertices, const std::vector<io::SimilarityEdge>& edges,
+    Method method, const GraphWeighting& weighting = {},
+    const MclOptions& mcl_options = {}, MclStats* mcl_stats = nullptr,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace pastis::cluster

@@ -1,0 +1,35 @@
+// Thread-parallel connected components over the similarity graph.
+//
+// Deterministic by construction for ANY pool size: the algorithm is
+// Jacobi-style minimum-label propagation with full pointer-jumping
+// compression (Shiloach–Vishkin flavour). Every pass reads only the
+// previous iteration's label array and writes each vertex's slot exactly
+// once, so thread count and chunk schedule cannot change a single bit of
+// the fixpoint — the component labeling where every vertex carries its
+// component's smallest vertex id. Families in a similarity graph have tiny
+// diameters, so the pass count is small (pointer jumping caps it at
+// O(log n) even for path graphs).
+#pragma once
+
+#include "cluster/graph.hpp"
+#include "cluster/result.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pastis::cluster {
+
+/// Components of `g` as a canonical Clustering. `pool` only changes the
+/// schedule (nullptr runs serial); the result is bit-identical for any
+/// pool size.
+[[nodiscard]] Clustering connected_components(const SimilarityGraph& g,
+                                              util::ThreadPool* pool = nullptr);
+
+/// Same propagation over a raw adjacency structure (rows = vertices,
+/// columns = neighbours; values ignored). The matrix MUST be structurally
+/// symmetric — each round a vertex only pulls labels from its own row, so
+/// a one-directional edge would never push the minimum the other way.
+/// Used by the MCL interpretation step on the symmetrized support of the
+/// converged flow matrix.
+[[nodiscard]] Clustering components_of_adjacency(
+    const sparse::SpMat<float>& adj, util::ThreadPool* pool = nullptr);
+
+}  // namespace pastis::cluster

@@ -1,0 +1,125 @@
+#include "cluster/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pastis::cluster {
+
+std::string to_string(GraphWeighting::Weight w) {
+  switch (w) {
+    case GraphWeighting::Weight::kUnit: return "unit";
+    case GraphWeighting::Weight::kAni: return "ani";
+    case GraphWeighting::Weight::kCoverage: return "coverage";
+    case GraphWeighting::Weight::kScore: return "score";
+  }
+  return "?";
+}
+
+namespace {
+
+float weight_of(const io::SimilarityEdge& e, GraphWeighting::Weight w) {
+  switch (w) {
+    case GraphWeighting::Weight::kUnit: return 1.0f;
+    case GraphWeighting::Weight::kAni: return e.ani;
+    case GraphWeighting::Weight::kCoverage: return e.cov;
+    case GraphWeighting::Weight::kScore:
+      return static_cast<float>(e.score);
+  }
+  return 0.0f;
+}
+
+}  // namespace
+
+SimilarityGraph SimilarityGraph::from_edges(
+    Index n_vertices, const std::vector<io::SimilarityEdge>& edges,
+    const GraphWeighting& weighting) {
+  SimilarityGraph g;
+  g.n_vertices_ = n_vertices;
+
+  // Surviving edges in canonical (lo, hi) orientation and order.
+  struct E {
+    Index a, b;
+    float w;
+  };
+  std::vector<E> kept;
+  kept.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.seq_a == e.seq_b) continue;
+    if (e.ani < weighting.min_ani || e.cov < weighting.min_cov ||
+        e.score < weighting.min_score) {
+      continue;
+    }
+    const float w = weight_of(e, weighting.weight);
+    if (!(w > 0.0f)) continue;  // MCL needs positive mass; drop NaN too
+    const Index a = std::min(e.seq_a, e.seq_b);
+    const Index b = std::max(e.seq_a, e.seq_b);
+    if (b >= n_vertices) {
+      throw std::out_of_range("SimilarityGraph: edge vertex >= n_vertices");
+    }
+    kept.push_back({a, b, w});
+  }
+  std::sort(kept.begin(), kept.end(), [](const E& x, const E& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  // Duplicate pairs keep the maximum weight.
+  std::size_t wpos = 0;
+  for (std::size_t r = 0; r < kept.size(); ++r) {
+    if (wpos > 0 && kept[r].a == kept[wpos - 1].a &&
+        kept[r].b == kept[wpos - 1].b) {
+      kept[wpos - 1].w = std::max(kept[wpos - 1].w, kept[r].w);
+    } else {
+      kept[wpos++] = kept[r];
+    }
+  }
+  kept.resize(wpos);
+  if (kept.empty()) {
+    g.adj_ = sparse::SpMat<float>(n_vertices, n_vertices);
+    return g;
+  }
+
+  // Counting pass: symmetric degree of every vertex.
+  std::vector<Offset> degree(n_vertices, 0);
+  for (const auto& e : kept) {
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  std::vector<Index> row_ids;
+  std::vector<Offset> row_ptr;
+  // Slot of each vertex in the compressed directory (nonempty rows only).
+  std::vector<Index> slot(n_vertices, 0);
+  Offset nnz = 0;
+  for (Index v = 0; v < n_vertices; ++v) {
+    if (degree[v] == 0) continue;
+    slot[v] = static_cast<Index>(row_ids.size());
+    row_ids.push_back(v);
+    row_ptr.push_back(nnz);
+    nnz += degree[v];
+  }
+  row_ptr.push_back(nnz);
+
+  // Scatter pass. Iterating kept edges in canonical order appends, for any
+  // row v, first the partners of edges (a, v) with a < v (ascending a, the
+  // outer sort key) and then the partners of edges (v, b) with b > v
+  // (ascending b, the inner key) — i.e. columns arrive sorted.
+  std::vector<Offset> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<Index> cols(nnz);
+  std::vector<float> vals(nnz);
+  for (const auto& e : kept) {
+    // Lower-triangle entries (row = the larger endpoint) first: their
+    // columns are the ascending a's.
+    const Offset at_b = cursor[slot[e.b]]++;
+    cols[at_b] = e.a;
+    vals[at_b] = e.w;
+  }
+  for (const auto& e : kept) {
+    const Offset at_a = cursor[slot[e.a]]++;
+    cols[at_a] = e.b;
+    vals[at_a] = e.w;
+  }
+  g.adj_ = sparse::SpMat<float>::from_sorted_parts(
+      n_vertices, n_vertices, std::move(row_ids), std::move(row_ptr),
+      std::move(cols), std::move(vals));
+  return g;
+}
+
+}  // namespace pastis::cluster

@@ -1,0 +1,61 @@
+// Symmetrized, weighted similarity graph — the clustering subsystem's input.
+//
+// The search pipeline emits the similarity graph as canonical triples
+// (io::SimilarityEdge, seq_a < seq_b); clustering needs the symmetric
+// adjacency matrix of that graph. Assembly is a counting scatter straight
+// into sorted DCSR arrays via SpMat::from_sorted_parts: iterating the
+// canonically-sorted edges emits every vertex's below-diagonal columns
+// first and its above-diagonal columns second, both ascending, so no sort
+// and no dedup pass is needed (the same direct-build argument as
+// SpMat::transposed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/graph_io.hpp"
+#include "sparse/matrix.hpp"
+
+namespace pastis::cluster {
+
+using sparse::Index;
+using sparse::Offset;
+
+/// Which edge attribute becomes the adjacency weight, and which edges make
+/// it into the graph at all. The search already applied the Table IV
+/// ANI/coverage filters; these cutoffs tighten further for clustering
+/// (e.g. HipMCL-style bitscore floors) without re-running the search.
+struct GraphWeighting {
+  enum class Weight { kUnit, kAni, kCoverage, kScore };
+  Weight weight = Weight::kAni;
+  float min_ani = 0.0f;
+  float min_cov = 0.0f;
+  std::int32_t min_score = 0;
+};
+
+[[nodiscard]] std::string to_string(GraphWeighting::Weight w);
+
+class SimilarityGraph {
+ public:
+  SimilarityGraph() = default;
+
+  /// Builds the symmetric adjacency of `edges` over vertices [0, n).
+  /// Accepts any edge order and duplicate pairs (parallel producers may
+  /// emit both); duplicates keep the maximum weight. Self-pairs and edges
+  /// failing the cutoffs (or with non-positive weight) are dropped.
+  [[nodiscard]] static SimilarityGraph from_edges(
+      Index n_vertices, const std::vector<io::SimilarityEdge>& edges,
+      const GraphWeighting& weighting = {});
+
+  [[nodiscard]] Index n_vertices() const { return n_vertices_; }
+  /// Undirected edge count (adjacency nonzeros / 2).
+  [[nodiscard]] Offset n_edges() const { return adj_.nnz() / 2; }
+  [[nodiscard]] const sparse::SpMat<float>& adjacency() const { return adj_; }
+  [[nodiscard]] std::uint64_t bytes() const { return adj_.bytes(); }
+
+ private:
+  Index n_vertices_ = 0;
+  sparse::SpMat<float> adj_;  // symmetric, zero diagonal
+};
+
+}  // namespace pastis::cluster

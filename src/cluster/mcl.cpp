@@ -1,0 +1,283 @@
+#include "cluster/mcl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "cluster/components.hpp"
+#include "sparse/semiring.hpp"
+
+namespace pastis::cluster {
+
+namespace {
+
+using sparse::SpMat;
+
+/// Contiguous equal-row chunks for the per-column passes. Chunking is
+/// scheduling only: every row's output is computed identically and
+/// concatenated in row order, so the chunk count never shows in results.
+std::vector<std::size_t> row_chunks(std::size_t n_rows, std::size_t parts) {
+  parts = std::max<std::size_t>(1, std::min(parts, n_rows));
+  std::vector<std::size_t> bounds(parts + 1);
+  for (std::size_t c = 0; c <= parts; ++c) {
+    bounds[c] = n_rows * c / parts;
+  }
+  return bounds;
+}
+
+template <typename Fn>
+void run_chunks(util::ThreadPool* pool, std::size_t n_chunks, Fn&& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n_chunks <= 1) {
+    for (std::size_t c = 0; c < n_chunks; ++c) fn(c);
+  } else {
+    pool->parallel_for(n_chunks, fn);
+  }
+}
+
+std::size_t pass_threads(util::ThreadPool* pool, int max_threads) {
+  std::size_t t = pool != nullptr ? pool->size() : 1;
+  if (max_threads > 0) t = std::min(t, static_cast<std::size_t>(max_threads));
+  return t;
+}
+
+/// Column-stochastic flow matrix of `g` (stored transposed: DCSR row j is
+/// column j of M), with self-loops added before normalization.
+SpMat<float> build_flow_matrix(const SimilarityGraph& g, double loop_scale) {
+  const SpMat<float>& adj = g.adjacency();
+  const std::size_t n_rows = adj.n_nonempty_rows();
+  if (n_rows == 0) return SpMat<float>(g.n_vertices(), g.n_vertices());
+
+  std::vector<Index> row_ids(adj.row_ids().begin(), adj.row_ids().end());
+  std::vector<Offset> row_ptr(n_rows + 1);
+  row_ptr[0] = 0;
+  for (std::size_t k = 0; k < n_rows; ++k) {
+    row_ptr[k + 1] =
+        row_ptr[k] + (adj.row_end(k) - adj.row_begin(k)) + 1;  // + self loop
+  }
+  std::vector<Index> cols(row_ptr.back());
+  std::vector<float> vals(row_ptr.back());
+  for (std::size_t k = 0; k < n_rows; ++k) {
+    const Index v = adj.row_id(k);
+    float wmax = 0.0f;
+    for (Offset o = adj.row_begin(k); o < adj.row_end(k); ++o) {
+      wmax = std::max(wmax, adj.val(o));
+    }
+    const float loop =
+        std::max(1e-6f, static_cast<float>(loop_scale) * wmax);
+    // Merge the sorted neighbour columns with the diagonal entry.
+    Offset w = row_ptr[k];
+    bool loop_placed = false;
+    float sum = 0.0f;
+    for (Offset o = adj.row_begin(k); o < adj.row_end(k); ++o) {
+      if (!loop_placed && v < adj.col(o)) {
+        cols[w] = v;
+        vals[w] = loop;
+        sum += loop;
+        ++w;
+        loop_placed = true;
+      }
+      cols[w] = adj.col(o);
+      vals[w] = adj.val(o);
+      sum += adj.val(o);
+      ++w;
+    }
+    if (!loop_placed) {
+      cols[w] = v;
+      vals[w] = loop;
+      sum += loop;
+      ++w;
+    }
+    for (Offset o = row_ptr[k]; o < row_ptr[k + 1]; ++o) {
+      vals[o] /= sum;
+    }
+  }
+  return SpMat<float>::from_sorted_parts(g.n_vertices(), g.n_vertices(),
+                                         std::move(row_ids),
+                                         std::move(row_ptr), std::move(cols),
+                                         std::move(vals));
+}
+
+/// One inflate + prune + renormalize sweep over the expanded matrix.
+/// Returns the new flow matrix; `chaos_out` gets the column chaos maximum.
+SpMat<float> inflate_prune(const SpMat<float>& E, const MclOptions& opt,
+                           std::uint32_t cap, util::ThreadPool* pool,
+                           int max_threads, double* chaos_out) {
+  const std::size_t n_rows = E.n_nonempty_rows();
+  const std::vector<std::size_t> bounds =
+      row_chunks(n_rows, pass_threads(pool, max_threads));
+  const std::size_t n_chunks = bounds.empty() ? 0 : bounds.size() - 1;
+
+  struct ChunkOut {
+    std::vector<Index> cols;
+    std::vector<float> vals;
+    std::vector<Offset> row_nnz;  // per row of the chunk
+    double chaos = 0.0;
+  };
+  std::vector<ChunkOut> outs(n_chunks);
+
+  run_chunks(pool, n_chunks, [&](std::size_t c) {
+    ChunkOut& out = outs[c];
+    out.row_nnz.reserve(bounds[c + 1] - bounds[c]);
+    std::vector<std::pair<float, Index>> top;  // (value, col) selection buf
+    std::vector<double> inflated;              // pow cache, reused per row
+    for (std::size_t k = bounds[c]; k < bounds[c + 1]; ++k) {
+      const Offset b = E.row_begin(k);
+      const Offset e = E.row_end(k);
+      // Inflate and normalize the column in one fixed-order scan (pow is
+      // the pass's hot operation; computed once per entry).
+      inflated.clear();
+      double sum = 0.0;
+      for (Offset o = b; o < e; ++o) {
+        inflated.push_back(
+            std::pow(static_cast<double>(E.val(o)), opt.inflation));
+        sum += inflated.back();
+      }
+      const auto inv = static_cast<float>(1.0 / sum);
+      // Collect survivors of the threshold cut (the maximum entry always
+      // survives, so no column ever empties).
+      top.clear();
+      float vmax = 0.0f;
+      Index cmax = 0;
+      for (Offset o = b; o < e; ++o) {
+        const float v = static_cast<float>(inflated[o - b]) * inv;
+        if (v > vmax) {
+          vmax = v;
+          cmax = E.col(o);
+        }
+        if (v >= opt.prune_threshold) top.push_back({v, E.col(o)});
+      }
+      if (top.empty()) top.push_back({vmax, cmax});
+      // Top-k selection with a fixed tie-break (value desc, column asc).
+      if (cap != 0 && top.size() > cap) {
+        std::partial_sort(top.begin(), top.begin() + cap, top.end(),
+                          [](const auto& x, const auto& y) {
+                            return x.first != y.first ? x.first > y.first
+                                                      : x.second < y.second;
+                          });
+        top.resize(cap);
+        std::sort(top.begin(), top.end(), [](const auto& x, const auto& y) {
+          return x.second < y.second;
+        });
+      }
+      // Renormalize survivors and accumulate the chaos of this column.
+      float kept = 0.0f;
+      for (const auto& [v, col] : top) kept += v;
+      float col_max = 0.0f;
+      double col_sumsq = 0.0;
+      for (auto& [v, col] : top) {
+        v /= kept;
+        col_max = std::max(col_max, v);
+        col_sumsq += static_cast<double>(v) * static_cast<double>(v);
+      }
+      out.chaos = std::max(out.chaos,
+                           static_cast<double>(col_max) - col_sumsq);
+      out.row_nnz.push_back(top.size());
+      for (const auto& [v, col] : top) {
+        out.cols.push_back(col);
+        out.vals.push_back(v);
+      }
+    }
+  });
+
+  // Stitch the chunks in row order (every row kept >= 1 entry, so the
+  // directory carries over unchanged).
+  std::vector<Index> row_ids(E.row_ids().begin(), E.row_ids().end());
+  std::vector<Offset> row_ptr;
+  row_ptr.reserve(n_rows + 1);
+  row_ptr.push_back(0);
+  Offset nnz = 0;
+  for (const auto& out : outs) {
+    for (const Offset rn : out.row_nnz) {
+      nnz += rn;
+      row_ptr.push_back(nnz);
+    }
+  }
+  std::vector<Index> cols;
+  std::vector<float> vals;
+  cols.reserve(nnz);
+  vals.reserve(nnz);
+  double chaos = 0.0;
+  for (auto& out : outs) {
+    cols.insert(cols.end(), out.cols.begin(), out.cols.end());
+    vals.insert(vals.end(), out.vals.begin(), out.vals.end());
+    chaos = std::max(chaos, out.chaos);
+  }
+  *chaos_out = chaos;
+  return SpMat<float>::from_sorted_parts(E.nrows(), E.ncols(),
+                                         std::move(row_ids),
+                                         std::move(row_ptr), std::move(cols),
+                                         std::move(vals));
+}
+
+/// Clusters = connected components of the converged flow's symmetrized
+/// support (entries >= interpret_threshold).
+Clustering interpret(const SpMat<float>& M, Index n, float threshold,
+                     util::ThreadPool* pool) {
+  std::vector<sparse::Triple<float>> support;
+  M.for_each([&](Index j, Index i, float v) {
+    if (i != j && v >= threshold) {
+      support.push_back({i, j, v});
+      support.push_back({j, i, v});
+    }
+  });
+  const auto adj = SpMat<float>::from_triples(
+      n, n, std::move(support),
+      [](float& acc, const float& v) { acc = std::max(acc, v); });
+  return components_of_adjacency(adj, pool);
+}
+
+}  // namespace
+
+Clustering markov_cluster(const SimilarityGraph& g, const MclOptions& opt,
+                          MclStats* stats, util::ThreadPool* pool) {
+  MclStats local;
+  MclStats& st = stats != nullptr ? *stats : local;
+  st = MclStats{};
+
+  SpMat<float> M = build_flow_matrix(g, opt.self_loop_scale);
+  if (M.empty()) {
+    st.converged = true;
+    std::vector<Index> labels(g.n_vertices());
+    std::iota(labels.begin(), labels.end(), 0);
+    return canonicalize(labels);
+  }
+
+  std::uint32_t cap = opt.max_column_entries;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    // Expand: M ← M² on the configured kernel ((M²)ᵀ = Mᵀ·Mᵀ, so the
+    // transposed storage multiplies by itself unchanged).
+    const std::uint64_t products_before = st.spgemm.products;
+    SpMat<float> E = sparse::spgemm<sparse::PlusTimes<float>>(
+        M, M, opt.kernel, &st.spgemm, pool, opt.max_threads);
+
+    MclIterationStats is;
+    is.expansion_products = st.spgemm.products - products_before;
+    is.expansion_nnz = E.nnz();
+    is.resident_bytes = M.bytes() + E.bytes();
+    st.peak_resident_bytes =
+        std::max(st.peak_resident_bytes, is.resident_bytes);
+    // Memory-budget feedback: a too-fat iteration tightens the column cap
+    // for this and all later prunes (deterministic — byte counts are).
+    if (opt.memory_budget_bytes != 0 &&
+        is.resident_bytes > opt.memory_budget_bytes) {
+      cap = cap == 0 ? 256 : std::max<std::uint32_t>(4, cap / 2);
+      ++st.budget_tightenings;
+    }
+    is.column_cap = cap;
+
+    double chaos = 0.0;
+    M = inflate_prune(E, opt, cap, pool, opt.max_threads, &chaos);
+    is.pruned_nnz = M.nnz();
+    is.chaos = chaos;
+    st.per_iteration.push_back(is);
+    ++st.iterations;
+    st.final_chaos = chaos;
+    if (chaos < opt.chaos_epsilon) {
+      st.converged = true;
+      break;
+    }
+  }
+  return interpret(M, g.n_vertices(), opt.interpret_threshold, pool);
+}
+
+}  // namespace pastis::cluster

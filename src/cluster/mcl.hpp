@@ -1,0 +1,95 @@
+// Sparse Markov clustering (MCL) on the two-phase SpGEMM kernel.
+//
+// HipMCL [Azad et al., NAR 2018] showed the MCL process — expand (M ← M²),
+// inflate (entrywise power + column renormalization), prune (per-column
+// cutoff + top-k selection) — is exactly a repeated SpGEMM workload, which
+// is why the paper's discovery kernel doubles as a clustering engine. The
+// expansion here runs on sparse::spgemm with SpGemmKernel::kHash2Phase
+// (the PR 2 symbolic/numeric parallel kernel) over the conventional (+, *)
+// semiring; inflation and pruning are per-column passes that parallelize
+// over the same pool.
+//
+// Storage convention: the column-stochastic flow matrix M is held
+// TRANSPOSED, i.e. DCSR row j stores column j of M. Expansion is then
+// still a self-product — (M²)ᵀ = Mᵀ·Mᵀ — and every per-column kernel
+// (normalize, inflate, prune, chaos) becomes a cache-friendly row scan.
+//
+// Determinism: expansion is bit-identical for any pool size (the hash2p
+// contract); inflation/prune/chaos are Jacobi per-row passes with one
+// writer per slot and fixed tie-breaks, so the full iteration — and hence
+// the final clustering — is bit-identical for ANY thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/graph.hpp"
+#include "cluster/result.hpp"
+#include "sparse/spgemm.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pastis::cluster {
+
+struct MclOptions {
+  /// Inflation exponent r (granularity knob: higher splits finer).
+  double inflation = 2.0;
+  int max_iterations = 64;
+  /// Converged when the chaos metric — max over columns of
+  /// (max entry − Σ entry²) of the stochastic column — drops below this.
+  double chaos_epsilon = 1e-3;
+  /// Post-inflation stochastic entries below this are cut (mcl -P flavour).
+  float prune_threshold = 1e-4f;
+  /// Keep at most this many entries per column after pruning, largest
+  /// first (mcl -S flavour; 0 = unbounded). Bounds expansion fill-in.
+  std::uint32_t max_column_entries = 64;
+  /// Final-matrix entries at or above this join the attractor support
+  /// whose connected components are the clusters.
+  float interpret_threshold = 1e-3f;
+  /// Self-loop weight added before the first normalization, as a fraction
+  /// of the vertex's maximum incident edge weight (regularizes the flow;
+  /// plain MCL's loop weight 1 is the special case of unit-weight graphs).
+  double self_loop_scale = 1.0;
+  /// Expansion kernel; the parallel two-phase kernel is the default and
+  /// the serial hash/heap oracles remain as cross-checks.
+  sparse::SpGemmKernel kernel = sparse::SpGemmKernel::kHash2Phase;
+  /// Threads one expansion may fan out to (0 = whole pool) — scheduling
+  /// only, never results.
+  int max_threads = 0;
+  /// Resident-bytes budget for one iteration (current + expanded matrix),
+  /// compatible with PastisConfig::exec_memory_budget_bytes: when an
+  /// iteration's resident bytes exceed it, the per-column entry cap is
+  /// halved (floor 4) for the rest of the run. 0 = unbounded. The
+  /// tightening depends only on deterministic byte counts, so results
+  /// remain thread-count invariant.
+  std::uint64_t memory_budget_bytes = 0;
+};
+
+/// Per-iteration accounting (the exec-layer-compatible resident story).
+struct MclIterationStats {
+  std::uint64_t expansion_products = 0;  // semiring multiplies this iter
+  std::uint64_t expansion_nnz = 0;       // nnz of M² before pruning
+  std::uint64_t pruned_nnz = 0;          // nnz kept after inflate+prune
+  std::uint64_t resident_bytes = 0;      // M + M² live simultaneously
+  double chaos = 0.0;
+  std::uint32_t column_cap = 0;          // cap in force this iteration
+};
+
+struct MclStats {
+  int iterations = 0;
+  bool converged = false;
+  double final_chaos = 0.0;
+  std::uint64_t peak_resident_bytes = 0;
+  int budget_tightenings = 0;
+  sparse::SpGemmStats spgemm;
+  std::vector<MclIterationStats> per_iteration;
+};
+
+/// Clusters `g` with the MCL process. Isolated vertices become singleton
+/// clusters. `pool` is scheduling only; the returned Clustering is
+/// bit-identical for any pool size / max_threads.
+[[nodiscard]] Clustering markov_cluster(const SimilarityGraph& g,
+                                        const MclOptions& opt = {},
+                                        MclStats* stats = nullptr,
+                                        util::ThreadPool* pool = nullptr);
+
+}  // namespace pastis::cluster

@@ -1,0 +1,74 @@
+#include "cluster/result.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace pastis::cluster {
+
+std::vector<Index> Clustering::sizes() const {
+  std::vector<Index> out(n_clusters, 0);
+  for (const Index c : assignment) ++out[c];
+  return out;
+}
+
+Clustering canonicalize(const std::vector<Index>& labels) {
+  Clustering out;
+  out.assignment.resize(labels.size());
+  // First-occurrence order over ascending vertex ids IS smallest-member
+  // order: a cluster's id is assigned the first time its lowest vertex is
+  // seen.
+  constexpr Index kUnset = static_cast<Index>(-1);
+  std::vector<Index> remap;
+  std::map<Index, Index> sparse_remap;
+  Index max_label = 0;
+  for (const Index l : labels) max_label = std::max(max_label, l);
+  // Flat remap when labels are vertex-id-like (our algorithms emit roots
+  // < n); arbitrary sparse labels fall back to the ordered map.
+  if (!labels.empty() &&
+      static_cast<std::size_t>(max_label) < 2 * labels.size() + 1024) {
+    remap.assign(static_cast<std::size_t>(max_label) + 1, kUnset);
+  }
+  Index next = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    const Index l = labels[v];
+    Index* slot;
+    if (!remap.empty() && l < remap.size()) {
+      slot = &remap[l];
+    } else {
+      slot = &sparse_remap.try_emplace(l, kUnset).first->second;
+    }
+    if (*slot == kUnset) *slot = next++;
+    out.assignment[v] = *slot;
+  }
+  out.n_clusters = next;
+  return out;
+}
+
+PairScore score_against_classes(const Clustering& c,
+                                std::span<const std::uint32_t> classes,
+                                std::uint32_t background) {
+  if (c.assignment.size() != classes.size()) {
+    throw std::invalid_argument(
+        "score_against_classes: clustering and class labels disagree on n");
+  }
+  auto choose2 = [](std::uint64_t n) { return n * (n - 1) / 2; };
+
+  std::map<std::uint32_t, std::uint64_t> class_sizes;
+  std::vector<std::uint64_t> cluster_sizes(c.n_clusters, 0);
+  std::map<std::pair<Index, std::uint32_t>, std::uint64_t> contingency;
+  for (std::size_t v = 0; v < classes.size(); ++v) {
+    if (classes[v] == background) continue;
+    ++class_sizes[classes[v]];
+    ++cluster_sizes[c.assignment[v]];
+    ++contingency[{c.assignment[v], classes[v]}];
+  }
+
+  PairScore s;
+  for (const auto& [cls, n] : class_sizes) s.true_pairs += choose2(n);
+  for (const auto n : cluster_sizes) s.predicted_pairs += choose2(n);
+  for (const auto& [key, n] : contingency) s.tp += choose2(n);
+  return s;
+}
+
+}  // namespace pastis::cluster

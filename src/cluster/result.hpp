@@ -1,0 +1,77 @@
+// Cluster assignments and quality scoring.
+//
+// Every clustering algorithm in this layer reduces to a per-vertex label
+// vector; `canonicalize` renumbers labels into the one canonical form the
+// whole code base compares, stores and serializes: dense cluster ids
+// ordered by each cluster's smallest member. Quality against the
+// generator's ground-truth families is pair-counting precision/recall/F1
+// (the measure the precise-clustering line of work reports — Byma et al.).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/triple.hpp"
+
+namespace pastis::cluster {
+
+using sparse::Index;
+using sparse::Offset;
+
+/// A clustering of vertices [0, n): `assignment[v]` is the dense cluster id
+/// of vertex v, and ids are ordered by smallest member (cluster 0 contains
+/// vertex 0, cluster ids increase with the first vertex not yet covered).
+/// This canonical form makes clusterings directly comparable with
+/// operator== across algorithms, thread counts and processes.
+struct Clustering {
+  std::vector<Index> assignment;
+  Index n_clusters = 0;
+
+  [[nodiscard]] std::size_t n_vertices() const { return assignment.size(); }
+
+  /// Member count of every cluster, indexed by cluster id.
+  [[nodiscard]] std::vector<Index> sizes() const;
+
+  friend bool operator==(const Clustering&, const Clustering&) = default;
+};
+
+/// Renumbers arbitrary per-vertex labels (union-find roots, MCL attractor
+/// ids, ...) into the canonical smallest-member order described above.
+[[nodiscard]] Clustering canonicalize(const std::vector<Index>& labels);
+
+/// Pair-counting quality of a clustering against ground-truth classes:
+/// a pair of vertices is a true positive when it shares both a cluster and
+/// a class. Vertices whose class equals `background` (singletons, excluded
+/// fragments) participate in neither predicted nor truth pairs.
+struct PairScore {
+  std::uint64_t true_pairs = 0;       // same-class pairs (the truth set)
+  std::uint64_t predicted_pairs = 0;  // same-cluster pairs among scored seqs
+  std::uint64_t tp = 0;
+
+  [[nodiscard]] double precision() const {
+    return predicted_pairs == 0
+               ? 1.0
+               : static_cast<double>(tp) /
+                     static_cast<double>(predicted_pairs);
+  }
+  [[nodiscard]] double recall() const {
+    return true_pairs == 0
+               ? 1.0
+               : static_cast<double>(tp) / static_cast<double>(true_pairs);
+  }
+  [[nodiscard]] double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Scores `c` against per-vertex ground-truth classes (e.g. the labels from
+/// gen::family_labels). Counting goes through per-(cluster, class)
+/// contingency sizes, never pair enumeration — O(n log n), not O(n²).
+[[nodiscard]] PairScore score_against_classes(
+    const Clustering& c, std::span<const std::uint32_t> classes,
+    std::uint32_t background = 0xFFFFFFFFu);
+
+}  // namespace pastis::cluster

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "align/batch.hpp"
+#include "cluster/cluster.hpp"
 #include "kmer/alphabet.hpp"
 #include "sparse/spgemm.hpp"
 
@@ -83,6 +84,22 @@ struct PastisConfig {
   /// Host threads one two-phase SpGEMM call may fan out to (0 = the whole
   /// pool). Purely a scheduling knob: results are thread-count invariant.
   int spgemm_threads = 0;
+
+  // --- clustering (post-align stage; §III use case 2) -----------------------
+  /// Cluster the similarity graph after the block loop retires
+  /// (SimilaritySearch::run_and_cluster). kNone skips the stage.
+  cluster::Method cluster_method = cluster::Method::kNone;
+  /// Edge weighting + extra cutoffs of the clustering graph (the search's
+  /// own ANI/coverage filters already ran; these only tighten).
+  cluster::GraphWeighting cluster_weighting;
+  /// MCL knobs for cluster::Method::kMarkov. Threads/memory budget left
+  /// at defaults inherit spgemm_threads / exec_memory_budget_bytes (see
+  /// run_and_cluster); mcl.kernel picks the expansion kernel directly
+  /// (the parallel two-phase kernel by default). Caution: unlike
+  /// everywhere else, a memory budget changes MCL *results* — it
+  /// deterministically tightens the per-column prune cap when an
+  /// iteration's resident bytes exceed it.
+  cluster::MclOptions mcl;
 
   [[nodiscard]] int n_blocks() const { return block_rows * block_cols; }
 

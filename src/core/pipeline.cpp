@@ -441,6 +441,33 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
   return result;
 }
 
+ClusteredSearchResult SimilaritySearch::run_and_cluster(
+    std::vector<std::string> seqs) const {
+  const auto n = static_cast<sparse::Index>(seqs.size());
+  ClusteredSearchResult out;
+  out.search = run(std::move(seqs));
+  if (config_.cluster_method == cluster::Method::kNone) {
+    return out;  // stage skipped: clustering stays empty (method kNone)
+  }
+
+  // Unset MCL knobs inherit the pipeline's executor knobs: the expansion
+  // is the same SpGEMM workload, the budget the same host gate. The
+  // kernel is cfg.mcl.kernel's to choose (kHash2Phase by default). Note
+  // the budget is NOT schedule-only for MCL — it deterministically
+  // tightens the column cap (see MclOptions::memory_budget_bytes); set
+  // cfg.mcl.memory_budget_bytes explicitly to decouple the two.
+  cluster::MclOptions mcl = config_.mcl;
+  if (mcl.max_threads == 0) mcl.max_threads = config_.spgemm_threads;
+  if (mcl.memory_budget_bytes == 0) {
+    mcl.memory_budget_bytes = config_.exec_memory_budget_bytes;
+  }
+  out.clustering =
+      cluster::cluster_edges(n, out.search.edges, config_.cluster_method,
+                             config_.cluster_weighting, mcl,
+                             /*mcl_stats=*/nullptr, pool_);
+  return out;
+}
+
 SearchResult SimilaritySearch::run_fasta(const std::string& fasta_path,
                                          const std::string& out_path) const {
   // Parallel chunked read: rank q owns records whose header byte falls in

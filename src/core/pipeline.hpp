@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/config.hpp"
 #include "core/stats.hpp"
 #include "io/graph_io.hpp"
@@ -45,6 +46,13 @@ struct SearchResult {
   SearchStats stats;
 };
 
+/// Search + post-align clustering (§III use case 2: "find the similar
+/// sequences in a given set by clustering them").
+struct ClusteredSearchResult {
+  SearchResult search;
+  cluster::ClusterRun clustering;
+};
+
 class SimilaritySearch {
  public:
   SimilaritySearch(PastisConfig config, sim::MachineModel model, int nprocs,
@@ -52,6 +60,16 @@ class SimilaritySearch {
 
   /// Many-against-many search of `seqs` against itself.
   [[nodiscard]] SearchResult run(std::vector<std::string> seqs) const;
+
+  /// run() followed by the clustering post-align stage on the edge stream.
+  /// cfg.cluster_method == kNone skips the stage (the returned clustering
+  /// stays empty). MCL threads/memory-budget knobs left at their defaults
+  /// inherit spgemm_threads and exec_memory_budget_bytes; the expansion
+  /// kernel is cfg.mcl.kernel (kHash2Phase by default). Cluster
+  /// assignments, like the edges, are bit-identical for any process
+  /// count, blocking, depth and pool size.
+  [[nodiscard]] ClusteredSearchResult run_and_cluster(
+      std::vector<std::string> seqs) const;
 
   /// FASTA-to-graph convenience wrapper: parallel chunked read, search,
   /// triples write. `out_path` may be empty to skip writing.

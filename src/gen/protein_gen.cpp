@@ -135,6 +135,7 @@ Dataset generate_proteins(const GenConfig& cfg) {
   d.seqs.reserve(cfg.n_sequences);
   d.ids.reserve(cfg.n_sequences);
   d.family.reserve(cfg.n_sequences);
+  d.is_fragment.reserve(cfg.n_sequences);
 
   const auto n_family_seqs = static_cast<std::uint32_t>(
       static_cast<double>(cfg.n_sequences) * cfg.family_fraction);
@@ -170,6 +171,7 @@ Dataset generate_proteins(const GenConfig& cfg) {
                       std::to_string(member) + (fragment ? "_frag" : ""));
       d.seqs.push_back(std::move(seq));
       d.family.push_back(family_id);
+      d.is_fragment.push_back(fragment ? 1 : 0);
       if (d.seqs.size() >= n_family_seqs) break;
     }
     ++family_id;
@@ -181,6 +183,7 @@ Dataset generate_proteins(const GenConfig& cfg) {
     d.ids.push_back("bg" + std::to_string(d.seqs.size()));
     d.seqs.push_back(std::move(seq));
     d.family.push_back(Dataset::kBackground);
+    d.is_fragment.push_back(0);
   }
 
   if (cfg.shuffle_order) {
@@ -190,9 +193,21 @@ Dataset generate_proteins(const GenConfig& cfg) {
       std::swap(d.seqs[i - 1], d.seqs[j]);
       std::swap(d.ids[i - 1], d.ids[j]);
       std::swap(d.family[i - 1], d.family[j]);
+      std::swap(d.is_fragment[i - 1], d.is_fragment[j]);
     }
   }
   return d;
+}
+
+std::vector<std::uint32_t> family_labels(const Dataset& d,
+                                         bool exclude_fragments) {
+  std::vector<std::uint32_t> labels(d.family);
+  if (exclude_fragments) {
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (d.is_fragment[i] != 0) labels[i] = Dataset::kBackground;
+    }
+  }
+  return labels;
 }
 
 std::uint64_t count_intra_family_pairs(const Dataset& d) {

@@ -72,6 +72,9 @@ struct Dataset {
   std::vector<std::string> ids;
   /// Ground-truth family of each sequence; kBackground for singletons.
   std::vector<std::uint32_t> family;
+  /// 1 for family members emitted as fragments (the sequences the coverage
+  /// filter is expected to drop), 0 otherwise.
+  std::vector<std::uint8_t> is_fragment;
   static constexpr std::uint32_t kBackground = 0xFFFFFFFFu;
 
   [[nodiscard]] std::size_t size() const { return seqs.size(); }
@@ -81,8 +84,18 @@ struct Dataset {
 /// Deterministic in `config.seed`.
 [[nodiscard]] Dataset generate_proteins(const GenConfig& config);
 
-/// Ground-truth related pairs (same family, both non-fragment enough to be
-/// expected in the output). Used by recall tests against brute force.
+/// Per-sequence ground-truth class labels for clustering scorers: the
+/// family ids, with background singletons — and, when `exclude_fragments`
+/// (the default), fragments — mapped to Dataset::kBackground. This is THE
+/// ground-truth hook: the cluster quality scorer consumes it instead of
+/// re-deriving membership from id strings.
+[[nodiscard]] std::vector<std::uint32_t> family_labels(
+    const Dataset& d, bool exclude_fragments = true);
+
+/// Ground-truth intra-family pairs, fragments included (recall tests
+/// against brute force count every family pair the discovery stage could
+/// surface; the coverage filter's fragment drops are scored separately via
+/// family_labels(d, /*exclude_fragments=*/true)).
 [[nodiscard]] std::uint64_t count_intra_family_pairs(const Dataset& d);
 
 }  // namespace pastis::gen

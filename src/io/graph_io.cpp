@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <stdexcept>
 
 namespace pastis::io {
@@ -39,6 +40,54 @@ void sort_edges(std::vector<SimilarityEdge>& edges) {
             [](const SimilarityEdge& a, const SimilarityEdge& b) {
               return a.seq_a != b.seq_a ? a.seq_a < b.seq_a : a.seq_b < b.seq_b;
             });
+}
+
+void write_cluster_assignments(const std::string& path,
+                               const std::vector<std::uint32_t>& assignment) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot write assignments: " + path);
+  }
+  // Smallest-member renumbering: first occurrence over ascending seq ids
+  // assigns dense ids in canonical order (a no-op for already-canonical
+  // input, e.g. cluster::Clustering::assignment). This mirrors
+  // cluster::canonicalize, which cannot be called from here — io/ sits
+  // below cluster/ in the layer graph.
+  std::map<std::uint32_t, std::uint32_t> remap;
+  std::uint32_t next = 0;
+  for (std::uint32_t seq = 0; seq < assignment.size(); ++seq) {
+    auto [it, inserted] = remap.try_emplace(assignment[seq], next);
+    if (inserted) ++next;
+    std::fprintf(f, "%u\t%u\n", seq, it->second);
+  }
+  std::fclose(f);
+}
+
+std::vector<std::uint32_t> read_cluster_assignments(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot read assignments: " + path);
+  }
+  std::vector<std::uint32_t> assignment;
+  std::uint32_t seq = 0, cl = 0;
+  while (std::fscanf(f, "%u\t%u\n", &seq, &cl) == 2) {
+    if (seq != assignment.size()) {
+      std::fclose(f);
+      throw std::runtime_error("cluster assignments: seq ids must be "
+                               "0..n-1 in order in " + path);
+    }
+    assignment.push_back(cl);
+  }
+  // A malformed line stops fscanf before EOF; a silently truncated
+  // assignment must not pass for the complete clustering.
+  const bool clean_eof = std::feof(f) != 0;
+  std::fclose(f);
+  if (!clean_eof) {
+    throw std::runtime_error("cluster assignments: malformed line " +
+                             std::to_string(assignment.size()) + " in " +
+                             path);
+  }
+  return assignment;
 }
 
 std::uint64_t edge_bytes() { return 28; }

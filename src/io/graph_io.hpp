@@ -34,6 +34,19 @@ void write_similarity_graph(const std::string& path,
 /// produced by different parallel decompositions.
 void sort_edges(std::vector<SimilarityEdge>& edges);
 
+/// Writes per-sequence cluster assignments as TSV (`seq_id <tab>
+/// cluster_id`, one line per sequence, seq ids ascending from 0). Cluster
+/// ids are renumbered deterministically by smallest member before writing
+/// — the same canonical form cluster::canonicalize produces — so files
+/// from different runs/machines diff clean.
+void write_cluster_assignments(const std::string& path,
+                               const std::vector<std::uint32_t>& assignment);
+
+/// Reads an assignment TSV back (inverse of write; throws on gaps or
+/// out-of-order seq ids).
+[[nodiscard]] std::vector<std::uint32_t> read_cluster_assignments(
+    const std::string& path);
+
 /// Bytes one edge occupies in the output file model (used by the IO cost
 /// accounting; the paper's production output was 27 TB for 1.05T edges,
 /// ~26 bytes per edge — our TSV rows are the same order of magnitude).

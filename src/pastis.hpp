@@ -20,6 +20,11 @@
 #include "baseline/bruteforce.hpp"
 #include "baseline/replicated_index.hpp"
 #include "baseline/workpackage.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/components.hpp"
+#include "cluster/graph.hpp"
+#include "cluster/mcl.hpp"
+#include "cluster/result.hpp"
 #include "core/common_kmers.hpp"
 #include "core/config.hpp"
 #include "core/kmer_matrix.hpp"

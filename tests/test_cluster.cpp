@@ -1,0 +1,337 @@
+// Clustering subsystem: graph assembly, connected components, Markov
+// clustering, canonical renumbering, the pair-counting scorer, and the
+// paper-grade determinism contract — cluster assignments bit-identical for
+// ANY thread-pool size, for both algorithms.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/pipeline.hpp"
+#include "gen/protein_gen.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pc = pastis::cluster;
+namespace pio = pastis::io;
+using pastis::sparse::Index;
+
+namespace {
+
+pio::SimilarityEdge edge(Index a, Index b, float ani = 0.9f, float cov = 0.9f,
+                         std::int32_t score = 100) {
+  return {a, b, ani, cov, score};
+}
+
+/// Two 4-cliques {0..3} and {4..7} joined by the single bridge (3,4) — the
+/// textbook MCL case: the closure merges everything, flow cuts the bridge.
+std::vector<pio::SimilarityEdge> two_cliques_with_bridge() {
+  std::vector<pio::SimilarityEdge> edges;
+  for (Index base : {Index{0}, Index{4}}) {
+    for (Index i = 0; i < 4; ++i) {
+      for (Index j = i + 1; j < 4; ++j) {
+        edges.push_back(edge(base + i, base + j));
+      }
+    }
+  }
+  edges.push_back(edge(3, 4));
+  return edges;
+}
+
+/// Planted-partition similarity graph: dense blocks plus random noise
+/// edges. Deterministic in the seed.
+std::vector<pio::SimilarityEdge> planted_graph(Index n, Index block,
+                                               double p_intra,
+                                               std::size_t n_noise,
+                                               std::uint64_t seed) {
+  pastis::util::Xoshiro256 rng(seed);
+  std::vector<pio::SimilarityEdge> edges;
+  for (Index b0 = 0; b0 < n; b0 += block) {
+    const Index b1 = std::min<Index>(n, b0 + block);
+    for (Index i = b0; i < b1; ++i) {
+      for (Index j = i + 1; j < b1; ++j) {
+        if (rng.chance(p_intra)) {
+          edges.push_back(edge(i, j, 0.5f + 0.5f * static_cast<float>(
+                                                       rng.uniform())));
+        }
+      }
+    }
+  }
+  for (std::size_t e = 0; e < n_noise; ++e) {
+    const auto i = static_cast<Index>(rng.below(n));
+    const auto j = static_cast<Index>(rng.below(n));
+    if (i != j) edges.push_back(edge(i, j, 0.35f, 0.75f, 40));
+  }
+  return edges;
+}
+
+}  // namespace
+
+// ---- graph assembly --------------------------------------------------------
+
+TEST(SimilarityGraph, SymmetrizedWeightedAssembly) {
+  const std::vector<pio::SimilarityEdge> edges = {
+      edge(1, 3, 0.8f), edge(0, 1, 0.5f), edge(1, 3, 0.6f),  // dup: keep max
+      {2, 2, 0.9f, 0.9f, 50},                                // self: dropped
+  };
+  const auto g = pc::SimilarityGraph::from_edges(5, edges);
+  EXPECT_EQ(g.n_vertices(), 5u);
+  EXPECT_EQ(g.n_edges(), 2u);
+  const auto& adj = g.adjacency();
+  EXPECT_EQ(adj.nnz(), 4u);  // both directions of both edges
+  // Symmetry with the max-combined duplicate weight.
+  const auto k1 = adj.find_row(1);
+  ASSERT_NE(k1, pastis::sparse::SpMat<float>::npos);
+  EXPECT_EQ(adj.col(adj.row_begin(k1)), 0u);
+  EXPECT_FLOAT_EQ(adj.val(adj.row_begin(k1)), 0.5f);
+  EXPECT_EQ(adj.col(adj.row_begin(k1) + 1), 3u);
+  EXPECT_FLOAT_EQ(adj.val(adj.row_begin(k1) + 1), 0.8f);
+  const auto k3 = adj.find_row(3);
+  ASSERT_NE(k3, pastis::sparse::SpMat<float>::npos);
+  EXPECT_EQ(adj.col(adj.row_begin(k3)), 1u);
+  EXPECT_FLOAT_EQ(adj.val(adj.row_begin(k3)), 0.8f);
+}
+
+TEST(SimilarityGraph, CutoffsAndWeightKinds) {
+  const std::vector<pio::SimilarityEdge> edges = {
+      {0, 1, 0.9f, 0.9f, 200}, {1, 2, 0.4f, 0.8f, 80}, {2, 3, 0.9f, 0.5f, 60},
+  };
+  pc::GraphWeighting w;
+  w.min_ani = 0.5f;
+  w.min_cov = 0.7f;
+  const auto g = pc::SimilarityGraph::from_edges(4, edges, w);
+  EXPECT_EQ(g.n_edges(), 1u);  // only (0,1) clears both cutoffs
+
+  pc::GraphWeighting ws;
+  ws.weight = pc::GraphWeighting::Weight::kScore;
+  const auto gs = pc::SimilarityGraph::from_edges(4, edges, ws);
+  const auto& adj = gs.adjacency();
+  const auto k0 = adj.find_row(0);
+  ASSERT_NE(k0, pastis::sparse::SpMat<float>::npos);
+  EXPECT_FLOAT_EQ(adj.val(adj.row_begin(k0)), 200.0f);
+}
+
+TEST(SimilarityGraph, EdgeBeyondVertexCountThrows) {
+  EXPECT_THROW(
+      (void)pc::SimilarityGraph::from_edges(3, {edge(0, 7)}),
+      std::out_of_range);
+}
+
+// ---- canonical renumbering + scorer ---------------------------------------
+
+TEST(Clustering, CanonicalizeSmallestMemberOrder) {
+  // Labels are arbitrary roots; canonical ids follow the smallest member.
+  const std::vector<Index> labels = {7, 7, 2, 7, 2, 9};
+  const auto c = pc::canonicalize(labels);
+  EXPECT_EQ(c.n_clusters, 3u);
+  EXPECT_EQ(c.assignment, (std::vector<Index>{0, 0, 1, 0, 1, 2}));
+  EXPECT_EQ(c.sizes(), (std::vector<Index>{3, 2, 1}));
+}
+
+TEST(Clustering, ScorerCountsPairs) {
+  // clusters: {0,1,2} {3,4}; truth classes: {0,1} {2,3}, 4 background.
+  pc::Clustering c;
+  c.assignment = {0, 0, 0, 1, 1};
+  c.n_clusters = 2;
+  const std::vector<std::uint32_t> classes = {5, 5, 6, 6, 0xFFFFFFFFu};
+  const auto s = pc::score_against_classes(c, classes);
+  // Scored vertices: 0..3. Predicted pairs: (0,1),(0,2) from cluster 0
+  // [vertex 4 is background so cluster 1 contributes none]; truth pairs:
+  // (0,1),(2,3); tp = (0,1).
+  EXPECT_EQ(s.predicted_pairs, 3u);  // (0,1),(0,2),(1,2)
+  EXPECT_EQ(s.true_pairs, 2u);
+  EXPECT_EQ(s.tp, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.5);
+}
+
+// ---- connected components --------------------------------------------------
+
+TEST(ConnectedComponents, MatchesUnionFindOracle) {
+  const auto edges = planted_graph(400, 16, 0.3, 80, 99);
+  const auto g = pc::SimilarityGraph::from_edges(400, edges);
+  const auto c = pc::connected_components(g);
+
+  // Serial union-find oracle.
+  std::vector<Index> parent(400);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](Index x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const auto& e : edges) {
+    parent[find(e.seq_a)] = find(e.seq_b);
+  }
+  std::vector<Index> roots(400);
+  for (Index v = 0; v < 400; ++v) roots[v] = find(v);
+  EXPECT_EQ(c, pc::canonicalize(roots));
+}
+
+TEST(ConnectedComponents, PathGraphAndSingletons) {
+  // A long path exercises the pointer-jumping (diameter >> 1 round).
+  std::vector<pio::SimilarityEdge> edges;
+  for (Index v = 0; v + 1 < 64; ++v) edges.push_back(edge(v, v + 1));
+  const auto g = pc::SimilarityGraph::from_edges(70, edges);
+  const auto c = pc::connected_components(g);
+  EXPECT_EQ(c.n_clusters, 7u);  // the path + 6 isolated singletons
+  for (Index v = 0; v < 64; ++v) EXPECT_EQ(c.assignment[v], 0u);
+  for (Index v = 64; v < 70; ++v) EXPECT_EQ(c.assignment[v], v - 63u);
+}
+
+// ---- MCL oracle ------------------------------------------------------------
+
+TEST(Mcl, SplitsTwoCliquesAcrossBridgeWhereClosureMerges) {
+  const auto edges = two_cliques_with_bridge();
+  const auto g = pc::SimilarityGraph::from_edges(8, edges);
+
+  const auto cc = pc::connected_components(g);
+  EXPECT_EQ(cc.n_clusters, 1u);  // the closure rides the bridge
+
+  pc::MclStats stats;
+  const auto mcl = pc::markov_cluster(g, {}, &stats);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GE(stats.iterations, 2);
+  ASSERT_EQ(mcl.n_clusters, 2u);  // flow cuts the bridge
+  for (Index v = 0; v < 4; ++v) EXPECT_EQ(mcl.assignment[v], 0u) << v;
+  for (Index v = 4; v < 8; ++v) EXPECT_EQ(mcl.assignment[v], 1u) << v;
+}
+
+TEST(Mcl, EmptyGraphIsAllSingletons) {
+  const auto g = pc::SimilarityGraph::from_edges(5, {});
+  pc::MclStats stats;
+  const auto c = pc::markov_cluster(g, {}, &stats);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.iterations, 0);
+  EXPECT_EQ(c.n_clusters, 5u);
+  EXPECT_EQ(pc::connected_components(g).n_clusters, 5u);
+}
+
+TEST(Mcl, MemoryBudgetTightensColumnCap) {
+  const auto edges = planted_graph(300, 30, 0.6, 0, 5);
+  const auto g = pc::SimilarityGraph::from_edges(300, edges);
+  pc::MclStats free_stats;
+  const auto unbounded = pc::markov_cluster(g, {}, &free_stats);
+  ASSERT_GT(free_stats.peak_resident_bytes, 0u);
+
+  pc::MclOptions tight;
+  tight.memory_budget_bytes = free_stats.peak_resident_bytes / 2;
+  pc::MclStats tight_stats;
+  (void)pc::markov_cluster(g, tight, &tight_stats);
+  EXPECT_GT(tight_stats.budget_tightenings, 0);
+  EXPECT_LT(tight_stats.per_iteration.back().column_cap,
+            pc::MclOptions{}.max_column_entries);
+  // And the accounting is per-iteration complete.
+  EXPECT_EQ(static_cast<int>(tight_stats.per_iteration.size()),
+            tight_stats.iterations);
+  EXPECT_EQ(unbounded.assignment.size(), 300u);
+}
+
+// ---- determinism: bit-identical for any pool size --------------------------
+
+class ClusterThreadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClusterThreadSweep, AssignmentsBitIdenticalToSerial) {
+  const Index n = 600;
+  const auto edges = planted_graph(n, 24, 0.4, 150, 42);
+
+  // Serial references (no pool).
+  const auto g = pc::SimilarityGraph::from_edges(n, edges);
+  const auto cc_ref = pc::connected_components(g, nullptr);
+  pc::MclStats mcl_ref_stats;
+  const auto mcl_ref = pc::markov_cluster(g, {}, &mcl_ref_stats, nullptr);
+
+  pastis::util::ThreadPool pool(GetParam());
+  const auto cc = pc::connected_components(g, &pool);
+  EXPECT_EQ(cc, cc_ref);
+
+  pc::MclStats stats;
+  const auto mcl = pc::markov_cluster(g, {}, &stats, &pool);
+  EXPECT_EQ(mcl, mcl_ref);
+  // The whole iteration trace must match, not just the final labels.
+  EXPECT_EQ(stats.iterations, mcl_ref_stats.iterations);
+  EXPECT_EQ(stats.converged, mcl_ref_stats.converged);
+  EXPECT_EQ(stats.spgemm.products, mcl_ref_stats.spgemm.products);
+  ASSERT_EQ(stats.per_iteration.size(), mcl_ref_stats.per_iteration.size());
+  for (std::size_t i = 0; i < stats.per_iteration.size(); ++i) {
+    EXPECT_EQ(stats.per_iteration[i].expansion_nnz,
+              mcl_ref_stats.per_iteration[i].expansion_nnz);
+    EXPECT_EQ(stats.per_iteration[i].pruned_nnz,
+              mcl_ref_stats.per_iteration[i].pruned_nnz);
+    EXPECT_DOUBLE_EQ(stats.per_iteration[i].chaos,
+                     mcl_ref_stats.per_iteration[i].chaos);
+  }
+
+  // max_threads caps below the pool are schedule-only too.
+  pc::MclOptions capped;
+  capped.max_threads = 2;
+  EXPECT_EQ(pc::markov_cluster(g, capped, nullptr, &pool), mcl_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ClusterThreadSweep,
+                         ::testing::Values(1, 2, 8));
+
+// ---- serial kernel oracles drive the same clusters -------------------------
+
+TEST(Mcl, ExpansionKernelsAgree) {
+  const auto edges = planted_graph(300, 20, 0.5, 60, 17);
+  const auto g = pc::SimilarityGraph::from_edges(300, edges);
+  pastis::util::ThreadPool pool(4);
+  pc::MclOptions opt;  // kHash2Phase default
+  const auto fast = pc::markov_cluster(g, opt, nullptr, &pool);
+  opt.kernel = pastis::sparse::SpGemmKernel::kHash;
+  const auto hash = pc::markov_cluster(g, opt, nullptr, &pool);
+  opt.kernel = pastis::sparse::SpGemmKernel::kHeap;
+  const auto heap = pc::markov_cluster(g, opt, nullptr, &pool);
+  EXPECT_EQ(fast, hash);
+  EXPECT_EQ(fast, heap);
+}
+
+// ---- end-to-end: run_and_cluster + driver ----------------------------------
+
+TEST(ClusterPipeline, RunAndClusterMatchesDirectCall) {
+  pastis::gen::GenConfig gc;
+  gc.n_sequences = 250;
+  gc.seed = 77;
+  gc.mean_family_size = 6;
+  const auto data = pastis::gen::generate_proteins(gc);
+
+  pastis::core::PastisConfig cfg;
+  cfg.cluster_method = pc::Method::kMarkov;
+  pastis::core::SimilaritySearch search(cfg, pastis::sim::MachineModel{}, 4);
+  const auto result = search.run_and_cluster(data.seqs);
+  EXPECT_EQ(result.clustering.method, pc::Method::kMarkov);
+  EXPECT_EQ(result.clustering.clusters.assignment.size(), data.size());
+  EXPECT_GT(result.clustering.clusters.n_clusters, 0u);
+  EXPECT_GT(result.clustering.mcl.iterations, 0);
+
+  // The post-align stage is exactly the standalone driver on the edges.
+  const auto direct = pc::cluster_edges(
+      static_cast<Index>(data.size()), result.search.edges,
+      pc::Method::kMarkov, cfg.cluster_weighting, cfg.mcl, nullptr,
+      &pastis::util::ThreadPool::global());
+  EXPECT_EQ(result.clustering.clusters, direct.clusters);
+
+  // Clusters recover families well on this easy dataset.
+  const auto truth = pastis::gen::family_labels(data);
+  const auto score =
+      pc::score_against_classes(result.clustering.clusters, truth);
+  EXPECT_GT(score.f1(), 0.8);
+}
+
+TEST(ClusterPipeline, DriverMethodNoneIsSingletons) {
+  const auto run = pc::cluster_edges(4, {edge(0, 1)}, pc::Method::kNone);
+  EXPECT_EQ(run.clusters.n_clusters, 4u);
+}
+
+TEST(ClusterPipeline, RunAndClusterMethodNoneSkipsTheStage) {
+  pastis::gen::GenConfig gc;
+  gc.n_sequences = 60;
+  const auto data = pastis::gen::generate_proteins(gc);
+  pastis::core::PastisConfig cfg;  // cluster_method defaults to kNone
+  pastis::core::SimilaritySearch search(cfg, pastis::sim::MachineModel{}, 1);
+  const auto result = search.run_and_cluster(data.seqs);
+  EXPECT_EQ(result.clustering.method, pc::Method::kNone);
+  EXPECT_TRUE(result.clustering.clusters.assignment.empty());
+  EXPECT_GT(result.search.edges.size(), 0u);
+}

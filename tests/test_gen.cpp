@@ -109,6 +109,34 @@ TEST(Gen, IntraFamilyPairCount) {
   EXPECT_GT(expect, 0u);
 }
 
+TEST(Gen, FamilyLabelsExposeGroundTruth) {
+  pg::GenConfig cfg;
+  cfg.n_sequences = 600;
+  cfg.fragment_prob = 0.4;
+  cfg.shuffle_order = true;  // labels must survive the deterministic shuffle
+  const auto d = pg::generate_proteins(cfg);
+  ASSERT_EQ(d.is_fragment.size(), d.size());
+
+  const auto with_frags = pg::family_labels(d, /*exclude_fragments=*/false);
+  EXPECT_EQ(with_frags, d.family);
+
+  const auto labels = pg::family_labels(d);
+  ASSERT_EQ(labels.size(), d.size());
+  std::size_t frags = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d.is_fragment[i] != 0) {
+      ++frags;
+      EXPECT_EQ(labels[i], pg::Dataset::kBackground);
+      // Fragment flags line up with the generator's own id tagging.
+      EXPECT_NE(d.ids[i].find("_frag"), std::string::npos);
+    } else {
+      EXPECT_EQ(labels[i], d.family[i]);
+      EXPECT_EQ(d.ids[i].find("_frag"), std::string::npos);
+    }
+  }
+  EXPECT_GT(frags, 20u);
+}
+
 TEST(Gen, TotalResidues) {
   pg::GenConfig cfg;
   cfg.n_sequences = 50;

@@ -152,6 +152,54 @@ TEST(GraphIo, SortEdgesCanonical) {
   EXPECT_EQ(edges[3].seq_a, 3u);
 }
 
+TEST(ClusterIo, AssignmentRoundTripAndCanonicalRenumbering) {
+  TempDir dir;
+  // Arbitrary cluster ids; the writer renumbers by smallest member:
+  // seq 0's cluster (42) becomes 0, seq 1's (7) becomes 1, seq 3's (9)
+  // becomes 2.
+  const std::vector<std::uint32_t> raw = {42, 7, 42, 9, 7, 42};
+  const auto path = dir.file("clusters.tsv");
+  pio::write_cluster_assignments(path, raw);
+  const auto back = pio::read_cluster_assignments(path);
+  EXPECT_EQ(back, (std::vector<std::uint32_t>{0, 1, 0, 2, 1, 0}));
+
+  // Canonical input is a fixed point: write(read(x)) == read(x).
+  pio::write_cluster_assignments(path, back);
+  EXPECT_EQ(pio::read_cluster_assignments(path), back);
+
+  // The file is the documented TSV.
+  std::ifstream in(path);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "0\t0");
+}
+
+TEST(ClusterIo, EmptyAndMissing) {
+  TempDir dir;
+  const auto path = dir.file("empty.tsv");
+  pio::write_cluster_assignments(path, {});
+  EXPECT_TRUE(pio::read_cluster_assignments(path).empty());
+  EXPECT_THROW((void)pio::read_cluster_assignments("/nonexistent/c.tsv"),
+               std::runtime_error);
+}
+
+TEST(ClusterIo, MalformedLinesThrowInsteadOfTruncating) {
+  TempDir dir;
+  const auto bad = dir.file("bad.tsv");
+  {
+    std::ofstream out(bad);
+    out << "0\t0\n1\tx\n2\t1\n";  // line 1 is unparseable
+  }
+  EXPECT_THROW((void)pio::read_cluster_assignments(bad), std::runtime_error);
+
+  const auto gap = dir.file("gap.tsv");
+  {
+    std::ofstream out(gap);
+    out << "0\t0\n2\t1\n";  // seq id 1 missing
+  }
+  EXPECT_THROW((void)pio::read_cluster_assignments(gap), std::runtime_error);
+}
+
 TEST(GraphIo, EdgeBytesPlausible) {
   // The paper's 27 TB for 1.05T edges is ~26 B/edge; ours models the same
   // order of magnitude.
