@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -118,5 +119,13 @@ inline core::SearchResult run_search(const std::vector<std::string>& seqs,
 
 inline std::string f2(double v) { return util::fixed(v, 2); }
 inline std::string f4(double v) { return util::fixed(v, 4); }
+
+/// Default location for bench/example artifacts: a gitignored out/
+/// directory next to the working directory (created on demand), so runs
+/// never strew JSON/TSV files over the repo root.
+inline std::string out_path(const std::string& name) {
+  std::filesystem::create_directories("out");
+  return (std::filesystem::path("out") / name).string();
+}
 
 }  // namespace pastis::bench

@@ -1,0 +1,129 @@
+// Distributed-memory serving bench: the same query stream served from the
+// single-address-space engine and from rank-resident shard placements at
+// grid sides 1/2/3. What the grid buys is MEMORY: the busiest rank's
+// modeled resident bytes (placed shards + reference slice + in-flight
+// batch workspace) must shrink as the grid grows, while hits stay
+// bit-identical — both hard-gated in the exit code, so CI smoke runs
+// enforce the distributed memory model's contract. Emits BENCH_dist.json.
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+
+using namespace pastis;
+using namespace pastis::bench;
+
+namespace {
+
+struct Point {
+  int side = 0;
+  std::uint64_t placement_resident = 0;  // busiest rank, static
+  std::uint64_t max_rank_resident = 0;   // busiest rank, ledger peak
+  double t_serve = 0.0;
+  std::uint64_t hits = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n_refs = static_cast<std::uint32_t>(args.i("refs", 1200));
+  const auto n_queries = static_cast<std::uint32_t>(args.i("queries", 240));
+  const auto n_batches = static_cast<std::size_t>(args.i("batches", 6));
+  const int n_shards = static_cast<int>(args.i("shards", 12));
+  const int replication = static_cast<int>(args.i("replication", 1));
+  const std::string out =
+      args.s("out", pastis::bench::out_path("BENCH_dist.json"));
+
+  util::banner("distributed serving — rank-resident shards vs one address space");
+  const auto ds = make_dataset(n_refs + n_queries, 11);
+  std::vector<std::string> refs(ds.seqs.begin(), ds.seqs.begin() + n_refs);
+  std::vector<std::string> queries(ds.seqs.begin() + n_refs, ds.seqs.end());
+  std::vector<std::vector<std::string>> batches(n_batches);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    batches[i * n_batches / queries.size()].push_back(queries[i]);
+  }
+
+  core::PastisConfig cfg;
+  const sim::MachineModel model;  // unscaled Summit, as bench_query_throughput
+  const auto idx = index::KmerIndex::build(refs, cfg, n_shards);
+  std::printf("refs %s   queries %s in %zu batches   shards %d   index %s\n\n",
+              util::with_commas(n_refs).c_str(),
+              util::with_commas(n_queries).c_str(), n_batches, n_shards,
+              util::bytes_human(static_cast<double>(idx.bytes())).c_str());
+
+  // The shared-memory oracle every grid must reproduce bitwise.
+  index::QueryEngine oracle(idx, cfg, model, {});
+  const auto expected = oracle.serve(batches);
+
+  ShapeChecks sc;
+  bool identical = true;
+  std::vector<Point> points;
+  util::TextTable t({"grid", "ranks", "placement max", "resident max",
+                     "t_serve (s)", "hits", "bit-identical"});
+  for (int side : {1, 2, 3}) {
+    index::QueryEngine::Options opt;
+    opt.grid_side = side;
+    opt.replication = replication;
+    index::QueryEngine engine(idx, cfg, model, opt);
+    const auto result = engine.serve(batches);
+    const bool same = result.hits == expected.hits;
+    identical = identical && same;
+    sc.check(same, "grid side " + std::to_string(side) +
+                       " hits bit-identical to the shared-memory serve "
+                       "(hard gate)");
+    Point p;
+    p.side = side;
+    p.placement_resident = result.stats.placement_resident_bytes;
+    p.max_rank_resident = result.stats.max_rank_resident_bytes();
+    p.t_serve = result.stats.t_serve;
+    p.hits = result.stats.hits;
+    t.add_row({std::to_string(side) + "x" + std::to_string(side),
+               std::to_string(side * side),
+               util::bytes_human(static_cast<double>(p.placement_resident)),
+               util::bytes_human(static_cast<double>(p.max_rank_resident)),
+               f4(p.t_serve), util::with_commas(p.hits),
+               same ? "yes" : "NO"});
+    points.push_back(p);
+  }
+  t.print();
+
+  util::banner("shape checks");
+  const auto& s1 = points.front();
+  const auto& s3 = points.back();
+  const bool shrinks = s3.max_rank_resident * 2 < s1.max_rank_resident;
+  sc.check(shrinks,
+           "max-rank resident at side 3 < 50% of side 1 (hard gate; " +
+               util::bytes_human(static_cast<double>(s3.max_rank_resident)) +
+               " vs " +
+               util::bytes_human(static_cast<double>(s1.max_rank_resident)) +
+               ")");
+  sc.summary();
+
+  {
+    std::ofstream os(out);
+    os << "{\n"
+       << "  \"bench\": \"dist_serving\",\n"
+       << "  \"refs\": " << n_refs << ",\n"
+       << "  \"queries\": " << n_queries << ",\n"
+       << "  \"shards\": " << n_shards << ",\n"
+       << "  \"replication\": " << replication << ",\n"
+       << "  \"hits\": " << expected.stats.hits << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"resident_shrinks\": " << (shrinks ? "true" : "false") << ",\n"
+       << "  \"grids\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      os << "    {\"side\": " << p.side
+         << ", \"ranks\": " << p.side * p.side
+         << ", \"placement_resident_bytes\": " << p.placement_resident
+         << ", \"max_rank_resident_bytes\": " << p.max_rank_resident
+         << ", \"t_serve_seconds\": " << p.t_serve
+         << ", \"hits\": " << p.hits << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return identical && shrinks ? 0 : 1;
+}

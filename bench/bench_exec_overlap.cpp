@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   const int procs = static_cast<int>(args.i("procs", 4));
   const int blocks = static_cast<int>(args.i("blocks", 3));
   const auto seed = static_cast<std::uint64_t>(args.i("seed", 17));
-  const std::string out_path = args.s("out", "BENCH_exec.json");
+  const std::string out_path = args.s("out", pastis::bench::out_path("BENCH_exec.json"));
   const auto depths = parse_depths(args.s("depths", "1,2,4,8"));
   if (depths.empty() || depths.front() != 1) {
     std::fprintf(stderr,

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const int shards = static_cast<int>(args.i("shards", 16));
   const int procs = static_cast<int>(args.i("procs", 16));
   const auto seed = static_cast<std::uint64_t>(args.i("seed", 7));
-  const std::string out_path = args.s("out", "BENCH_query.json");
+  const std::string out_path = args.s("out", pastis::bench::out_path("BENCH_query.json"));
 
   const int side = static_cast<int>(std::lround(std::sqrt(double(procs))));
   if (n_refs == 0 || n_queries == 0 || n_batches == 0) {

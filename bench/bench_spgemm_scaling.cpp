@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::uint32_t>(args.i("seqs", 2000));
   const int reps = static_cast<int>(args.i("reps", 3));
   const long max_threads = args.i("max-threads", 8);
-  const std::string out_path = args.s("out", "BENCH_spgemm.json");
+  const std::string out_path = args.s("out", pastis::bench::out_path("BENCH_spgemm.json"));
 
   util::banner("two-phase SpGEMM scaling — overlap product A·Aᵀ");
   const auto data = make_dataset(n, args.i("seed", 7));

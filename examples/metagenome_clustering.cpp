@@ -11,6 +11,7 @@
 // through the cluster-assignment TSV writer. This is exactly the pipeline
 // the paper's 405M-sequence production run feeds.
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 
 #include "pastis.hpp"
@@ -86,8 +87,10 @@ int main() {
                    static_cast<double>(mcl_stats.peak_resident_bytes))
             << ")\n";
 
-  // Persist the MCL assignment as the canonical TSV and read it back.
-  const std::string out = "metagenome_clusters.tsv";
+  // Persist the MCL assignment as the canonical TSV (into the gitignored
+  // out/ directory) and read it back.
+  std::filesystem::create_directories("out");
+  const std::string out = "out/metagenome_clusters.tsv";
   io::write_cluster_assignments(out, mcl_run.clusters.assignment);
   const auto back = io::read_cluster_assignments(out);
   std::cout << "\nwrote " << out << " (" << back.size()

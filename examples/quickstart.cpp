@@ -8,6 +8,7 @@
 //
 // Build & run:   ./example_quickstart [--fasta=proteins.fa] [--out=graph.tsv]
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -16,11 +17,16 @@
 int main(int argc, char** argv) {
   using namespace pastis;
 
-  std::string fasta_path, out_path = "quickstart_graph.tsv";
+  // Artifacts land in the gitignored out/ directory unless redirected.
+  std::string fasta_path, out_path = "out/quickstart_graph.tsv";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--fasta=", 0) == 0) fasta_path = arg.substr(8);
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+  if (const auto dir = std::filesystem::path(out_path).parent_path();
+      !dir.empty()) {
+    std::filesystem::create_directories(dir);
   }
 
   // --- 1. sequences -------------------------------------------------------

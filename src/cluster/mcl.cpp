@@ -5,6 +5,9 @@
 #include <numeric>
 
 #include "cluster/components.hpp"
+#include "dist/distmat.hpp"
+#include "dist/summa.hpp"
+#include "sim/runtime.hpp"
 #include "sparse/semiring.hpp"
 
 namespace pastis::cluster {
@@ -209,6 +212,45 @@ SpMat<float> inflate_prune(const SpMat<float>& E, const MclOptions& opt,
                                          std::move(vals));
 }
 
+/// Logical DCSR bytes of a non-empty float matrix with `nonempty_rows`
+/// rows in the directory and `nnz` stored entries — exactly
+/// SpMat<float>::bytes(), so the distributed path can reproduce the
+/// shared-memory path's global resident-bytes numbers (and hence its
+/// budget-tightening decisions) bit-for-bit from stripe counts alone.
+std::uint64_t dcsr_bytes(std::uint64_t nonempty_rows, std::uint64_t nnz) {
+  if (nnz == 0) return 0;  // empty SpMat stores nothing, not even row_ptr
+  return nonempty_rows * sizeof(Index) + (nonempty_rows + 1) * sizeof(Offset) +
+         nnz * (sizeof(Index) + sizeof(float));
+}
+
+/// Vertically concatenates per-rank row stripes (stripe r = global rows
+/// [split(n, p, r), split(n, p, r+1)), stripe-local ids) back into one
+/// global matrix. Rows ascend across stripes, so the DCSR arrays
+/// concatenate directly — exact values, no sort.
+SpMat<float> concat_row_stripes(const std::vector<SpMat<float>>& stripes,
+                                Index n) {
+  std::vector<Index> row_ids;
+  std::vector<Offset> row_ptr;
+  std::vector<Index> cols;
+  std::vector<float> vals;
+  row_ptr.push_back(0);
+  Index offset = 0;
+  for (const auto& s : stripes) {
+    for (std::size_t k = 0; k < s.n_nonempty_rows(); ++k) {
+      row_ids.push_back(s.row_id(k) + offset);
+      for (Offset o = s.row_begin(k); o < s.row_end(k); ++o) {
+        cols.push_back(s.col(o));
+        vals.push_back(s.val(o));
+      }
+      row_ptr.push_back(static_cast<Offset>(cols.size()));
+    }
+    offset += s.nrows();
+  }
+  return SpMat<float>::from_sorted_parts(n, n, std::move(row_ids),
+                                         std::move(row_ptr), std::move(cols),
+                                         std::move(vals));
+}
+
 /// Clusters = connected components of the converged flow's symmetrized
 /// support (entries >= interpret_threshold).
 Clustering interpret(const SpMat<float>& M, Index n, float threshold,
@@ -226,6 +268,200 @@ Clustering interpret(const SpMat<float>& M, Index n, float threshold,
   return components_of_adjacency(adj, pool);
 }
 
+/// The distributed MCL loop (HipMCL's shape over the simulated grid): the
+/// transposed flow matrix lives as per-rank row stripes (every flow column
+/// whole on one rank — the layout inflate/prune/chaos need), expansion
+/// scatters to the 2D tiling and runs the gather-stages SUMMA (bitwise
+/// equal to the local kernel — dist/summa.hpp), and the expanded matrix
+/// gathers back to stripes for the rank-local column scans. All
+/// result-affecting decisions (per-column prune, global budget
+/// tightening) are bit-compatible with the shared-memory loop, so
+/// assignments are identical for any grid side; the per-rank ledger and
+/// clocks are what the grid changes.
+Clustering markov_cluster_distributed(const SimilarityGraph& g,
+                                      const MclOptions& opt, MclStats& st,
+                                      util::ThreadPool* pool) {
+  const int side = std::max(1, opt.grid_side);
+  sim::SimRuntime rt(side * side, opt.machine,
+                     pool != nullptr ? pool : &util::ThreadPool::global());
+  const int p = rt.nprocs();
+  const sim::ProcGrid& grid = rt.grid();
+  st.grid_side = side;
+
+  SpMat<float> M0 = build_flow_matrix(g, opt.self_loop_scale);
+  const Index n = g.n_vertices();
+  if (M0.empty()) {
+    st.converged = true;
+    st.rank_peak_resident_bytes.assign(static_cast<std::size_t>(p), 0);
+    std::vector<Index> labels(g.n_vertices());
+    std::iota(labels.begin(), labels.end(), 0);
+    return canonicalize(labels);
+  }
+
+  // Initial distribution: stripe r (global rows [split(n,p,r), split(n,p,r+1))
+  // of the transposed flow matrix) becomes rank r's resident state.
+  std::vector<SpMat<float>> stripes(static_cast<std::size_t>(p));
+  rt.spmd([&](int r) {
+    const Index r0 = sim::ProcGrid::split_point(n, p, r);
+    const Index r1 = sim::ProcGrid::split_point(n, p, r + 1);
+    stripes[static_cast<std::size_t>(r)] = M0.extract(r0, r1, 0, n);
+    const std::uint64_t b = stripes[static_cast<std::size_t>(r)].bytes();
+    auto& clock = rt.clock(r);
+    clock.charge(sim::Comp::kSparseOther,
+                 rt.model().sparse_stream_time(b) + rt.model().p2p_time(b));
+    clock.bytes_recv += b;
+    clock.add_resident(b);
+  });
+  M0 = SpMat<float>();
+
+  std::uint32_t cap = opt.max_column_entries;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    // Global (rows, nnz) of M from the stripes — the shared-memory
+    // resident-bytes numbers, reproduced exactly.
+    std::uint64_t m_rows = 0, m_nnz = 0;
+    for (const auto& s : stripes) {
+      m_rows += s.n_nonempty_rows();
+      m_nnz += s.nnz();
+    }
+
+    // Expand: stripes → 2D tiles → gather-stages SUMMA → E stripes.
+    auto Md = dist::scatter_row_stripes(rt, stripes, n,
+                                        sim::Comp::kSparseOther, pool);
+    std::vector<std::uint64_t> stripe_bytes(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      stripe_bytes[static_cast<std::size_t>(r)] =
+          stripes[static_cast<std::size_t>(r)].bytes();
+    }
+    for (auto& s : stripes) s = SpMat<float>();
+
+    // Ledger: the stripe is shipped out, the tile plus the gathered SUMMA
+    // strips (the rank's full grid-row of A and grid-column of B) come in.
+    std::vector<std::uint64_t> strip_bytes(static_cast<std::size_t>(p), 0);
+    rt.spmd([&](int r) {
+      const int gi = grid.row_of(r);
+      const int gj = grid.col_of(r);
+      std::uint64_t b = 0;
+      for (int s = 0; s < side; ++s) {
+        b += Md.local(grid.rank_of(gi, s)).bytes() +
+             Md.local(grid.rank_of(s, gj)).bytes();
+      }
+      strip_bytes[static_cast<std::size_t>(r)] = b;
+      auto& clock = rt.clock(r);
+      clock.sub_resident(stripe_bytes[static_cast<std::size_t>(r)]);
+      clock.add_resident(Md.local(r).bytes() + b);
+    });
+
+    const std::uint64_t products_before = st.spgemm.products;
+    dist::SummaOptions sopt;
+    sopt.kernel = opt.kernel;
+    sopt.pool = pool;
+    sopt.spgemm_threads = opt.max_threads;
+    sopt.gather_stages = true;  // bitwise-exact float fold (see summa.hpp)
+    auto Ed = dist::summa<sparse::PlusTimes<float>>(rt, Md, Md, sopt,
+                                                    &st.spgemm);
+
+    rt.spmd([&](int r) {
+      rt.clock(r).add_resident(Ed.local(r).bytes());
+      rt.clock(r).sub_resident(strip_bytes[static_cast<std::size_t>(r)]);
+    });
+    auto e_stripes = dist::gather_row_stripes(rt, Ed, sim::Comp::kSparseOther,
+                                              pool);
+    std::vector<std::uint64_t> md_tile_bytes(static_cast<std::size_t>(p));
+    std::vector<std::uint64_t> ed_tile_bytes(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      md_tile_bytes[static_cast<std::size_t>(r)] = Md.local(r).bytes();
+      ed_tile_bytes[static_cast<std::size_t>(r)] = Ed.local(r).bytes();
+    }
+    rt.spmd([&](int r) {
+      rt.clock(r).add_resident(
+          e_stripes[static_cast<std::size_t>(r)].bytes());
+      rt.clock(r).sub_resident(md_tile_bytes[static_cast<std::size_t>(r)] +
+                               ed_tile_bytes[static_cast<std::size_t>(r)]);
+    });
+    Md = dist::DistSpMat<float>();
+    Ed = dist::DistSpMat<float>();
+
+    std::uint64_t e_rows = 0, e_nnz = 0;
+    for (const auto& s : e_stripes) {
+      e_rows += s.n_nonempty_rows();
+      e_nnz += s.nnz();
+    }
+
+    MclIterationStats is;
+    is.expansion_products = st.spgemm.products - products_before;
+    is.expansion_nnz = e_nnz;
+    is.resident_bytes = dcsr_bytes(m_rows, m_nnz) + dcsr_bytes(e_rows, e_nnz);
+    st.peak_resident_bytes =
+        std::max(st.peak_resident_bytes, is.resident_bytes);
+    // Global budget feedback: the SAME decision, from the SAME numbers, as
+    // the shared-memory loop — this is what keeps assignments identical
+    // across grid sides under a binding global budget.
+    if (opt.memory_budget_bytes != 0 &&
+        is.resident_bytes > opt.memory_budget_bytes) {
+      cap = cap == 0 ? 256 : std::max<std::uint32_t>(4, cap / 2);
+      ++st.budget_tightenings;
+    }
+    // Per-rank budget feedback (tile + strips during expansion, tile +
+    // stripe around the gather): deterministic, but grid-side-dependent —
+    // see MclOptions::rank_memory_budget_bytes.
+    std::uint64_t max_rank = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const std::uint64_t f_expand =
+          md_tile_bytes[ri] + strip_bytes[ri] + ed_tile_bytes[ri];
+      const std::uint64_t f_gather = md_tile_bytes[ri] + ed_tile_bytes[ri] +
+                                     e_stripes[ri].bytes();
+      max_rank = std::max({max_rank, f_expand, f_gather});
+    }
+    is.max_rank_resident_bytes = max_rank;
+    if (opt.rank_memory_budget_bytes != 0 &&
+        max_rank > opt.rank_memory_budget_bytes) {
+      cap = cap == 0 ? 256 : std::max<std::uint32_t>(4, cap / 2);
+      ++st.rank_budget_tightenings;
+    }
+    is.column_cap = cap;
+
+    // Inflate + prune + chaos: rank-local column scans (the transposed
+    // stripe holds every one of its flow columns whole), cap applied per
+    // tile. Row-identical to the shared-memory pass.
+    std::vector<double> rank_chaos(static_cast<std::size_t>(p), 0.0);
+    rt.spmd([&](int r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const std::uint64_t e_b = e_stripes[ri].bytes();
+      stripes[ri] = inflate_prune(e_stripes[ri], opt, cap, nullptr, 0,
+                                  &rank_chaos[ri]);
+      e_stripes[ri] = SpMat<float>();
+      auto& clock = rt.clock(r);
+      clock.charge(sim::Comp::kSparseOther,
+                   rt.model().sparse_stream_time(e_b + stripes[ri].bytes()));
+      clock.add_resident(stripes[ri].bytes());
+      clock.sub_resident(e_b);
+    });
+    double chaos = 0.0;
+    std::uint64_t pruned = 0;
+    for (int r = 0; r < p; ++r) {
+      chaos = std::max(chaos, rank_chaos[static_cast<std::size_t>(r)]);
+      pruned += stripes[static_cast<std::size_t>(r)].nnz();
+    }
+    is.pruned_nnz = pruned;
+    is.chaos = chaos;
+    st.per_iteration.push_back(is);
+    ++st.iterations;
+    st.final_chaos = chaos;
+    if (chaos < opt.chaos_epsilon) {
+      st.converged = true;
+      break;
+    }
+  }
+
+  st.rank_peak_resident_bytes = rt.peak_resident_bytes();
+  for (int r = 0; r < p; ++r) {
+    st.modeled_seconds = std::max(st.modeled_seconds, rt.clock(r).total());
+  }
+  return interpret(concat_row_stripes(stripes, n), n,
+                   opt.interpret_threshold, pool);
+}
+
 }  // namespace
 
 Clustering markov_cluster(const SimilarityGraph& g, const MclOptions& opt,
@@ -233,6 +469,7 @@ Clustering markov_cluster(const SimilarityGraph& g, const MclOptions& opt,
   MclStats local;
   MclStats& st = stats != nullptr ? *stats : local;
   st = MclStats{};
+  if (opt.distributed) return markov_cluster_distributed(g, opt, st, pool);
 
   SpMat<float> M = build_flow_matrix(g, opt.self_loop_scale);
   if (M.empty()) {

@@ -25,6 +25,7 @@
 
 #include "cluster/graph.hpp"
 #include "cluster/result.hpp"
+#include "sim/machine_model.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/thread_pool.hpp"
 
@@ -62,6 +63,27 @@ struct MclOptions {
   /// tightening depends only on deterministic byte counts, so results
   /// remain thread-count invariant.
   std::uint64_t memory_budget_bytes = 0;
+
+  // --- distributed expansion (HipMCL-style; PastisConfig::mcl.distributed) --
+  /// Run the expansion through the sparse SUMMA over a simulated
+  /// grid_side × grid_side process grid: the transposed flow matrix
+  /// becomes a DistSpMat<float>, M·M a gather-stages SUMMA (bitwise equal
+  /// to the local kernel — see dist/summa.hpp), and inflate/prune/chaos
+  /// rank-local column scans over per-rank row stripes. Assignments are
+  /// bit-identical to the shared-memory path for ANY grid side; what
+  /// changes is the modeled per-rank memory and time.
+  bool distributed = false;
+  /// Side of the process grid for the distributed path (ranks = side²).
+  int grid_side = 1;
+  /// Per-rank resident-bytes budget of the distributed path: when any
+  /// rank's modeled iteration footprint (tile + gathered strips + stripe)
+  /// exceeds it, the column cap is halved exactly like the global budget.
+  /// CAUTION: per-rank footprints depend on the grid side, so — unlike
+  /// every other knob — a *binding* rank budget can make assignments
+  /// differ across grid sides. 0 = unbounded.
+  std::uint64_t rank_memory_budget_bytes = 0;
+  /// Machine the distributed path charges (wire + SpGEMM + stream time).
+  sim::MachineModel machine;
 };
 
 /// Per-iteration accounting (the exec-layer-compatible resident story).
@@ -70,6 +92,9 @@ struct MclIterationStats {
   std::uint64_t expansion_nnz = 0;       // nnz of M² before pruning
   std::uint64_t pruned_nnz = 0;          // nnz kept after inflate+prune
   std::uint64_t resident_bytes = 0;      // M + M² live simultaneously
+  /// Distributed path only: the busiest rank's modeled resident bytes
+  /// this iteration (tile + gathered strips / stripe footprint).
+  std::uint64_t max_rank_resident_bytes = 0;
   double chaos = 0.0;
   std::uint32_t column_cap = 0;          // cap in force this iteration
 };
@@ -82,6 +107,16 @@ struct MclStats {
   int budget_tightenings = 0;
   sparse::SpGemmStats spgemm;
   std::vector<MclIterationStats> per_iteration;
+
+  // --- distributed path (empty/zero on the shared-memory path) -------------
+  int grid_side = 0;  // 0 = shared-memory run
+  /// Per-rank resident-bytes high-water marks from the SimRuntime ledger.
+  std::vector<std::uint64_t> rank_peak_resident_bytes;
+  /// Cap tightenings forced by rank_memory_budget_bytes (as opposed to the
+  /// global memory_budget_bytes, counted in budget_tightenings).
+  int rank_budget_tightenings = 0;
+  /// Modeled seconds of the slowest rank (SUMMA + reshapes + scans).
+  double modeled_seconds = 0.0;
 };
 
 /// Clusters `g` with the MCL process. Isolated vertices become singleton

@@ -85,6 +85,26 @@ struct PastisConfig {
   /// pool). Purely a scheduling knob: results are thread-count invariant.
   int spgemm_threads = 0;
 
+  // --- distributed memory model (rank-resident serving + clustering) --------
+  /// Side of the simulated serving grid: the QueryEngine places index
+  /// shards on side² ranks (round-robin by postings bytes + greedy
+  /// rebalance) and serves each batch through SimRuntime rank tasks
+  /// against rank-RESIDENT shard stripes. 0 keeps the legacy
+  /// single-address-space serve; hits are bit-identical either way.
+  int grid_side_serving = 0;
+  /// Per-rank resident-bytes budget of the distributed paths: shard
+  /// placements (serving) and per-iteration tile+stripe footprints
+  /// (distributed MCL) whose modeled resident bytes would exceed any
+  /// rank's budget are rejected/tightened. 0 = unbounded; unset inherits
+  /// through the chain documented at effective_rank_memory_budget().
+  std::uint64_t rank_memory_budget_bytes = 0;
+  /// Replication factor of the serving shard placement: each shard stays
+  /// resident on this many distinct ranks (availability). Modeled as extra
+  /// resident bytes on the replica ranks and a smaller query-broadcast
+  /// team (only one replica set must receive the batch); results never
+  /// change — replicas do not compute.
+  int shard_replication = 1;
+
   // --- clustering (post-align stage; §III use case 2) -----------------------
   /// Cluster the similarity graph after the block loop retires
   /// (SimilaritySearch::run_and_cluster). kNone skips the stage.
@@ -102,6 +122,34 @@ struct PastisConfig {
   cluster::MclOptions mcl;
 
   [[nodiscard]] int n_blocks() const { return block_rows * block_cols; }
+
+  // --- memory-budget knob inheritance (THE one place; see the table in
+  // docs/ARCHITECTURE.md) ----------------------------------------------------
+  // Three budgets form a chain; each unset (0) knob inherits the previous
+  // stage's effective value, so one top-level `exec_memory_budget_bytes`
+  // bounds the whole run unless a stage overrides it:
+  //
+  //   exec_memory_budget_bytes          (host admission gate — the root)
+  //     └─> mcl.memory_budget_bytes     (MCL iteration footprint; CAUTION:
+  //                                      result-affecting — tightens the
+  //                                      per-column prune cap)
+  //           └─> rank_memory_budget_bytes  (per-rank resident gate of the
+  //                                          distributed serving/MCL paths)
+  //
+  // Call sites must use these helpers instead of re-implementing the
+  // fallbacks (run_and_cluster, QueryEngine and the distributed MCL all
+  // resolve through here).
+
+  /// mcl.memory_budget_bytes, falling back to exec_memory_budget_bytes.
+  [[nodiscard]] std::uint64_t effective_mcl_memory_budget() const {
+    return mcl.memory_budget_bytes != 0 ? mcl.memory_budget_bytes
+                                        : exec_memory_budget_bytes;
+  }
+  /// rank_memory_budget_bytes, falling back down the documented chain.
+  [[nodiscard]] std::uint64_t effective_rank_memory_budget() const {
+    return rank_memory_budget_bytes != 0 ? rank_memory_budget_bytes
+                                         : effective_mcl_memory_budget();
+  }
 
   /// The streaming-executor depth after resolving the legacy alias.
   [[nodiscard]] int effective_pipeline_depth() const {

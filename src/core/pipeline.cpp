@@ -455,11 +455,14 @@ ClusteredSearchResult SimilaritySearch::run_and_cluster(
   // kernel is cfg.mcl.kernel's to choose (kHash2Phase by default). Note
   // the budget is NOT schedule-only for MCL — it deterministically
   // tightens the column cap (see MclOptions::memory_budget_bytes); set
-  // cfg.mcl.memory_budget_bytes explicitly to decouple the two.
+  // cfg.mcl.memory_budget_bytes explicitly to decouple the two. All
+  // budget fallbacks resolve through the PastisConfig helpers (the one
+  // documented inheritance chain).
   cluster::MclOptions mcl = config_.mcl;
   if (mcl.max_threads == 0) mcl.max_threads = config_.spgemm_threads;
-  if (mcl.memory_budget_bytes == 0) {
-    mcl.memory_budget_bytes = config_.exec_memory_budget_bytes;
+  mcl.memory_budget_bytes = config_.effective_mcl_memory_budget();
+  if (mcl.distributed && mcl.rank_memory_budget_bytes == 0) {
+    mcl.rank_memory_budget_bytes = config_.effective_rank_memory_budget();
   }
   out.clustering =
       cluster::cluster_edges(n, out.search.edges, config_.cluster_method,

@@ -230,4 +230,207 @@ template <typename T>
   return stripes;
 }
 
+/// Horizontally concatenates the tiles of grid row `gi` into one strip:
+/// rows = the grid row's local rows, columns = global. Tiles along a grid
+/// row own consecutive disjoint column ranges, so per-row segments
+/// concatenate in grid-column order straight into sorted DCSR — no sort,
+/// no dedup, values bit-exact. This is the A-side operand assembly of the
+/// gather-stages SUMMA fold (dist/summa.hpp) and of the row-stripe
+/// reshapes below.
+template <typename T>
+[[nodiscard]] SpMat<T> hstack_grid_row(const DistSpMat<T>& A, int gi) {
+  const int side = A.grid().side();
+  const Index R = A.row_begin(gi + 1) - A.row_begin(gi);
+  std::vector<Offset> counts(R, 0);
+  for (int s = 0; s < side; ++s) {
+    const auto& t = A.local(A.grid().rank_of(gi, s));
+    for (std::size_t k = 0; k < t.n_nonempty_rows(); ++k) {
+      counts[t.row_id(k)] += t.row_end(k) - t.row_begin(k);
+    }
+  }
+  std::vector<Index> row_ids;
+  std::vector<Offset> row_ptr;
+  row_ptr.push_back(0);
+  std::vector<Offset> cursor(R, 0);
+  Offset nnz = 0;
+  for (Index r = 0; r < R; ++r) {
+    if (counts[r] == 0) continue;
+    row_ids.push_back(r);
+    cursor[r] = nnz;
+    nnz += counts[r];
+    row_ptr.push_back(nnz);
+  }
+  if (nnz == 0) return SpMat<T>(R, A.ncols());
+  std::vector<Index> cols(nnz);
+  std::vector<T> vals(nnz);
+  for (int s = 0; s < side; ++s) {
+    const Index c0 = A.col_begin(s);
+    const auto& t = A.local(A.grid().rank_of(gi, s));
+    for (std::size_t k = 0; k < t.n_nonempty_rows(); ++k) {
+      const Index r = t.row_id(k);
+      for (Offset o = t.row_begin(k); o < t.row_end(k); ++o) {
+        cols[cursor[r]] = t.col(o) + c0;
+        vals[cursor[r]] = t.val(o);
+        ++cursor[r];
+      }
+    }
+  }
+  return SpMat<T>::from_sorted_parts(R, A.ncols(), std::move(row_ids),
+                                     std::move(row_ptr), std::move(cols),
+                                     std::move(vals));
+}
+
+/// Vertically concatenates the tiles of grid column `gj`: rows = global,
+/// columns = the grid column's local columns. Tiles down a grid column own
+/// consecutive disjoint row ranges, so the concatenation in grid-row order
+/// is sorted DCSR by construction. The B-side operand assembly of the
+/// gather-stages SUMMA fold.
+template <typename T>
+[[nodiscard]] SpMat<T> vstack_grid_col(const DistSpMat<T>& B, int gj) {
+  const int side = B.grid().side();
+  const Index C = B.col_begin(gj + 1) - B.col_begin(gj);
+  std::vector<Index> row_ids;
+  std::vector<Offset> row_ptr;
+  std::vector<Index> cols;
+  std::vector<T> vals;
+  row_ptr.push_back(0);
+  for (int s = 0; s < side; ++s) {
+    const Index r0 = B.row_begin(s);
+    const auto& t = B.local(B.grid().rank_of(s, gj));
+    for (std::size_t k = 0; k < t.n_nonempty_rows(); ++k) {
+      row_ids.push_back(t.row_id(k) + r0);
+      for (Offset o = t.row_begin(k); o < t.row_end(k); ++o) {
+        cols.push_back(t.col(o));
+        vals.push_back(t.val(o));
+      }
+      row_ptr.push_back(static_cast<Offset>(cols.size()));
+    }
+  }
+  return SpMat<T>::from_sorted_parts(B.nrows(), C, std::move(row_ids),
+                                     std::move(row_ptr), std::move(cols),
+                                     std::move(vals));
+}
+
+/// Reshapes A from the 2D tiling to one full-width row stripe per rank:
+/// stripe r = global rows [split(M, p, r), split(M, p, r+1)), stripe-local
+/// row ids, global columns. Because p = side², every rank stripe nests
+/// inside exactly one grid row (split(M, side, g) = split(M, p, g·side)),
+/// so the reshape is a grid-row hstack followed by a row cut — exact, no
+/// value reassociation. This is the layout the distributed MCL's
+/// column-local kernels (inflate/prune/chaos over the transposed flow
+/// matrix) need: every flow column whole on one rank. Charges the
+/// all-to-all to `charge`.
+template <typename T>
+[[nodiscard]] std::vector<SpMat<T>> gather_row_stripes(
+    sim::SimRuntime& rt, const DistSpMat<T>& A,
+    sim::Comp charge = sim::Comp::kSparseOther,
+    util::ThreadPool* pool = nullptr) {
+  const sim::ProcGrid& grid = rt.grid();
+  const int side = grid.side();
+  const int p = grid.size();
+  const Index n = A.nrows();
+
+  std::vector<SpMat<T>> row_strips(static_cast<std::size_t>(side));
+  auto build_strip = [&](std::size_t gi) {
+    row_strips[gi] = hstack_grid_row(A, static_cast<int>(gi));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(row_strips.size(), build_strip);
+  } else {
+    for (std::size_t gi = 0; gi < row_strips.size(); ++gi) build_strip(gi);
+  }
+
+  std::vector<SpMat<T>> stripes(static_cast<std::size_t>(p));
+  rt.spmd([&](int rank) {
+    const int gi = rank / side;  // the grid row this rank's stripe nests in
+    const Index r0 = sim::ProcGrid::split_point(n, p, rank);
+    const Index r1 = sim::ProcGrid::split_point(n, p, rank + 1);
+    const Index base = A.row_begin(gi);
+    stripes[static_cast<std::size_t>(rank)] =
+        row_strips[static_cast<std::size_t>(gi)].extract(r0 - base, r1 - base,
+                                                         0, A.ncols());
+    const std::uint64_t b_out = A.local(rank).bytes();
+    const std::uint64_t b_in = stripes[static_cast<std::size_t>(rank)].bytes();
+    rt.clock(rank).charge(charge,
+                          rt.model().sparse_stream_time(b_out + b_in) +
+                              rt.model().p2p_time(b_out));
+    rt.clock(rank).bytes_sent += b_out;
+    rt.clock(rank).bytes_recv += b_in;
+  });
+  return stripes;
+}
+
+/// Inverse of gather_row_stripes: one stripe per rank (stripe-local rows,
+/// global columns) back to the 2D tiling. Exact data movement; charges the
+/// all-to-all to `charge`.
+template <typename T>
+[[nodiscard]] DistSpMat<T> scatter_row_stripes(
+    sim::SimRuntime& rt, const std::vector<SpMat<T>>& stripes, Index ncols,
+    sim::Comp charge = sim::Comp::kSparseOther,
+    util::ThreadPool* pool = nullptr) {
+  const sim::ProcGrid& grid = rt.grid();
+  const int side = grid.side();
+  const int p = grid.size();
+  if (stripes.size() != static_cast<std::size_t>(p)) {
+    throw std::invalid_argument(
+        "scatter_row_stripes: need exactly one stripe per rank");
+  }
+  Index n = 0;
+  for (const auto& s : stripes) n += s.nrows();
+
+  DistSpMat<T> out(grid, n, ncols);
+  auto build_tile = [&](std::size_t rank) {
+    const int gi = grid.row_of(static_cast<int>(rank));
+    const int gj = grid.col_of(static_cast<int>(rank));
+    const Index c0 = out.col_begin(gj);
+    const Index c1 = out.col_begin(gj + 1);
+    const Index base = out.row_begin(gi);
+    // The tile's rows come from the side consecutive stripes nested in
+    // grid row gi, in stripe order (ascending global rows).
+    std::vector<Index> row_ids;
+    std::vector<Offset> row_ptr;
+    std::vector<Index> cols;
+    std::vector<T> vals;
+    row_ptr.push_back(0);
+    for (int q = gi * side; q < (gi + 1) * side; ++q) {
+      const auto& stripe = stripes[static_cast<std::size_t>(q)];
+      const Index offset = sim::ProcGrid::split_point(n, p, q) - base;
+      for (std::size_t k = 0; k < stripe.n_nonempty_rows(); ++k) {
+        const std::size_t row_start = cols.size();
+        for (Offset o = stripe.row_begin(k); o < stripe.row_end(k); ++o) {
+          if (stripe.col(o) >= c0 && stripe.col(o) < c1) {
+            cols.push_back(stripe.col(o) - c0);
+            vals.push_back(stripe.val(o));
+          }
+        }
+        if (cols.size() > row_start) {
+          row_ids.push_back(stripe.row_id(k) + offset);
+          row_ptr.push_back(static_cast<Offset>(cols.size()));
+        }
+      }
+    }
+    out.local(static_cast<int>(rank)) = SpMat<T>::from_sorted_parts(
+        out.local_nrows(static_cast<int>(rank)),
+        out.local_ncols(static_cast<int>(rank)), std::move(row_ids),
+        std::move(row_ptr), std::move(cols), std::move(vals));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(p), build_tile);
+  } else {
+    for (std::size_t r = 0; r < static_cast<std::size_t>(p); ++r) {
+      build_tile(r);
+    }
+  }
+  rt.spmd([&](int rank) {
+    const std::uint64_t b_out = stripes[static_cast<std::size_t>(rank)].bytes();
+    const std::uint64_t b_in = out.local(rank).bytes();
+    rt.clock(rank).charge(charge,
+                          rt.model().sparse_stream_time(b_out + b_in) +
+                              rt.model().p2p_time(b_out));
+    rt.clock(rank).bytes_sent += b_out;
+    rt.clock(rank).bytes_recv += b_in;
+  });
+  return out;
+}
+
 }  // namespace pastis::dist

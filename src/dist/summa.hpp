@@ -40,6 +40,19 @@ struct SummaOptions {
   /// running blocks never touch the shared clocks (the frames are merged
   /// in block order at retirement — see core/pipeline.cpp).
   sim::RankClock* clocks = nullptr;
+  /// Fold mode: gather the √p stage operands first (A's grid-row tiles
+  /// hstacked into the rank's full-inner-dimension row strip, B's
+  /// grid-column tiles vstacked) and run ONE local multiply, instead of
+  /// √p stage multiplies merged per stage. Identical communication volume
+  /// and modeled broadcast charges; what changes is the floating-point
+  /// fold: every C(i,j) accumulates its products in ascending-k order
+  /// exactly like a single-address-space SpGEMM, so the result is bitwise
+  /// identical to the serial kernel even for order-SENSITIVE adds
+  /// (PlusTimes<float> — the distributed MCL expansion). The staged merge
+  /// stays the default: it holds one stage pair at a time, the
+  /// memory-frugal schedule, and is already exact for the
+  /// order-independent discovery semirings.
+  bool gather_stages = false;
 };
 
 template <sparse::SemiringLike SR>
@@ -63,6 +76,37 @@ template <sparse::SemiringLike SR>
     const int gj = grid.col_of(rank);
     auto& clock = opt.clocks != nullptr ? opt.clocks[rank] : rt.clock(rank);
     auto& rstats = rank_stats[static_cast<std::size_t>(rank)];
+
+    if (opt.gather_stages) {
+      // Stage broadcasts are charged exactly as in the staged schedule —
+      // the same tiles cross the same wires; only the local fold differs.
+      std::uint64_t strip_bytes = 0;
+      for (int s = 0; s < side; ++s) {
+        const auto& a_tile = A.local(grid.rank_of(gi, s));
+        const auto& b_tile = B.local(grid.rank_of(s, gj));
+        clock.charge(opt.charge,
+                     rt.model().bcast_time(a_tile.bytes(), side) +
+                         rt.model().bcast_time(b_tile.bytes(), side));
+        clock.bytes_recv += a_tile.bytes() + b_tile.bytes();
+        if (grid.rank_of(gi, s) == rank) clock.bytes_sent += a_tile.bytes();
+        if (grid.rank_of(s, gj) == rank) clock.bytes_sent += b_tile.bytes();
+        strip_bytes += a_tile.bytes() + b_tile.bytes();
+      }
+      const auto a_strip = hstack_grid_row(A, gi);
+      const auto b_strip = vstack_grid_col(B, gj);
+      auto& out = C.local(rank);
+      if (!a_strip.empty() && !b_strip.empty()) {
+        sparse::SpGemmStats stage;
+        out = sparse::spgemm<SR>(a_strip, b_strip, opt.kernel, &stage,
+                                 opt.pool, opt.spgemm_threads);
+        clock.charge(opt.charge, rt.model().spgemm_time(stage.products));
+        clock.spgemm_products += stage.products;
+        rstats.merge(stage);
+      }
+      clock.charge(opt.merge_charge,
+                   rt.model().sparse_stream_time(strip_bytes + out.bytes()));
+      return;
+    }
 
     std::vector<sparse::SpMat<V>> parts;
     parts.reserve(static_cast<std::size_t>(side));

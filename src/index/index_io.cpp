@@ -1,5 +1,6 @@
 #include "index/index_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -51,9 +52,20 @@ struct Header {
   std::uint32_t n_shards = 0;
   std::uint64_t kmer_space = 0;
   std::uint64_t total_nnz = 0;
+  /// v2 placement section: per-shard postings counts, so per-rank resident
+  /// bytes of any serving placement are computable before materializing.
+  std::vector<std::uint64_t> shard_nnz;
 
   [[nodiscard]] std::uint64_t logical_bytes() const {
     return ref_residues + total_nnz * kBytesPerPosting;
+  }
+
+  /// The modeled resident bytes per shard (the placement's load vector).
+  [[nodiscard]] std::vector<std::uint64_t> shard_resident_bytes() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(shard_nnz.size());
+    for (const auto nnz : shard_nnz) out.push_back(nnz * kBytesPerPosting);
+    return out;
   }
 };
 
@@ -72,6 +84,7 @@ void write_header(std::ostream& os, const Header& h) {
   write_pod(os, h.n_shards);
   write_pod(os, h.kmer_space);
   write_pod(os, h.total_nnz);
+  for (const auto nnz : h.shard_nnz) write_pod(os, nnz);
 }
 
 Header read_header(std::istream& is) {
@@ -112,6 +125,22 @@ Header read_header(std::istream& is) {
   h.n_shards = read_pod<std::uint32_t>(is, "n_shards");
   h.kmer_space = read_pod<std::uint64_t>(is, "kmer_space");
   h.total_nnz = read_pod<std::uint64_t>(is, "total_nnz");
+  // Placement section. The count gates the allocation (a bit-flipped
+  // n_shards must throw, not allocate gigabytes).
+  if (h.n_shards == 0 || h.n_shards > (1u << 24)) {
+    throw std::runtime_error("index_io: corrupt header: bad shard count");
+  }
+  h.shard_nnz.resize(h.n_shards);
+  std::uint64_t placed = 0;
+  for (std::uint32_t s = 0; s < h.n_shards; ++s) {
+    h.shard_nnz[s] = read_pod<std::uint64_t>(is, "placement shard nnz");
+    placed += h.shard_nnz[s];
+  }
+  if (placed != h.total_nnz) {
+    throw std::runtime_error(
+        "index_io: corrupt header: placement section disagrees with "
+        "total_nnz");
+  }
   return h;
 }
 
@@ -143,6 +172,10 @@ void save_index(const std::string& path, const KmerIndex& index) {
   h.n_shards = static_cast<std::uint32_t>(index.n_shards());
   h.kmer_space = index.kmer_space();
   h.total_nnz = index.nnz();
+  h.shard_nnz.reserve(h.n_shards);
+  for (int s = 0; s < index.n_shards(); ++s) {
+    h.shard_nnz.push_back(index.shard(s).nnz());
+  }
   write_header(os, h);
 
   for (Index i = 0; i < index.n_refs(); ++i) {
@@ -184,7 +217,41 @@ std::uint64_t peek_index_bytes(const std::string& path) {
   return read_header(is).logical_bytes();
 }
 
+namespace {
+
+/// Per-rank resident bytes under the balanced placement of the header's
+/// shards: placed postings (+ replicas) plus the rank's near-equal slice
+/// of the reference residues (alignment ownership is block-partitioned).
+std::vector<std::uint64_t> rank_resident_from_header(const Header& h,
+                                                     int n_ranks,
+                                                     int replication) {
+  const auto pl =
+      ShardPlacement::balance(h.shard_resident_bytes(), n_ranks, replication);
+  std::vector<std::uint64_t> out = pl.rank_resident_bytes;
+  const auto ref_share =
+      (h.ref_residues + static_cast<std::uint64_t>(n_ranks) - 1) /
+      static_cast<std::uint64_t>(n_ranks);
+  for (auto& b : out) b += ref_share;
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> peek_rank_resident_bytes(const std::string& path,
+                                                    int n_ranks,
+                                                    int replication) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("index_io: cannot open: " + path);
+  }
+  return rank_resident_from_header(read_header(is), n_ranks, replication);
+}
+
 KmerIndex load_index(const std::string& path, std::uint64_t max_bytes) {
+  return load_index(path, RankBudgetGate{1, 1, max_bytes});
+}
+
+KmerIndex load_index(const std::string& path, const RankBudgetGate& gate) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     throw std::runtime_error("index_io: cannot open: " + path);
@@ -204,13 +271,23 @@ KmerIndex load_index(const std::string& path, std::uint64_t max_bytes) {
         "index_io: header counts exceed the file size (corrupt header)");
   }
 
-  // Memory-budget gate: decided from the header alone, before any posting
-  // is materialized.
-  if (max_bytes != 0 && h.logical_bytes() > max_bytes) {
-    throw std::runtime_error(
-        "index_io: index needs ~" + std::to_string(h.logical_bytes()) +
-        " logical bytes, over the " + std::to_string(max_bytes) +
-        "-byte budget");
+  // Per-rank memory gate: decided from the header's placement section
+  // alone, before any posting is materialized. The whole-index budget of
+  // the v1 format is the 1-rank special case (placement on one rank =
+  // everything resident there).
+  if (gate.rank_memory_budget_bytes != 0) {
+    const auto per_rank =
+        rank_resident_from_header(h, gate.n_ranks, gate.replication);
+    std::uint64_t worst = 0;
+    for (const auto b : per_rank) worst = std::max(worst, b);
+    if (worst > gate.rank_memory_budget_bytes) {
+      throw std::runtime_error(
+          "index_io: placement needs ~" + std::to_string(worst) +
+          " resident bytes on its fullest of " +
+          std::to_string(gate.n_ranks) + " rank(s), over the " +
+          std::to_string(gate.rank_memory_budget_bytes) +
+          "-byte per-rank budget");
+    }
   }
 
   std::vector<std::uint32_t> lengths(h.n_refs);

@@ -8,39 +8,74 @@
 //   [magic "PASTIDX\0"] [version u32] [IndexParams fields i32×7]
 //   [n_refs u64] [ref_residues u64] [n_shards u32] [kmer_space u64]
 //   [total_nnz u64]
+//   [placement section (v2): per-shard nnz u64 × n_shards]
 //   [ref lengths u32 × n_refs] [ref residues, concatenated]
 //   per shard: [nnz u64] [(row u32, col u32, pos u32) × nnz]
 //   [footer magic "XDITSAP\0"]
 //
 // Load verifies magic, version and footer (truncation check), and — before
-// materializing anything — computes the logical bytes the index will occupy
-// from the header alone, rejecting files that exceed the caller's memory
-// budget (the paper's memory-consumption discipline, §VI-A, applied to
-// serving nodes).
+// materializing anything — gates the load on the serving node's memory
+// budget from the header alone (the paper's memory-consumption discipline,
+// §VI-A, applied to serving nodes). Since v2 the header carries per-shard
+// nnz, so the gate is PER RANK: the loader balances the same ShardPlacement
+// the engine will and rejects the file when any rank's estimated resident
+// share exceeds `rank_memory_budget_bytes`. The estimate is header-only by
+// design — a conservative per-posting constant for shard bytes plus a
+// near-equal split of the reference residues — so it is a cheap pre-flight,
+// not the authoritative gate: QueryEngine's constructor re-checks the
+// placement against the materialized byte counts (skewed reference lengths
+// can make the two disagree near the boundary). The legacy whole-index
+// gate is the 1-rank special case.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "index/kmer_index.hpp"
+#include "index/placement.hpp"
 
 namespace pastis::index {
 
-/// Current format version.
-inline constexpr std::uint32_t kIndexFormatVersion = 1;
+/// Current format version (2 added the per-shard placement section).
+inline constexpr std::uint32_t kIndexFormatVersion = 2;
 
 /// Serializes the index. Throws std::runtime_error on IO failure.
 void save_index(const std::string& path, const KmerIndex& index);
 
-/// Deserializes an index. `max_bytes` is the serving node's memory budget
-/// for the index (0 disables the check); exceeding it throws
-/// std::runtime_error *before* the postings are materialized. Corrupt,
-/// truncated or version-mismatched files also throw std::runtime_error.
+/// The per-rank memory gate of load_index: the serving geometry the index
+/// will be placed on, and the budget no rank may exceed (0 disables).
+struct RankBudgetGate {
+  int n_ranks = 1;
+  int replication = 1;
+  std::uint64_t rank_memory_budget_bytes = 0;
+};
+
+/// Deserializes an index. `max_bytes` is the 1-rank special case of the
+/// gate below: the whole index against one budget (0 disables the check).
+/// Exceeding it throws std::runtime_error *before* the postings are
+/// materialized. Corrupt, truncated or version-mismatched files also
+/// throw std::runtime_error.
 [[nodiscard]] KmerIndex load_index(const std::string& path,
                                    std::uint64_t max_bytes = 0);
+
+/// Deserializes an index behind the per-rank gate: the balanced placement
+/// is computed from the header's per-shard nnz (no postings materialized),
+/// and any rank whose estimated resident share — placed shards + replicas
+/// + a near-equal reference slice — exceeds the budget rejects the load
+/// with std::runtime_error. Header-only pre-flight; QueryEngine re-checks
+/// exact byte counts at construction.
+[[nodiscard]] KmerIndex load_index(const std::string& path,
+                                   const RankBudgetGate& gate);
 
 /// The logical bytes `load_index` would admit against the budget, read from
 /// the file header only (cheap pre-flight for capacity planning).
 [[nodiscard]] std::uint64_t peek_index_bytes(const std::string& path);
+
+/// Header-only pre-flight of the per-rank gate: the modeled resident bytes
+/// of every rank under the balanced placement of the file's shards on the
+/// given geometry (max over ranks is what the gate compares).
+[[nodiscard]] std::vector<std::uint64_t> peek_rank_resident_bytes(
+    const std::string& path, int n_ranks, int replication = 1);
 
 }  // namespace pastis::index

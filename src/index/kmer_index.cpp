@@ -27,6 +27,13 @@ std::uint64_t KmerIndex::bytes() const {
   return total;
 }
 
+std::vector<std::uint64_t> KmerIndex::shard_bytes() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) out.push_back(s.bytes());
+  return out;
+}
+
 double KmerIndex::modeled_build_seconds(const sim::MachineModel& model,
                                         int nprocs) const {
   const auto p = static_cast<std::uint64_t>(nprocs);

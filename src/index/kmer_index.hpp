@@ -109,6 +109,8 @@ class KmerIndex {
   /// Logical bytes of the index on the simulated machine: the postings
   /// shards plus the reference residues (both are needed to serve).
   [[nodiscard]] std::uint64_t bytes() const;
+  /// Per-shard postings bytes — the load vector a ShardPlacement balances.
+  [[nodiscard]] std::vector<std::uint64_t> shard_bytes() const;
 
   [[nodiscard]] const IndexBuildStats& build_stats() const { return stats_; }
 

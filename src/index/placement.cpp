@@ -1,0 +1,107 @@
+#include "index/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pastis::index {
+
+std::uint64_t ShardPlacement::max_rank_resident_bytes() const {
+  std::uint64_t m = 0;
+  for (const auto b : rank_resident_bytes) m = std::max(m, b);
+  return m;
+}
+
+std::vector<int> ShardPlacement::shards_of(int rank) const {
+  std::vector<int> out;
+  for (int s = 0; s < n_shards(); ++s) {
+    if (primary[static_cast<std::size_t>(s)] == rank) out.push_back(s);
+  }
+  return out;
+}
+
+ShardPlacement ShardPlacement::balance(
+    std::span<const std::uint64_t> shard_bytes, int n_ranks,
+    int replication) {
+  if (n_ranks < 1) {
+    throw std::invalid_argument("ShardPlacement: need n_ranks >= 1");
+  }
+  if (replication < 1 || replication > n_ranks) {
+    throw std::invalid_argument(
+        "ShardPlacement: replication must be in [1, n_ranks]");
+  }
+  ShardPlacement pl;
+  pl.n_ranks = n_ranks;
+  pl.replication = replication;
+  const auto n = static_cast<int>(shard_bytes.size());
+  pl.primary.resize(static_cast<std::size_t>(n));
+  pl.rank_resident_bytes.assign(static_cast<std::size_t>(n_ranks), 0);
+
+  // Round-robin seed in shard order.
+  for (int s = 0; s < n; ++s) {
+    const int r = s % n_ranks;
+    pl.primary[static_cast<std::size_t>(s)] = r;
+    pl.rank_resident_bytes[static_cast<std::size_t>(r)] +=
+        shard_bytes[static_cast<std::size_t>(s)];
+  }
+
+  // Greedy rebalance: heaviest shards first (ties -> smaller shard id),
+  // each moved to the currently least-loaded rank (ties -> smaller rank)
+  // when the move strictly lowers the donor's load above the target's
+  // post-move load — i.e. when it reduces the pairwise peak.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto ba = shard_bytes[static_cast<std::size_t>(a)];
+    const auto bb = shard_bytes[static_cast<std::size_t>(b)];
+    return ba != bb ? ba > bb : a < b;
+  });
+  for (const int s : order) {
+    const auto b = shard_bytes[static_cast<std::size_t>(s)];
+    const int from = pl.primary[static_cast<std::size_t>(s)];
+    int to = 0;
+    for (int r = 1; r < n_ranks; ++r) {
+      if (pl.rank_resident_bytes[static_cast<std::size_t>(r)] <
+          pl.rank_resident_bytes[static_cast<std::size_t>(to)]) {
+        to = r;
+      }
+    }
+    if (to != from &&
+        pl.rank_resident_bytes[static_cast<std::size_t>(to)] + b <
+            pl.rank_resident_bytes[static_cast<std::size_t>(from)]) {
+      pl.rank_resident_bytes[static_cast<std::size_t>(from)] -= b;
+      pl.rank_resident_bytes[static_cast<std::size_t>(to)] += b;
+      pl.primary[static_cast<std::size_t>(s)] = to;
+    }
+  }
+
+  // Availability replicas: heaviest shards first, each extra copy on the
+  // least-loaded rank not already holding the shard.
+  pl.replicas.resize(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    pl.replicas[static_cast<std::size_t>(s)] = {
+        pl.primary[static_cast<std::size_t>(s)]};
+  }
+  for (int copy = 1; copy < replication; ++copy) {
+    for (const int s : order) {
+      auto& holders = pl.replicas[static_cast<std::size_t>(s)];
+      int to = -1;
+      for (int r = 0; r < n_ranks; ++r) {
+        if (std::find(holders.begin(), holders.end(), r) != holders.end()) {
+          continue;
+        }
+        if (to < 0 ||
+            pl.rank_resident_bytes[static_cast<std::size_t>(r)] <
+                pl.rank_resident_bytes[static_cast<std::size_t>(to)]) {
+          to = r;
+        }
+      }
+      holders.push_back(to);
+      pl.rank_resident_bytes[static_cast<std::size_t>(to)] +=
+          shard_bytes[static_cast<std::size_t>(s)];
+    }
+  }
+  return pl;
+}
+
+}  // namespace pastis::index

@@ -1,0 +1,50 @@
+// Shard placement for rank-resident serving: which rank of the simulated
+// serving grid keeps which Aᵀ_ref stripe resident.
+//
+// The paper's serving story (§III use case 1 at production scale) only
+// works because no rank holds the whole index — the k-mer space is split
+// into contiguous shard ranges and the *shards* are spread over the grid's
+// memory budgets. This module computes that assignment deterministically:
+// a round-robin deal by shard order seeds the placement, a greedy
+// rebalance pass (heaviest shards first, moved to the least-loaded rank
+// when that strictly lowers the peak) evens out postings-byte skew, and an
+// optional replication factor keeps every shard resident on `replication`
+// distinct ranks for availability — replicas cost resident bytes on their
+// ranks and shrink the modeled query-broadcast team, but never compute, so
+// results are placement-invariant by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pastis::index {
+
+struct ShardPlacement {
+  int n_ranks = 1;
+  int replication = 1;
+  /// Shard -> the rank that serves it (computes its discovery SpGEMM).
+  std::vector<int> primary;
+  /// Shard -> every rank keeping it resident (primary first, then the
+  /// availability replicas in assignment order).
+  std::vector<std::vector<int>> replicas;
+  /// Postings bytes resident per rank (primaries + replicas).
+  std::vector<std::uint64_t> rank_resident_bytes;
+
+  [[nodiscard]] int n_shards() const {
+    return static_cast<int>(primary.size());
+  }
+  [[nodiscard]] std::uint64_t max_rank_resident_bytes() const;
+  /// Primary shards of `rank`, ascending shard id (the deterministic
+  /// order the serve path multiplies and merges in).
+  [[nodiscard]] std::vector<int> shards_of(int rank) const;
+
+  /// Builds the placement from per-shard resident byte counts. Throws
+  /// std::invalid_argument for n_ranks < 1 or replication outside
+  /// [1, n_ranks].
+  [[nodiscard]] static ShardPlacement balance(
+      std::span<const std::uint64_t> shard_bytes, int n_ranks,
+      int replication = 1);
+};
+
+}  // namespace pastis::index

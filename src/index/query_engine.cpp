@@ -31,6 +31,8 @@ using sparse::Triple;
 struct QueryEngine::BatchSlot {
   std::span<const std::string> queries;
   Index batch_base = 0;
+  std::uint64_t ordinal = 0;  // stream position; fixes the owner rank
+  bool distributed = false;
   QueryBatchStats st;
   std::vector<std::vector<AlignTask>> rank_tasks;  // per serving rank
   std::vector<AlignTask> flat_tasks;
@@ -38,11 +40,18 @@ struct QueryEngine::BatchSlot {
   align::AlignWorkspace ws;
   std::vector<align::LaneScratch> lane_scratch;  // per serving rank
   std::vector<io::SimilarityEdge> hits;
+  /// Distributed mode: the detached per-rank clock frame this batch
+  /// charges while concurrent slots are in flight; the engine merges it
+  /// into the SimRuntime in batch order at retirement.
+  std::vector<sim::RankClock> frame;
 
-  void reset(std::span<const std::string> q, Index base, int p) {
+  void reset(std::span<const std::string> q, Index base, std::uint64_t ord,
+             int p, bool dist) {
     const auto np = static_cast<std::size_t>(p);
     queries = q;
     batch_base = base;
+    ordinal = ord;
+    distributed = dist;
     st = {};
     st.n_queries = q.size();
     if (rank_tasks.size() != np) rank_tasks.resize(np);
@@ -51,6 +60,14 @@ struct QueryEngine::BatchSlot {
     rank_offset.assign(np + 1, 0);
     if (lane_scratch.size() != np) lane_scratch.resize(np);
     hits.clear();
+    if (dist) {
+      st.rank_sparse_s.assign(np, 0.0);
+      st.rank_align_s.assign(np, 0.0);
+      st.rank_workspace_bytes.assign(np, 0);
+      frame.assign(np, sim::RankClock{});
+    } else {
+      frame.clear();
+    }
   }
 };
 
@@ -68,12 +85,61 @@ QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
     throw std::invalid_argument("QueryEngine: need nprocs >= 1");
   }
   next_query_id_ = index.n_refs();
+
+  // ---- rank-resident distributed serving setup ----------------------------
+  // Unset Options inherit the PastisConfig knobs (grid_side_serving /
+  // shard_replication / the effective_rank_memory_budget chain).
+  if (opt_.grid_side == 0) opt_.grid_side = cfg_.grid_side_serving;
+  if (opt_.replication == 0) opt_.replication = cfg_.shard_replication;
+  if (opt_.replication == 0) opt_.replication = 1;
+  if (opt_.grid_side >= 1) {
+    rt_ = std::make_unique<sim::SimRuntime>(
+        opt_.grid_side * opt_.grid_side, model_,
+        pool_ != nullptr ? pool_ : &util::ThreadPool::global());
+    const int p = rt_->nprocs();
+    if (opt_.rank_memory_budget_bytes == 0) {
+      opt_.rank_memory_budget_bytes = cfg_.effective_rank_memory_budget();
+    }
+    placement_ = std::make_unique<ShardPlacement>(
+        ShardPlacement::balance(index.shard_bytes(), p, opt_.replication));
+
+    // Static residency: the shards a rank keeps (+ replicas) plus its
+    // slice of the reference residues (the refs whose alignment it owns).
+    static_resident_ = placement_->rank_resident_bytes;
+    const Index n_refs = index.n_refs();
+    for (int r = 0; r < p && n_refs > 0; ++r) {
+      const Index r0 = sim::ProcGrid::split_point(n_refs, p, r);
+      const Index r1 = sim::ProcGrid::split_point(n_refs, p, r + 1);
+      std::uint64_t slice = 0;
+      for (Index i = r0; i < r1; ++i) slice += index.ref(i).size();
+      static_resident_[static_cast<std::size_t>(r)] += slice;
+    }
+
+    // The placement gate: no rank may be asked to keep more resident than
+    // its budget — this is what replaced the whole-index load gate.
+    if (opt_.rank_memory_budget_bytes != 0) {
+      for (int r = 0; r < p; ++r) {
+        if (static_resident_[static_cast<std::size_t>(r)] >
+            opt_.rank_memory_budget_bytes) {
+          throw std::runtime_error(
+              "QueryEngine: shard placement needs " +
+              std::to_string(static_resident_[static_cast<std::size_t>(r)]) +
+              " resident bytes on rank " + std::to_string(r) + ", over the " +
+              std::to_string(opt_.rank_memory_budget_bytes) +
+              "-byte per-rank budget");
+        }
+      }
+    }
+    for (int r = 0; r < p; ++r) {
+      rt_->clock(r).add_resident(static_resident_[static_cast<std::size_t>(r)]);
+    }
+  }
 }
 
 void QueryEngine::discover_batch(BatchSlot& slot) const {
   const Index n_refs = index_->n_refs();
   const int n_shards = index_->n_shards();
-  const int p = opt_.nprocs;
+  const int p = serving_ranks();
   const std::span<const std::string> queries = slot.queries;
   const Index batch_base = slot.batch_base;
   QueryBatchStats& st = slot.st;
@@ -136,7 +202,7 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
   std::vector<SpMat<CrossKmers>> parts(static_cast<std::size_t>(n_shards));
   std::vector<sparse::SpGemmStats> shard_stats(
       static_cast<std::size_t>(n_shards));
-  par_for(parts.size(), [&](std::size_t s) {
+  auto multiply_shard = [&](std::size_t s) {
     if (a_query[s].empty() || index_->shard(static_cast<int>(s)).empty()) {
       return;
     }
@@ -146,10 +212,32 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
     parts[s] = core::discovery_spgemm<CrossSemiring>(
         a_query[s], index_->shard(static_cast<int>(s)), cfg_,
         &shard_stats[s], pool_);
-  });
+  };
+  if (rt_ != nullptr) {
+    // Rank tasks: every rank multiplies the query stripe against ONLY the
+    // shard stripes resident on it (its placement primaries). Each shard
+    // has exactly one primary, so slots are write-disjoint and the result
+    // set is exactly the shared-memory one.
+    const auto run_ranks = [&](const std::function<void(int)>& fn) {
+      if (pool_ != nullptr) {
+        rt_->spmd(fn);
+      } else {
+        rt_->spmd_serial(fn);
+      }
+    };
+    run_ranks([&](int rank) {
+      for (const int s : placement_->shards_of(rank)) {
+        multiply_shard(static_cast<std::size_t>(s));
+      }
+    });
+  } else {
+    par_for(parts.size(), multiply_shard);
+  }
 
   // Merge in shard order — the semiring add is order-independent, so the
-  // merged overlap matrix is invariant to the shard count.
+  // merged overlap matrix is invariant to the shard count AND to which
+  // rank computed which part (distributed mode models the per-rank merge
+  // and the ship to the batch owner below; the data is identical).
   auto C = sparse::add_merge(
       parts, static_cast<Index>(nq), n_refs,
       [](CrossKmers& acc, const CrossKmers& v) { CrossSemiring::add(acc, v); });
@@ -157,10 +245,56 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
   for (const auto& s : shard_stats) st.spgemm.merge(s);
 
   // ---- modeled discovery time (max serving rank) ---------------------------
-  // Shards are dealt round-robin to ranks; the query batch is broadcast.
-  {
-    std::uint64_t aq_bytes = 0;
-    for (const auto& a : a_query) aq_bytes += a.bytes();
+  std::uint64_t aq_bytes = 0;
+  for (const auto& a : a_query) aq_bytes += a.bytes();
+  if (rt_ != nullptr) {
+    // Rank-resident schedule: the query stripe is broadcast to one
+    // replica team (1/replication of the grid suffices to cover every
+    // shard), every rank multiplies and merges its resident stripes, and
+    // the merged parts are shipped to the batch's owner rank, which
+    // assembles the overlap matrix and (later) the top-k.
+    const int owner = static_cast<int>(slot.ordinal %
+                                       static_cast<std::uint64_t>(p));
+    const int team = (p + opt_.replication - 1) / opt_.replication;
+    for (int r = 0; r < p; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      auto& clock = slot.frame[ri];
+      double t = model_.bcast_time(aq_bytes + query_residues, team) +
+                 model_.sparse_stream_time(query_residues / p);
+      std::uint64_t ws = aq_bytes + query_residues;  // broadcast stripe
+      std::uint64_t own_bytes = 0;
+      for (const int s : placement_->shards_of(r)) {
+        const auto si = static_cast<std::size_t>(s);
+        if (shard_stats[si].products > 0) {
+          t += model_.spgemm_time(shard_stats[si].products);
+        }
+        t += model_.sparse_stream_time(2 * parts[si].bytes());
+        own_bytes += parts[si].bytes();
+        clock.spgemm_products += shard_stats[si].products;
+      }
+      // Per-rank merge of its shard products, then the ship to the owner.
+      t += model_.sparse_stream_time(own_bytes);
+      if (own_bytes > 0 && r != owner) {
+        t += model_.p2p_time(own_bytes);
+        clock.bytes_sent += own_bytes;
+      }
+      clock.bytes_recv += aq_bytes + query_residues;
+      ws += own_bytes;
+      if (r == owner) {
+        // Owner-side assembly of the full overlap matrix.
+        t += model_.sparse_stream_time(C.bytes());
+        ws += C.bytes();
+        clock.bytes_recv += C.bytes();
+        clock.overlap_nnz += C.nnz();
+      }
+      clock.charge(sim::Comp::kSpGemm, t);
+      st.rank_sparse_s[ri] = t;
+      st.rank_workspace_bytes[ri] += ws;
+      st.t_sparse = std::max(st.t_sparse, t);
+    }
+  } else {
+    // Single address space: shards are dealt round-robin to the modeled
+    // ranks; the query batch is broadcast to all of them.
     double t_max = 0.0;
     for (int r = 0; r < p; ++r) {
       double t = model_.bcast_time(aq_bytes + query_residues, p) +
@@ -205,7 +339,7 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
 
 void QueryEngine::align_batch(BatchSlot& slot) const {
   const Index n_refs = index_->n_refs();
-  const int p = opt_.nprocs;
+  const int p = serving_ranks();
   QueryBatchStats& st = slot.st;
   if (slot.queries.empty() || n_refs == 0) return;
 
@@ -251,9 +385,23 @@ void QueryEngine::align_batch(BatchSlot& slot) const {
     }
     const align::BatchStats bstats = aligner_.stats_for(
         seq_of, tasks, results, slot.lane_scratch[static_cast<std::size_t>(r)]);
-    st.t_align = std::max(
-        st.t_align,
-        core::modeled_align_seconds(model_, bstats, tasks.size(), 1.0));
+    const double t_r =
+        core::modeled_align_seconds(model_, bstats, tasks.size(), 1.0);
+    st.t_align = std::max(st.t_align, t_r);
+    if (slot.distributed) {
+      // Rank r owns these references' alignments: its device seconds, its
+      // task+result workspace, its counters — per rank, for the ledger
+      // and the per-rank timeline.
+      const auto ri = static_cast<std::size_t>(r);
+      st.rank_align_s[ri] = t_r;
+      st.rank_workspace_bytes[ri] +=
+          tasks.size() * (sizeof(AlignTask) + sizeof(AlignResult));
+      auto& clock = slot.frame[ri];
+      clock.charge(sim::Comp::kAlign, t_r);
+      clock.pairs_aligned += tasks.size();
+      clock.align_cells += bstats.cells;
+      clock.align_kernel_seconds += bstats.kernel_seconds;
+    }
   }
 
   // ---- top-k + canonical order ---------------------------------------------
@@ -276,15 +424,64 @@ void QueryEngine::align_batch(BatchSlot& slot) const {
   }
   io::sort_edges(hits);
   st.hits = hits.size();
+
+  if (slot.distributed) {
+    // Owner-side top-k + canonical sort: the batch owner gathers the
+    // per-rank hit lists and selects — a stream over the hit bytes.
+    const int owner =
+        static_cast<int>(slot.ordinal % static_cast<std::uint64_t>(p));
+    const auto oi = static_cast<std::size_t>(owner);
+    const std::uint64_t hit_bytes =
+        static_cast<std::uint64_t>(st.aligned_pairs) *
+        sizeof(io::SimilarityEdge);
+    const double t = model_.sparse_stream_time(2 * hit_bytes);
+    slot.frame[oi].charge(sim::Comp::kSparseOther, t);
+    slot.frame[oi].bytes_recv += hit_bytes;
+    st.rank_align_s[oi] += t;
+    st.rank_workspace_bytes[oi] += hit_bytes;
+    st.t_align = std::max(st.t_align, st.rank_align_s[oi]);
+  }
+}
+
+void QueryEngine::retire_distributed(BatchSlot& slot) {
+  rt_->merge_frame(slot.frame);
+}
+
+void QueryEngine::enforce_rank_budget() const {
+  if (opt_.rank_memory_budget_bytes == 0) return;
+  const auto peaks = rt_->peak_resident_bytes();
+  for (int r = 0; r < rt_->nprocs(); ++r) {
+    if (peaks[static_cast<std::size_t>(r)] > opt_.rank_memory_budget_bytes) {
+      throw std::runtime_error(
+          "QueryEngine: rank " + std::to_string(r) + " peaked at " +
+          std::to_string(peaks[static_cast<std::size_t>(r)]) +
+          " resident bytes, over the " +
+          std::to_string(opt_.rank_memory_budget_bytes) +
+          "-byte per-rank budget");
+    }
+  }
 }
 
 std::vector<io::SimilarityEdge> QueryEngine::search_batch(
     std::span<const std::string> queries, QueryBatchStats* stats) {
   BatchSlot slot;
-  slot.reset(queries, next_query_id_, opt_.nprocs);
+  slot.reset(queries, next_query_id_, next_batch_ordinal_++, serving_ranks(),
+             rt_ != nullptr);
   next_query_id_ += static_cast<Index>(queries.size());
   discover_batch(slot);
   align_batch(slot);
+  if (rt_ != nullptr) {
+    retire_distributed(slot);
+    // A lone batch is a depth-1 window: its workspace peaks on top of the
+    // static residency, then drains.
+    for (int r = 0; r < serving_ranks(); ++r) {
+      const auto ws =
+          slot.st.rank_workspace_bytes[static_cast<std::size_t>(r)];
+      rt_->clock(r).add_resident(ws);
+      rt_->clock(r).sub_resident(ws);
+    }
+    enforce_rank_budget();
+  }
   if (stats != nullptr) *stats = slot.st;
   return std::move(slot.hits);
 }
@@ -293,33 +490,51 @@ QueryEngine::Result QueryEngine::serve(
     const std::vector<std::vector<std::string>>& batches) {
   Result result;
   ServeStats& st = result.stats;
-  st.nprocs = opt_.nprocs;
+  const int p = serving_ranks();
+  st.nprocs = p;
   st.n_shards = index_->n_shards();
   const int depth = opt_.effective_pipeline_depth();
   st.pipeline_depth = depth;
   st.preblocking = depth >= 2;
-  st.t_index_build = index_->modeled_build_seconds(model_, opt_.nprocs);
+  st.t_index_build = index_->modeled_build_seconds(model_, p);
+  if (rt_ != nullptr) {
+    st.grid_side = opt_.grid_side;
+    st.replication = opt_.replication;
+    for (const auto b : static_resident_) {
+      st.placement_resident_bytes = std::max(st.placement_resident_bytes, b);
+    }
+  }
 
   // Stream positions are fixed before the stream starts: each batch's ids
-  // are a pure function of its position, not of the schedule.
+  // (and its owner rank, in distributed mode) are a pure function of its
+  // position, not of the schedule.
   const std::size_t nb = batches.size();
   std::vector<Index> bases(nb);
+  std::vector<std::uint64_t> ordinals(nb);
   for (std::size_t b = 0; b < nb; ++b) {
     bases[b] = next_query_id_;
     next_query_id_ += static_cast<Index>(batches[b].size());
+    ordinals[b] = next_batch_ordinal_++;
   }
   st.batches.resize(nb);
+
+  // Per-rank workspace residency on top of the static placement: with
+  // `depth` batches in flight, a rank's worst case holds `depth`
+  // consecutive batches' workspaces at once.
+  exec::ResidentWindow window(p, depth);
 
   // ---- the serving stream on the executor ----------------------------------
   // Same graph as the pipeline's block loop: with depth >= 2, batch b+1's
   // discovery SpGEMM really overlaps batch b's alignment on the host pool.
   // The align stage retires batches strictly in order, so appending to the
-  // shared result needs no synchronization beyond the scheduler's.
+  // shared result — and merging the distributed clock frames — needs no
+  // synchronization beyond the scheduler's.
   std::vector<BatchSlot> slots;  // sized from pipe.slot_count() below
   exec::StreamPipeline* gate = nullptr;
   exec::Stage discover{"discover", [&](std::size_t b, std::size_t si) {
                          BatchSlot& slot = slots[si];
-                         slot.reset(batches[b], bases[b], opt_.nprocs);
+                         slot.reset(batches[b], bases[b], ordinals[b], p,
+                                    rt_ != nullptr);
                          discover_batch(slot);
                          // Register this batch's resident footprint with
                          // the admission gate (the overlap block itself
@@ -340,7 +555,11 @@ QueryEngine::Result QueryEngine::serve(
                       st.total_queries += slot.st.n_queries;
                       st.aligned_pairs += slot.st.aligned_pairs;
                       st.hits += slot.st.hits;
-                      st.batches[b] = slot.st;
+                      if (rt_ != nullptr) {
+                        retire_distributed(slot);
+                        window.add(slot.st.rank_workspace_bytes);
+                      }
+                      st.batches[b] = std::move(slot.st);
                     }};
   exec::StreamOptions exec_opt;
   exec_opt.depth = depth;
@@ -359,12 +578,41 @@ QueryEngine::Result QueryEngine::serve(
   {
     const double dsd = st.preblocking ? model_.preblock_sparse_dilation() : 1.0;
     const double dad = st.preblocking ? model_.preblock_align_dilation : 1.0;
-    std::vector<double> sparse_s(nb), align_s(nb);
-    for (std::size_t b = 0; b < nb; ++b) {
-      sparse_s[b] = st.batches[b].t_sparse * dsd;
-      align_s[b] = st.batches[b].t_align * dad;
+    if (rt_ != nullptr) {
+      // Distributed: the SAME recurrence, per rank — the slowest rank's
+      // pipeline makespan is the serve time (exec::OverlapTimeline).
+      exec::OverlapTimeline timeline(p, depth);
+      std::vector<double> sparse_s(static_cast<std::size_t>(p));
+      std::vector<double> align_s(static_cast<std::size_t>(p));
+      for (std::size_t b = 0; b < nb; ++b) {
+        for (int r = 0; r < p; ++r) {
+          const auto ri = static_cast<std::size_t>(r);
+          sparse_s[ri] = st.batches[b].rank_sparse_s[ri] * dsd;
+          align_s[ri] = st.batches[b].rank_align_s[ri] * dad;
+        }
+        timeline.add(sparse_s, align_s);
+      }
+      st.t_serve = timeline.max_makespan();
+    } else {
+      std::vector<double> sparse_s(nb), align_s(nb);
+      for (std::size_t b = 0; b < nb; ++b) {
+        sparse_s[b] = st.batches[b].t_sparse * dsd;
+        align_s[b] = st.batches[b].t_align * dad;
+      }
+      st.t_serve = exec::pipelined_makespan(sparse_s, align_s, depth);
     }
-    st.t_serve = exec::pipelined_makespan(sparse_s, align_s, depth);
+  }
+
+  // Fold the peak windowed workspace into the ledger high-water marks and
+  // enforce the per-rank budget over the whole stream.
+  if (rt_ != nullptr) {
+    for (int r = 0; r < p; ++r) {
+      const std::uint64_t peak = window.peak(r);
+      rt_->clock(r).add_resident(peak);
+      rt_->clock(r).sub_resident(peak);
+    }
+    st.rank_peak_resident_bytes = rt_->peak_resident_bytes();
+    enforce_rank_budget();
   }
   return result;
 }

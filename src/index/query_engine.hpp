@@ -26,6 +26,7 @@
 //     depth.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -33,8 +34,10 @@
 #include "core/common_kmers.hpp"
 #include "core/config.hpp"
 #include "index/kmer_index.hpp"
+#include "index/placement.hpp"
 #include "io/graph_io.hpp"
 #include "sim/machine_model.hpp"
+#include "sim/runtime.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/thread_pool.hpp"
 
@@ -91,6 +94,16 @@ struct QueryBatchStats {
   sparse::SpGemmStats spgemm;
   double t_sparse = 0.0;  // max-rank discovery seconds (bcast + SpGEMM + merge)
   double t_align = 0.0;   // max-rank device alignment seconds
+
+  // --- distributed serving only (empty on the shared-memory path) ----------
+  /// Per-rank modeled stage seconds — what the per-rank OverlapTimeline
+  /// recurrence consumes (t_sparse/t_align above are their maxima).
+  std::vector<double> rank_sparse_s;
+  std::vector<double> rank_align_s;
+  /// Per-rank transient workspace this batch holds in flight (query
+  /// stripe, shard products, alignment tasks + results) — fed to the
+  /// depth-windowed residency reduction on top of the static placement.
+  std::vector<std::uint64_t> rank_workspace_bytes;
 };
 
 /// Aggregated serving statistics for a stream of batches.
@@ -111,6 +124,23 @@ struct ServeStats {
   /// One-time modeled index construction, for amortization comparisons.
   double t_index_build = 0.0;
   std::vector<QueryBatchStats> batches;
+
+  // --- distributed serving only (zero/empty on the shared-memory path) -----
+  int grid_side = 0;        // 0 = single address space
+  int replication = 1;
+  /// The busiest rank's static residency: placed shards (+ replicas) plus
+  /// its reference slice.
+  std::uint64_t placement_resident_bytes = 0;
+  /// Per-rank resident high-water marks from the SimRuntime ledger:
+  /// static residency + the peak `depth`-batch workspace window. The
+  /// rank_memory_budget_bytes gate compares against the max of these.
+  std::vector<std::uint64_t> rank_peak_resident_bytes;
+
+  [[nodiscard]] std::uint64_t max_rank_resident_bytes() const {
+    std::uint64_t m = 0;
+    for (const auto b : rank_peak_resident_bytes) m = std::max(m, b);
+    return m;
+  }
 
   [[nodiscard]] double amortized_batch_seconds() const {
     return batches.empty()
@@ -137,6 +167,28 @@ class QueryEngine {
     /// flight through discover → align. 0 defers to `preblocking`; hits
     /// are bit-identical for any depth.
     int pipeline_depth = 0;
+
+    // --- rank-resident distributed serving (PastisConfig knobs:
+    // grid_side_serving / shard_replication / rank_memory_budget_bytes) ------
+    /// >= 1 serves over a grid_side × grid_side SimRuntime grid: shards
+    /// become RANK-RESIDENT (ShardPlacement: round-robin by postings
+    /// bytes + greedy rebalance), each batch runs as rank tasks (query
+    /// stripe broadcast, per-rank shard multiplies and merge, owner-side
+    /// top-k) and per-rank residency is ledgered and budget-gated. 0
+    /// keeps the single-address-space serve. Hits are bit-identical
+    /// either way, for any grid side.
+    int grid_side = 0;
+    /// Copies of each shard kept resident (availability): extra resident
+    /// bytes on the replica ranks, a 1/replication broadcast team for the
+    /// query stripe. Replicas never compute — results are unaffected.
+    /// 0 defers to PastisConfig::shard_replication; an explicit 1 opts
+    /// out of replication regardless of the config.
+    int replication = 0;
+    /// Per-rank resident budget: the engine refuses construction when the
+    /// static placement exceeds it on any rank, and serve() enforces it
+    /// against placement + the depth-windowed batch workspace. 0 defers
+    /// to PastisConfig::effective_rank_memory_budget().
+    std::uint64_t rank_memory_budget_bytes = 0;
 
     [[nodiscard]] int effective_pipeline_depth() const {
       if (pipeline_depth > 0) return pipeline_depth;
@@ -167,11 +219,24 @@ class QueryEngine {
   /// Serves a stream of batches with the pre-blocking overlap timeline.
   [[nodiscard]] Result serve(const std::vector<std::vector<std::string>>& batches);
 
-  void reset_stream() { next_query_id_ = index_->n_refs(); }
+  void reset_stream() {
+    next_query_id_ = index_->n_refs();
+    next_batch_ordinal_ = 0;
+  }
 
   [[nodiscard]] const KmerIndex& index() const { return *index_; }
   [[nodiscard]] const core::PastisConfig& config() const { return cfg_; }
   [[nodiscard]] const Options& options() const { return opt_; }
+  /// Distributed mode only (nullptr otherwise).
+  [[nodiscard]] const ShardPlacement* placement() const {
+    return placement_ ? placement_.get() : nullptr;
+  }
+  [[nodiscard]] const sim::SimRuntime* runtime() const { return rt_.get(); }
+  /// Serving ranks: the grid size in distributed mode, Options::nprocs in
+  /// the single-address-space mode.
+  [[nodiscard]] int serving_ranks() const {
+    return rt_ ? rt_->nprocs() : opt_.nprocs;
+  }
 
  private:
   /// Per-slot state of one in-flight batch (defined in the .cpp); serve()
@@ -183,6 +248,12 @@ class QueryEngine {
   /// property that makes hits depth- and schedule-invariant.
   void discover_batch(BatchSlot& slot) const;
   void align_batch(BatchSlot& slot) const;
+  /// Folds a retired batch's clock frame + workspace into the runtime
+  /// ledger (distributed mode; called in batch order).
+  void retire_distributed(BatchSlot& slot);
+  /// Throws std::runtime_error when any rank's ledgered high-water mark
+  /// exceeds the per-rank budget (no-op with the budget unset).
+  void enforce_rank_budget() const;
 
   const KmerIndex* index_;
   core::PastisConfig cfg_;
@@ -191,6 +262,14 @@ class QueryEngine {
   util::ThreadPool* pool_;
   align::BatchAligner aligner_;
   Index next_query_id_ = 0;
+  std::uint64_t next_batch_ordinal_ = 0;
+
+  // Distributed serving state (set iff opt_.grid_side >= 1).
+  std::unique_ptr<sim::SimRuntime> rt_;
+  std::unique_ptr<ShardPlacement> placement_;
+  /// Static per-rank residency: placed shard bytes + the rank's slice of
+  /// the reference residues (alignment ownership ranges).
+  std::vector<std::uint64_t> static_resident_;
 };
 
 }  // namespace pastis::index

@@ -54,9 +54,24 @@ struct RankClock {
   std::uint64_t bytes_recv = 0;
   std::uint64_t io_bytes = 0;
   std::uint64_t peak_memory_bytes = 0;
+  /// Modeled bytes currently resident in this rank's memory (shard stripes,
+  /// matrix tiles, workspaces). The distributed serving and clustering
+  /// paths keep this ledger so per-rank budgets can be *enforced*, not just
+  /// reported; `peak_memory_bytes` records the high-water mark.
+  std::uint64_t resident_bytes = 0;
 
   void charge(Comp c, double s) {
     seconds[static_cast<std::size_t>(c)] += s;
+  }
+
+  /// Resident-bytes ledger: what this rank holds right now. The peak is
+  /// folded into peak_memory_bytes automatically.
+  void add_resident(std::uint64_t b) {
+    resident_bytes += b;
+    if (resident_bytes > peak_memory_bytes) peak_memory_bytes = resident_bytes;
+  }
+  void sub_resident(std::uint64_t b) {
+    resident_bytes = resident_bytes > b ? resident_bytes - b : 0;
   }
   [[nodiscard]] double get(Comp c) const {
     return seconds[static_cast<std::size_t>(c)];
@@ -78,9 +93,14 @@ struct RankClock {
     bytes_sent += o.bytes_sent;
     bytes_recv += o.bytes_recv;
     io_bytes += o.io_bytes;
+    resident_bytes += o.resident_bytes;
+    // The merged high-water mark must cover both inputs' peaks AND the
+    // combined current residency (a frame's net add lands on top of what
+    // this clock already holds).
     peak_memory_bytes = peak_memory_bytes > o.peak_memory_bytes
                             ? peak_memory_bytes
                             : o.peak_memory_bytes;
+    if (resident_bytes > peak_memory_bytes) peak_memory_bytes = resident_bytes;
   }
 };
 

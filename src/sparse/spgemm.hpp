@@ -571,7 +571,12 @@ template <SemiringLike SR>
 }
 
 /// Merges partial results (e.g. the √p SUMMA stage outputs) into one matrix,
-/// combining duplicates with the semiring add. All parts must share shape.
+/// combining duplicates with the semiring add *in part order*: when several
+/// parts carry the same (row, col), the accumulation folds them left to
+/// right by part index. For the order-independent adds of the discovery
+/// semirings this is indistinguishable from any other order; for
+/// order-sensitive adds (PlusTimes<float> in the MCL expansion) it is what
+/// keeps a staged merge deterministic. All parts must share shape.
 template <typename V, typename AddOp>
 [[nodiscard]] SpMat<V> add_merge(const std::vector<SpMat<V>>& parts,
                                  Index nrows, Index ncols, AddOp add) {
@@ -582,7 +587,37 @@ template <typename V, typename AddOp>
   for (const auto& p : parts) {
     p.for_each([&](Index i, Index j, const V& v) { t.push_back({i, j, v}); });
   }
-  return SpMat<V>::from_triples(nrows, ncols, std::move(t), add);
+  if (t.empty()) return SpMat<V>(nrows, ncols);
+  // Stable sort keeps duplicates in part order (each part is row-major
+  // sorted already), so combine_duplicates folds them by part index.
+  std::stable_sort(t.begin(), t.end(),
+                   [](const Triple<V>& a, const Triple<V>& b) {
+                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                   });
+  combine_duplicates(t, add);
+  // Sorted and deduplicated: assemble the DCSR arrays directly instead of
+  // paying from_triples' second sort.
+  std::vector<Index> row_ids;
+  std::vector<Offset> row_ptr;
+  std::vector<Index> cols;
+  std::vector<V> vals;
+  cols.reserve(t.size());
+  vals.reserve(t.size());
+  for (const auto& x : t) {
+    if (x.row >= nrows || x.col >= ncols) {
+      throw std::out_of_range("add_merge: index out of bounds");
+    }
+    if (row_ids.empty() || x.row != row_ids.back()) {
+      row_ids.push_back(x.row);
+      row_ptr.push_back(static_cast<Offset>(cols.size()));
+    }
+    cols.push_back(x.col);
+    vals.push_back(x.val);
+  }
+  row_ptr.push_back(static_cast<Offset>(cols.size()));
+  return SpMat<V>::from_sorted_parts(nrows, ncols, std::move(row_ids),
+                                     std::move(row_ptr), std::move(cols),
+                                     std::move(vals));
 }
 
 }  // namespace pastis::sparse

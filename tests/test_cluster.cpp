@@ -335,3 +335,165 @@ TEST(ClusterPipeline, RunAndClusterMethodNoneSkipsTheStage) {
   EXPECT_TRUE(result.clustering.clusters.assignment.empty());
   EXPECT_GT(result.search.edges.size(), 0u);
 }
+
+// ---- distributed MCL (SUMMA expansion over the simulated grid) -------------
+
+TEST(DistMcl, AssignmentsBitIdenticalAcrossGridAndPoolSweep) {
+  // The acceptance bar of the distributed memory model: SUMMA-expanded MCL
+  // reproduces the shared-memory assignments bitwise for every grid side x
+  // pool size combination (float expansion included — the gather-stages
+  // fold keeps the accumulation order identical).
+  const auto edges = planted_graph(160, 9, 0.7, 120, 77);
+  const auto g = pc::SimilarityGraph::from_edges(160, edges);
+
+  pc::MclStats shared_stats;
+  const auto expected = pc::markov_cluster(g, {}, &shared_stats);
+  ASSERT_GT(expected.n_clusters, 5u);
+
+  for (int side : {1, 2, 3}) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      pastis::util::ThreadPool pool(threads);
+      pc::MclOptions opt;
+      opt.distributed = true;
+      opt.grid_side = side;
+      pc::MclStats stats;
+      const auto got = pc::markov_cluster(g, opt, &stats, &pool);
+      EXPECT_TRUE(got == expected)
+          << "side=" << side << " threads=" << threads;
+      EXPECT_EQ(stats.grid_side, side);
+      EXPECT_EQ(stats.iterations, shared_stats.iterations);
+      // The global resident-bytes story is reproduced exactly — the same
+      // numbers the shared-memory budget tightening would see.
+      EXPECT_EQ(stats.peak_resident_bytes, shared_stats.peak_resident_bytes);
+    }
+  }
+}
+
+TEST(DistMcl, GlobalBudgetTightensIdenticallyToSharedMemory) {
+  // A binding GLOBAL budget must trigger the same cap tightenings on both
+  // paths (the distributed loop recomputes the shared path's byte counts
+  // bit-for-bit), keeping assignments identical under memory pressure.
+  const auto edges = planted_graph(140, 10, 0.8, 80, 78);
+  const auto g = pc::SimilarityGraph::from_edges(140, edges);
+
+  pc::MclOptions opt;
+  pc::MclStats probe;
+  (void)pc::markov_cluster(g, opt, &probe);
+  opt.memory_budget_bytes = probe.peak_resident_bytes / 2;
+
+  pc::MclStats shared_stats;
+  const auto expected = pc::markov_cluster(g, opt, &shared_stats);
+  ASSERT_GT(shared_stats.budget_tightenings, 0);
+
+  opt.distributed = true;
+  opt.grid_side = 2;
+  pc::MclStats dist_stats;
+  const auto got = pc::markov_cluster(g, opt, &dist_stats);
+  EXPECT_TRUE(got == expected);
+  EXPECT_EQ(dist_stats.budget_tightenings, shared_stats.budget_tightenings);
+}
+
+TEST(DistMcl, RankLedgerShrinksWithTheGridAndRespectsBudget) {
+  const auto edges = planted_graph(200, 8, 0.7, 150, 79);
+  const auto g = pc::SimilarityGraph::from_edges(200, edges);
+
+  std::uint64_t side1_peak = 0;
+  for (int side : {1, 3}) {
+    pc::MclOptions opt;
+    opt.distributed = true;
+    opt.grid_side = side;
+    opt.rank_memory_budget_bytes = 1ull << 30;  // ample: must never trip
+    pc::MclStats stats;
+    (void)pc::markov_cluster(g, opt, &stats);
+    ASSERT_EQ(stats.rank_peak_resident_bytes.size(),
+              static_cast<std::size_t>(side * side));
+    std::uint64_t peak = 0;
+    for (const auto b : stats.rank_peak_resident_bytes) {
+      EXPECT_LE(b, opt.rank_memory_budget_bytes);
+      peak = std::max(peak, b);
+    }
+    EXPECT_EQ(stats.rank_budget_tightenings, 0);
+    EXPECT_GT(stats.modeled_seconds, 0.0);
+    if (side == 1) {
+      side1_peak = peak;
+    } else {
+      // Distributing the flow matrix is the point: the busiest rank of the
+      // 3x3 grid holds well under half of the single rank's bytes.
+      EXPECT_LT(peak, side1_peak / 2);
+    }
+  }
+}
+
+TEST(DistMcl, RankBudgetTighteningIsDeterministic) {
+  const auto edges = planted_graph(120, 10, 0.8, 60, 81);
+  const auto g = pc::SimilarityGraph::from_edges(120, edges);
+
+  pc::MclOptions opt;
+  opt.distributed = true;
+  opt.grid_side = 2;
+  pc::MclStats probe;
+  (void)pc::markov_cluster(g, opt, &probe);
+  std::uint64_t worst = 0;
+  for (const auto& it : probe.per_iteration) {
+    worst = std::max(worst, it.max_rank_resident_bytes);
+  }
+  ASSERT_GT(worst, 0u);
+
+  opt.rank_memory_budget_bytes = worst / 2;
+  pc::MclStats a, b;
+  const auto ca = pc::markov_cluster(g, opt, &a);
+  pastis::util::ThreadPool pool(4);
+  const auto cb = pc::markov_cluster(g, opt, &b, &pool);
+  EXPECT_GT(a.rank_budget_tightenings, 0);
+  EXPECT_EQ(a.rank_budget_tightenings, b.rank_budget_tightenings);
+  EXPECT_TRUE(ca == cb);  // binding rank budget stays pool-invariant
+}
+
+// ---- memory-budget knob inheritance (the PastisConfig chain) ---------------
+
+TEST(Config, MemoryBudgetPrecedenceChain) {
+  pastis::core::PastisConfig cfg;
+  // Everything unset: budgets resolve to 0 (unbounded).
+  EXPECT_EQ(cfg.effective_mcl_memory_budget(), 0u);
+  EXPECT_EQ(cfg.effective_rank_memory_budget(), 0u);
+
+  // The root knob flows all the way down.
+  cfg.exec_memory_budget_bytes = 1000;
+  EXPECT_EQ(cfg.effective_mcl_memory_budget(), 1000u);
+  EXPECT_EQ(cfg.effective_rank_memory_budget(), 1000u);
+
+  // An explicit MCL budget overrides the root for itself and downstream.
+  cfg.mcl.memory_budget_bytes = 500;
+  EXPECT_EQ(cfg.effective_mcl_memory_budget(), 500u);
+  EXPECT_EQ(cfg.effective_rank_memory_budget(), 500u);
+
+  // An explicit rank budget overrides only the last stage.
+  cfg.rank_memory_budget_bytes = 200;
+  EXPECT_EQ(cfg.effective_mcl_memory_budget(), 500u);
+  EXPECT_EQ(cfg.effective_rank_memory_budget(), 200u);
+}
+
+TEST(Config, RunAndClusterInheritsThroughTheChain) {
+  // The pipeline's post-align MCL stage must consume the helper, not an
+  // ad-hoc fallback: a run with only the root knob set behaves exactly
+  // like one with the MCL budget set to the root's value.
+  pastis::gen::GenConfig gc;
+  gc.n_sequences = 60;
+  gc.seed = 17;
+  gc.mean_length = 90.0;
+  auto ds = pastis::gen::generate_proteins(gc);
+
+  pastis::core::PastisConfig via_root;
+  via_root.cluster_method = pc::Method::kMarkov;
+  via_root.exec_memory_budget_bytes = 1u << 20;
+  pastis::core::SimilaritySearch root_search(via_root, {}, 1);
+  const auto from_root = root_search.run_and_cluster(ds.seqs);
+
+  pastis::core::PastisConfig via_mcl = via_root;
+  via_mcl.exec_memory_budget_bytes = 0;
+  via_mcl.mcl.memory_budget_bytes = 1u << 20;
+  pastis::core::SimilaritySearch mcl_search(via_mcl, {}, 1);
+  const auto from_mcl = mcl_search.run_and_cluster(ds.seqs);
+
+  EXPECT_TRUE(from_root.clustering.clusters == from_mcl.clustering.clusters);
+}

@@ -272,3 +272,157 @@ TEST(Summa, OverlapSemiringSeedsAreOrderIndependent) {
     EXPECT_TRUE(c1[i].val.last == c9[i].val.last);
   }
 }
+
+// ---- thread-pool sweeps for the reshape primitives -------------------------
+
+TEST(DistSpMat, TransposedIsPoolInvariant) {
+  // transposed() routes through from_global_triples, whose per-tile builds
+  // may fan out over a pool — exercised directly here (1/2/8 workers plus
+  // the serial path), not just through the SUMMA suites.
+  const auto triples = random_triples(83, 59, 0.13, 101);
+  const psim::ProcGrid grid(9);
+  auto D = pd::DistSpMat<int>::from_global_triples(grid, 83, 59, triples);
+  const auto serial = D.transposed();
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    pastis::util::ThreadPool pool(threads);
+    const auto pooled = D.transposed(&pool);
+    ASSERT_EQ(pooled.nnz(), serial.nnz()) << "threads=" << threads;
+    for (int r = 0; r < grid.size(); ++r) {
+      EXPECT_TRUE(pooled.local(r) == serial.local(r))
+          << "threads=" << threads << " rank=" << r;
+    }
+  }
+}
+
+TEST(Stripes, RowStripeSplitIsPoolInvariant) {
+  const auto triples = random_triples(91, 47, 0.12, 103);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    pastis::util::ThreadPool pool(threads);
+    psim::SimRuntime rt(9, psim::MachineModel{}, &pool);
+    auto A = pd::DistSpMat<int>::from_global_triples(rt.grid(), 91, 47,
+                                                     triples);
+    psim::SimRuntime rt_serial(9, psim::MachineModel{});
+    const auto serial = pd::split_row_stripes(rt_serial, A, 4);
+    const auto pooled = pd::split_row_stripes(rt, A, 4, &pool);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+      for (int r = 0; r < rt.grid().size(); ++r) {
+        EXPECT_TRUE(pooled[s].local(r) == serial[s].local(r))
+            << "threads=" << threads << " stripe=" << s << " rank=" << r;
+      }
+    }
+  }
+}
+
+// ---- row-stripe reshapes (the distributed MCL layout) ----------------------
+
+TEST(Stripes, GatherScatterRowStripesRoundTrip) {
+  const auto triples = random_triples(77, 77, 0.1, 107);
+  for (int p : {1, 4, 9}) {
+    psim::SimRuntime rt(p, psim::MachineModel{});
+    auto A = pd::DistSpMat<int>::from_global_triples(rt.grid(), 77, 77,
+                                                     triples);
+    const auto stripes = pd::gather_row_stripes(rt, A);
+    ASSERT_EQ(stripes.size(), static_cast<std::size_t>(p));
+    // Stripes tile the rows; entries carry global columns.
+    ps::Index rows = 0;
+    std::vector<ps::Triple<int>> merged;
+    for (const auto& s : stripes) {
+      for (const auto& t : s.to_triples()) {
+        merged.push_back({t.row + rows, t.col, t.val});
+      }
+      rows += s.nrows();
+    }
+    EXPECT_EQ(rows, 77u);
+    EXPECT_EQ(to_map(merged), to_map(triples));
+
+    const auto back = pd::scatter_row_stripes(rt, stripes, 77);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_TRUE(back.local(r) == A.local(r)) << "p=" << p << " rank=" << r;
+    }
+    // The reshape's wire time was charged.
+    if (p > 1) {
+      EXPECT_GT(rt.sum_over_ranks(psim::Comp::kSparseOther), 0.0);
+    }
+  }
+}
+
+TEST(Stripes, HstackVstackReassembleTiles) {
+  const auto triples = random_triples(40, 52, 0.15, 109);
+  const psim::ProcGrid grid(9);
+  auto A = pd::DistSpMat<int>::from_global_triples(grid, 40, 52, triples);
+  std::vector<ps::Triple<int>> via_rows;
+  for (int gi = 0; gi < grid.side(); ++gi) {
+    const auto strip = pd::hstack_grid_row(A, gi);
+    EXPECT_EQ(strip.ncols(), 52u);
+    const ps::Index r0 = A.row_begin(gi);
+    for (const auto& t : strip.to_triples()) {
+      via_rows.push_back({t.row + r0, t.col, t.val});
+    }
+  }
+  EXPECT_EQ(to_map(via_rows), to_map(triples));
+
+  std::vector<ps::Triple<int>> via_cols;
+  for (int gj = 0; gj < grid.side(); ++gj) {
+    const auto strip = pd::vstack_grid_col(A, gj);
+    EXPECT_EQ(strip.nrows(), 40u);
+    const ps::Index c0 = A.col_begin(gj);
+    for (const auto& t : strip.to_triples()) {
+      via_cols.push_back({t.row, t.col + c0, t.val});
+    }
+  }
+  EXPECT_EQ(to_map(via_cols), to_map(triples));
+}
+
+// ---- gather-stages SUMMA (the bitwise-exact float fold) --------------------
+
+TEST(Summa, GatherStagesAgreesWithStagedMergeOnInts) {
+  const auto ta = random_triples(45, 45, 0.2, 111);
+  const auto tb = random_triples(45, 45, 0.2, 112);
+  psim::SimRuntime rt(9, psim::MachineModel{});
+  auto A = pd::DistSpMat<int>::from_global_triples(rt.grid(), 45, 45, ta);
+  auto B = pd::DistSpMat<int>::from_global_triples(rt.grid(), 45, 45, tb);
+  pd::SummaOptions staged, gathered;
+  gathered.gather_stages = true;
+  ps::SpGemmStats s1, s2;
+  auto Cs = pd::summa<ps::PlusTimes<int>>(rt, A, B, staged, &s1);
+  auto Cg = pd::summa<ps::PlusTimes<int>>(rt, A, B, gathered, &s2);
+  EXPECT_EQ(to_map(Cs.to_global_triples()), to_map(Cg.to_global_triples()));
+  EXPECT_EQ(s1.products, s2.products);
+}
+
+TEST(Summa, GatherStagesIsBitwiseEqualToSerialFloatKernel) {
+  // Float addition is order-sensitive: the staged merge regroups the
+  // per-stage partial sums, but the gather-stages fold accumulates every
+  // C(i,j) in ascending-k order exactly like the serial kernel — bitwise,
+  // on any grid. This is what the distributed MCL's determinism rests on.
+  pastis::util::Xoshiro256 rng(113);
+  std::vector<ps::Triple<float>> tf;
+  for (ps::Index i = 0; i < 60; ++i) {
+    for (ps::Index j = 0; j < 60; ++j) {
+      if (rng.chance(0.2)) {
+        tf.push_back({i, j, 0.01f + static_cast<float>(rng.uniform())});
+      }
+    }
+  }
+  auto As = ps::SpMat<float>::from_triples(60, 60, tf);
+  const auto serial = ps::spgemm_hash2p<ps::PlusTimes<float>>(As, As);
+
+  for (int p : {4, 9}) {
+    psim::SimRuntime rt(p, psim::MachineModel{});
+    auto A = pd::DistSpMat<float>::from_global_triples(rt.grid(), 60, 60, tf);
+    pd::SummaOptions opt;
+    opt.gather_stages = true;
+    auto C = pd::summa<ps::PlusTimes<float>>(rt, A, A, opt);
+    auto triples = C.to_global_triples();
+    ps::sort_triples(triples);
+    const auto expect = serial.to_triples();
+    ASSERT_EQ(triples.size(), expect.size()) << "p=" << p;
+    for (std::size_t i = 0; i < triples.size(); ++i) {
+      EXPECT_EQ(triples[i].row, expect[i].row);
+      EXPECT_EQ(triples[i].col, expect[i].col);
+      // Bitwise float equality, not approximate.
+      EXPECT_EQ(triples[i].val, expect[i].val) << "p=" << p << " i=" << i;
+    }
+  }
+}

@@ -10,11 +10,14 @@
 #include <map>
 
 #include "core/pipeline.hpp"
+#include "exec/timeline.hpp"
 #include "gen/protein_gen.hpp"
 #include "index/index_io.hpp"
 #include "index/kmer_index.hpp"
+#include "index/placement.hpp"
 #include "index/query_engine.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pc = pastis::core;
 namespace pg = pastis::gen;
@@ -375,4 +378,211 @@ TEST(QueryEngine, EmptyBatchesAndNoCandidates) {
   const auto hits = engine.search_batch(alien, &st);
   EXPECT_TRUE(hits.empty());
   EXPECT_EQ(st.n_queries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Rank-resident distributed serving (shard placement + SimRuntime serve path)
+// ---------------------------------------------------------------------------
+
+TEST(ShardPlacement, BalanceIsDeterministicAndConservesBytes) {
+  const std::vector<std::uint64_t> bytes = {900, 10, 300, 300, 50, 800, 5};
+  const auto a = pidx::ShardPlacement::balance(bytes, 3);
+  const auto b = pidx::ShardPlacement::balance(bytes, 3);
+  EXPECT_EQ(a.primary, b.primary);
+
+  std::uint64_t placed = 0;
+  for (const auto rb : a.rank_resident_bytes) placed += rb;
+  EXPECT_EQ(placed, 900u + 10 + 300 + 300 + 50 + 800 + 5);
+  // The greedy rebalance must beat the worst rank of the raw round-robin
+  // deal (rank 0 would hold 900 + 300 + 5 = 1205).
+  EXPECT_LE(a.max_rank_resident_bytes(), 1205u);
+  // Every shard owned exactly once, owner in range.
+  for (int s = 0; s < a.n_shards(); ++s) {
+    EXPECT_GE(a.primary[static_cast<std::size_t>(s)], 0);
+    EXPECT_LT(a.primary[static_cast<std::size_t>(s)], 3);
+  }
+}
+
+TEST(ShardPlacement, ReplicationAddsResidentCopiesOnDistinctRanks) {
+  const std::vector<std::uint64_t> bytes = {100, 200, 300, 400};
+  const auto pl = pidx::ShardPlacement::balance(bytes, 4, 2);
+  std::uint64_t resident = 0;
+  for (const auto rb : pl.rank_resident_bytes) resident += rb;
+  EXPECT_EQ(resident, 2u * (100 + 200 + 300 + 400));
+  for (int s = 0; s < pl.n_shards(); ++s) {
+    const auto& holders = pl.replicas[static_cast<std::size_t>(s)];
+    ASSERT_EQ(holders.size(), 2u);
+    EXPECT_NE(holders[0], holders[1]);
+    EXPECT_EQ(holders[0], pl.primary[static_cast<std::size_t>(s)]);
+  }
+  EXPECT_THROW(pidx::ShardPlacement::balance(bytes, 2, 3),
+               std::invalid_argument);
+  EXPECT_THROW(pidx::ShardPlacement::balance(bytes, 0),
+               std::invalid_argument);
+}
+
+TEST(DistributedServe, HitsBitIdenticalAcrossGridShardAndPoolSweep) {
+  // The acceptance bar of the distributed memory model: rank-resident
+  // serving reproduces the shared-memory hits bitwise for every grid side
+  // x shard count x pool size combination.
+  const auto refs = make_refs(90, 201);
+  const auto queries = make_queries(refs, 30, 203);
+  pc::PastisConfig cfg;
+
+  std::vector<pio::SimilarityEdge> expected;
+  {
+    const auto idx = pidx::KmerIndex::build(refs, cfg, 3);
+    pidx::QueryEngine shared_mem(idx, cfg, {}, {});
+    expected = shared_mem.serve(split_batches(queries, 3)).hits;
+    ASSERT_GT(expected.size(), 5u);
+  }
+
+  for (int shards : {1, 4, 7}) {
+    const auto idx = pidx::KmerIndex::build(refs, cfg, shards);
+    for (int side : {1, 2, 3}) {
+      for (std::size_t threads : {1u, 2u, 8u}) {
+        pastis::util::ThreadPool pool(threads);
+        pidx::QueryEngine::Options opt;
+        opt.grid_side = side;
+        pidx::QueryEngine engine(idx, cfg, {}, opt, &pool);
+        const auto result = engine.serve(split_batches(queries, 3));
+        EXPECT_EQ(result.hits, expected)
+            << "shards=" << shards << " side=" << side
+            << " threads=" << threads;
+        EXPECT_EQ(result.stats.grid_side, side);
+        EXPECT_EQ(result.stats.nprocs, side * side);
+      }
+    }
+  }
+}
+
+TEST(DistributedServe, LedgerRespectsBudgetAndShrinksWithTheGrid) {
+  const auto refs = make_refs(120, 211);
+  const auto queries = make_queries(refs, 40, 213);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 8);
+  const auto batches = split_batches(queries, 4);
+
+  std::uint64_t side1_peak = 0;
+  for (int side : {1, 3}) {
+    pidx::QueryEngine::Options opt;
+    opt.grid_side = side;
+    // Ample budget: the ledger must be ENFORCED (asserted below) yet never
+    // trip on a sane placement.
+    opt.rank_memory_budget_bytes = 64ull << 20;
+    pidx::QueryEngine engine(idx, cfg, {}, opt);
+    const auto result = engine.serve(batches);
+    const auto& peaks = result.stats.rank_peak_resident_bytes;
+    ASSERT_EQ(peaks.size(), static_cast<std::size_t>(side * side));
+    for (const auto b : peaks) {
+      EXPECT_GT(b, 0u);
+      EXPECT_LE(b, opt.rank_memory_budget_bytes);
+    }
+    if (side == 1) {
+      side1_peak = result.stats.max_rank_resident_bytes();
+    } else {
+      // Distributing the memory model is the point: the busiest rank of a
+      // 3x3 grid must hold less than half of the single rank's bytes.
+      EXPECT_LT(result.stats.max_rank_resident_bytes(), side1_peak / 2);
+    }
+  }
+}
+
+TEST(DistributedServe, PlacementGateRejectsTinyRankBudget) {
+  const auto refs = make_refs(100, 221);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 4);
+  pidx::QueryEngine::Options opt;
+  opt.grid_side = 2;
+  opt.rank_memory_budget_bytes = 64;  // nothing fits
+  EXPECT_THROW(pidx::QueryEngine(idx, cfg, {}, opt), std::runtime_error);
+}
+
+TEST(DistributedServe, ReplicationKeepsHitsAndRaisesResidency) {
+  const auto refs = make_refs(100, 231);
+  const auto queries = make_queries(refs, 30, 233);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 6);
+  const auto batches = split_batches(queries, 2);
+
+  pidx::QueryEngine::Options opt;
+  opt.grid_side = 2;
+  pidx::QueryEngine plain(idx, cfg, {}, opt);
+  const auto base = plain.serve(batches);
+
+  opt.replication = 2;
+  pidx::QueryEngine replicated(idx, cfg, {}, opt);
+  const auto repl = replicated.serve(batches);
+
+  EXPECT_EQ(repl.hits, base.hits);  // replicas never compute
+  EXPECT_GT(repl.stats.placement_resident_bytes,
+            base.stats.placement_resident_bytes);
+  // Smaller broadcast team -> the discovery side can only get cheaper.
+  EXPECT_LE(repl.stats.batches[0].t_sparse, base.stats.batches[0].t_sparse);
+}
+
+TEST(DistributedServe, TimelineReducesToTheOverlapRecurrence) {
+  // The distributed serve must charge exactly the per-rank pipeline
+  // makespan recurrence (exec::OverlapTimeline) — recompute it from the
+  // reported per-rank batch seconds and compare.
+  const auto refs = make_refs(100, 241);
+  const auto queries = make_queries(refs, 40, 243);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 5);
+
+  for (int depth : {1, 2, 3}) {
+    pidx::QueryEngine::Options opt;
+    opt.grid_side = 2;
+    opt.pipeline_depth = depth;
+    pidx::QueryEngine engine(idx, cfg, {}, opt);
+    const auto result = engine.serve(split_batches(queries, 4));
+    const auto& st = result.stats;
+
+    const pastis::sim::MachineModel model;
+    const double dsd = depth >= 2 ? model.preblock_sparse_dilation() : 1.0;
+    const double dad = depth >= 2 ? model.preblock_align_dilation : 1.0;
+    const int p = st.nprocs;
+    pastis::exec::OverlapTimeline timeline(p, depth);
+    std::vector<double> sparse_s(static_cast<std::size_t>(p));
+    std::vector<double> align_s(static_cast<std::size_t>(p));
+    for (const auto& b : st.batches) {
+      for (int r = 0; r < p; ++r) {
+        sparse_s[static_cast<std::size_t>(r)] =
+            b.rank_sparse_s[static_cast<std::size_t>(r)] * dsd;
+        align_s[static_cast<std::size_t>(r)] =
+            b.rank_align_s[static_cast<std::size_t>(r)] * dad;
+      }
+      timeline.add(sparse_s, align_s);
+    }
+    EXPECT_DOUBLE_EQ(st.t_serve, timeline.max_makespan()) << "depth=" << depth;
+    EXPECT_GT(st.t_serve, 0.0);
+  }
+}
+
+TEST(IndexIo, PerRankGateFromThePlacementSection) {
+  const auto refs = make_refs(80, 251);
+  pc::PastisConfig cfg;
+  const auto idx = pidx::KmerIndex::build(refs, cfg, 4);
+  const auto path = temp_path("pastis_index_rank_gate.pidx");
+  pidx::save_index(path, idx);
+
+  // Header-only per-rank pre-flight agrees with a 4-rank placement and
+  // shrinks against the whole-index bytes.
+  const auto per_rank = pidx::peek_rank_resident_bytes(path, 4);
+  ASSERT_EQ(per_rank.size(), 4u);
+  std::uint64_t worst = 0;
+  for (const auto b : per_rank) worst = std::max(worst, b);
+  EXPECT_GT(worst, 0u);
+  EXPECT_LT(worst, pidx::peek_index_bytes(path));
+
+  // The gate: fits on 4 ranks at `worst`, not at worst/2; 1-rank gate is
+  // the legacy whole-index budget.
+  pidx::RankBudgetGate gate;
+  gate.n_ranks = 4;
+  gate.rank_memory_budget_bytes = worst;
+  EXPECT_NO_THROW((void)pidx::load_index(path, gate));
+  gate.rank_memory_budget_bytes = worst / 2;
+  EXPECT_THROW((void)pidx::load_index(path, gate), std::runtime_error);
+
+  std::filesystem::remove(path);
 }
