@@ -157,6 +157,42 @@ int main(int argc, char** argv) {
   }
   t.print();
 
+  // One extra instrumented MCL run (not timed into the scaling table — the
+  // telemetry registry costs a few mutexed samples per iteration): the
+  // per-iteration chaos/nnz/resident series lands in METRICS_cluster.json
+  // and the iteration spans in TRACE_cluster.json.
+  util::banner("telemetry (instrumented serial MCL run)");
+  bench::BenchTelemetry bt("cluster");
+  {
+    cluster::MclOptions mopt;
+    mopt.telemetry = bt.telemetry();
+    cluster::MclStats obs_stats;
+    const auto mcl_obs = cluster::markov_cluster(g, mopt, &obs_stats);
+    sc.check(mcl_obs == mcl_ref,
+             "telemetry-on MCL assignments bit-identical to the "
+             "uninstrumented run (hard gate)");
+    identical = identical && mcl_obs == mcl_ref;
+  }
+  const auto snap = bt.metrics().snapshot();
+  const auto it_res = snap.min_avg_max.count("mcl.resident_bytes")
+                          ? snap.min_avg_max.at("mcl.resident_bytes")
+                          : util::MinAvgMax{};
+  const auto it_nnz = snap.min_avg_max.count("mcl.expansion_nnz")
+                          ? snap.min_avg_max.at("mcl.expansion_nnz")
+                          : util::MinAvgMax{};
+  std::printf(
+      "iterations %.0f   final chaos %.4g   resident bytes min/avg/max "
+      "%s/%s/%s   expansion nnz avg %s\n",
+      snap.counters.count("mcl.iterations_total")
+          ? snap.counters.at("mcl.iterations_total")
+          : 0.0,
+      snap.gauges.count("mcl.chaos") ? snap.gauges.at("mcl.chaos") : 0.0,
+      util::bytes_human(it_res.count ? it_res.min : 0.0).c_str(),
+      util::bytes_human(it_res.avg()).c_str(),
+      util::bytes_human(it_res.count ? it_res.max : 0.0).c_str(),
+      util::with_commas(static_cast<std::uint64_t>(it_nnz.avg())).c_str());
+  bt.write_artifacts();
+
   util::banner("shape checks");
   double best_mcl_speedup = 0.0;
   for (const auto& p : points) {

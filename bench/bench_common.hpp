@@ -128,4 +128,35 @@ inline std::string out_path(const std::string& name) {
   return (std::filesystem::path("out") / name).string();
 }
 
+/// Caller-owned telemetry sinks for one bench run, with the standard
+/// artifact emission: METRICS_<tag>.json (pastis.metrics.v1) and
+/// TRACE_<tag>.json (Chrome trace-event format, chrome://tracing /
+/// Perfetto) under out/. Wire `telemetry()` into PastisConfig::telemetry
+/// (or the per-layer options) before the run and call write_artifacts()
+/// after it.
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(std::string tag) : tag_(std::move(tag)) {}
+
+  [[nodiscard]] obs::Telemetry telemetry() {
+    return obs::Telemetry{&metrics_, &tracer_};
+  }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+
+  void write_artifacts() {
+    const std::string mpath = out_path("METRICS_" + tag_ + ".json");
+    const std::string tpath = out_path("TRACE_" + tag_ + ".json");
+    metrics_.write_json(mpath);
+    tracer_.write(tpath);
+    std::printf("telemetry: %s (%zu trace events), %s\n", tpath.c_str(),
+                tracer_.event_count(), mpath.c_str());
+  }
+
+ private:
+  std::string tag_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+};
+
 }  // namespace pastis::bench

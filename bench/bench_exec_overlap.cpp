@@ -11,6 +11,7 @@
 // that check gates the exit code (CI smoke-run).
 //
 //   --seqs=N --procs=N --blocks=N --depths=1,2,4 --seed=N --out=FILE
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -71,12 +72,20 @@ int main(int argc, char** argv) {
   std::uint64_t sparse_sum = 0;
   bool identical = true;  // full edge-set equality, not just counts
 
+  // Telemetry rides on the deepest run only: one measured-thread track set
+  // for the executor's stage spans plus one modeled-rank track per simulated
+  // rank, whose max end must equal that run's t_blocks (makespan) exactly.
+  bench::BenchTelemetry bt("exec");
+  double traced_makespan = -1.0;
+
   for (const int depth : depths) {
     core::PastisConfig cfg;
     cfg.block_rows = cfg.block_cols = blocks;
     cfg.pipeline_depth = depth;
+    if (depth == depths.back()) cfg.telemetry = bt.telemetry();
     core::SimilaritySearch search(cfg, model, procs);
     const auto r = search.run(data.seqs);
+    if (depth == depths.back()) traced_makespan = r.stats.t_blocks;
     if (points.empty()) {
       oracle_edges = r.edges;
       sparse_sum = r.stats.spgemm.products;
@@ -109,6 +118,19 @@ int main(int argc, char** argv) {
   std::printf("\nworkload: %u seqs, %dx%d blocks, %d ranks, %s products\n", n,
               blocks, blocks, procs, util::with_commas(sparse_sum).c_str());
 
+  util::banner("telemetry (deepest run)");
+  const double stalls_depth =
+      bt.metrics().counter("pipeline.gate_stalls_depth_total").value();
+  const double stalls_budget =
+      bt.metrics().counter("pipeline.gate_stalls_budget_total").value();
+  const double trace_end = bt.tracer().modeled_end_seconds();
+  std::printf("gate stalls: %.0f depth, %.0f budget; max in flight %.0f\n",
+              stalls_depth, stalls_budget,
+              bt.metrics().gauge("pipeline.max_in_flight").value());
+  std::printf("modeled trace end %s s vs t_blocks %s s\n",
+              f4(trace_end).c_str(), f4(traced_makespan).c_str());
+  bt.write_artifacts();
+
   util::banner("shape checks");
   ShapeChecks sc;
   bool overlap_wins = true;
@@ -126,6 +148,9 @@ int main(int argc, char** argv) {
     monotone = monotone && points[i].makespan <= points[i - 1].makespan + 1e-12;
   }
   sc.check(monotone, "deeper pipelines never lengthen the modeled makespan");
+  sc.check(std::abs(trace_end - traced_makespan) <=
+               1e-9 + 1e-9 * std::abs(traced_makespan),
+           "modeled rank tracks end exactly at the block-loop makespan");
   sc.summary();
 
   // ---- machine-readable trajectory -----------------------------------------

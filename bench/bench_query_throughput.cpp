@@ -107,7 +107,13 @@ int main(int argc, char** argv) {
   const auto index = index::KmerIndex::build(refs, cfg, shards);
   index::QueryEngine::Options opt;
   opt.nprocs = procs;
-  index::QueryEngine engine(index, cfg, model, opt);
+  // Telemetry on the serving side only (the baseline is the thing being
+  // compared against, not observed): batch latency histograms, per-shard
+  // counters, measured stage spans and the modeled per-rank schedule.
+  bench::BenchTelemetry bt("query");
+  core::PastisConfig engine_cfg = cfg;
+  engine_cfg.telemetry = bt.telemetry();
+  index::QueryEngine engine(index, engine_cfg, model, opt);
   const auto served = engine.serve(batches);
   const auto& st = served.stats;
 
@@ -146,10 +152,33 @@ int main(int argc, char** argv) {
               bench::f2(baseline_per_batch / engine_amortized).c_str(),
               n_batches);
 
+  util::banner("telemetry");
+  const auto h_sparse =
+      bt.metrics().histogram("serve.batch_sparse_seconds").snapshot();
+  const auto h_align =
+      bt.metrics().histogram("serve.batch_align_seconds").snapshot();
+  std::printf("batch sparse s: p50 %s  p95 %s  p99 %s (n=%llu)\n",
+              bench::f4(h_sparse.quantile(0.5)).c_str(),
+              bench::f4(h_sparse.quantile(0.95)).c_str(),
+              bench::f4(h_sparse.quantile(0.99)).c_str(),
+              static_cast<unsigned long long>(h_sparse.count));
+  std::printf("batch align  s: p50 %s  p95 %s  p99 %s (n=%llu)\n",
+              bench::f4(h_align.quantile(0.5)).c_str(),
+              bench::f4(h_align.quantile(0.95)).c_str(),
+              bench::f4(h_align.quantile(0.99)).c_str(),
+              static_cast<unsigned long long>(h_align.count));
+  const double trace_end = bt.tracer().modeled_end_seconds();
+  std::printf("modeled trace end %s s vs t_serve %s s\n",
+              bench::f4(trace_end).c_str(), bench::f4(st.t_serve).c_str());
+  bt.write_artifacts();
+
   util::banner("shape checks");
   bench::ShapeChecks sc;
   sc.check(served.hits == baseline_hits,
            "engine hits bit-identical to rebuild-everything cross edges");
+  sc.check(std::abs(trace_end - st.t_serve) <=
+               1e-9 + 1e-9 * std::abs(st.t_serve),
+           "modeled rank tracks end exactly at the serve makespan");
   sc.check(n_batches >= 2 && engine_amortized < baseline_per_batch,
            "amortized engine batch beats full-pipeline rebuild (>=2 batches)");
   double marginal = 0.0;  // cost of one more batch once the index exists

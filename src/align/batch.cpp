@@ -1,6 +1,12 @@
 #include "align/batch.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pastis::align {
 
@@ -103,6 +109,22 @@ BatchStats BatchAligner::stats_with(
       static_cast<double>(max_cells) / config_.cups_per_device;
   stats.packing_seconds =
       static_cast<double>(max_pairs) * config_.pack_seconds_per_pair;
+  if (config_.telemetry.metrics != nullptr) {
+    auto& m = *config_.telemetry.metrics;
+    m.counter("align.pairs_total").add(static_cast<double>(stats.pairs));
+    m.counter("align.cells_total").add(static_cast<double>(stats.cells));
+    for (int d = 0; d < devices; ++d) {
+      const std::string lane = "align.lane" + std::to_string(d);
+      m.counter(lane + ".cells_total")
+          .add(static_cast<double>(device_cells[static_cast<std::size_t>(d)]));
+      m.counter(lane + ".pairs_total")
+          .add(static_cast<double>(device_pairs[static_cast<std::size_t>(d)]));
+      // The Fig. 7 presentation of per-device balance, one sample per lane
+      // per batch.
+      m.min_avg_max("align.lane_cells")
+          .add(static_cast<double>(device_cells[static_cast<std::size_t>(d)]));
+    }
+  }
   return stats;
 }
 
@@ -116,21 +138,43 @@ std::span<const AlignResult> BatchAligner::align_batch(
   // and the device-model accounting below.
   assign_lanes(seq_of, tasks, ws.lanes);
   const auto& lanes = ws.lanes.lanes;
+  const obs::Telemetry& telem = config_.telemetry;
   auto run_lane = [&](int lane) {
     // ADEPT distributes alignments across the node's devices; the driver
     // balances per-GPU batches by DP size (see assign_lanes).
+    const auto t0 = telem.metrics != nullptr ? std::chrono::steady_clock::now()
+                                             : std::chrono::steady_clock::time_point{};
+    std::uint64_t lane_cells = 0;
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       if (lanes[t] != lane) continue;
       const AlignTask& task = tasks[t];
       ws.results[t] = align_one(seq_of(task.q_id), seq_of(task.r_id), task);
+      lane_cells += ws.results[t].cells;
+    }
+    if (telem.metrics != nullptr && lane_cells > 0) {
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (s > 0.0) {
+        // Measured host-side DP throughput of this driver lane.
+        telem.metrics
+            ->histogram("align.lane" + std::to_string(lane) +
+                        ".cells_per_second",
+                        std::array{1e6, 1e7, 1e8, 1e9, 1e10, 1e11})
+            .observe(static_cast<double>(lane_cells) / s);
+      }
     }
   };
 
-  if (pool != nullptr && tasks.size() > 1) {
-    pool->parallel_for(static_cast<std::size_t>(devices),
-                       [&](std::size_t lane) { run_lane(static_cast<int>(lane)); });
-  } else {
-    for (int lane = 0; lane < devices; ++lane) run_lane(lane);
+  {
+    obs::Span span(telem.tracer, "align.batch");
+    span.arg("pairs", static_cast<double>(tasks.size()));
+    if (pool != nullptr && tasks.size() > 1) {
+      pool->parallel_for(static_cast<std::size_t>(devices),
+                         [&](std::size_t lane) { run_lane(static_cast<int>(lane)); });
+    } else {
+      for (int lane = 0; lane < devices; ++lane) run_lane(lane);
+    }
   }
 
   if (stats != nullptr) {

@@ -19,6 +19,7 @@
 #include "align/banded.hpp"
 #include "align/smith_waterman.hpp"
 #include "align/xdrop.hpp"
+#include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pastis::align {
@@ -84,6 +85,12 @@ class BatchAligner {
     int band_half_width = 32;
     int xdrop = 25;
     std::uint32_t seed_len = 6;
+    /// Telemetry sinks (null = off). With metrics, every accounted batch
+    /// adds per-lane cells/pairs counters ("align.lane<d>.cells_total"),
+    /// batch totals, and a measured cells/second histogram per driver lane
+    /// from the workspace align_batch; with a tracer, each batch run is a
+    /// measured span. Results are unaffected.
+    obs::Telemetry telemetry;
   };
 
   BatchAligner(Scoring scoring, Config config)

@@ -7,6 +7,8 @@
 #include "cluster/components.hpp"
 #include "dist/distmat.hpp"
 #include "dist/summa.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/runtime.hpp"
 #include "sparse/semiring.hpp"
 
@@ -15,6 +17,22 @@ namespace pastis::cluster {
 namespace {
 
 using sparse::SpMat;
+
+/// One iteration's telemetry sample (both MCL paths): the chaos gauge plus
+/// the per-iteration nnz / resident-bytes series as min-avg-max streams.
+void record_iteration(const obs::Telemetry& telem,
+                      const MclIterationStats& is) {
+  if (telem.metrics == nullptr) return;
+  auto& m = *telem.metrics;
+  m.counter("mcl.iterations_total").add(1.0);
+  m.gauge("mcl.chaos").set(is.chaos);
+  m.gauge("mcl.column_cap").set(static_cast<double>(is.column_cap));
+  m.min_avg_max("mcl.resident_bytes")
+      .add(static_cast<double>(is.resident_bytes));
+  m.min_avg_max("mcl.expansion_nnz")
+      .add(static_cast<double>(is.expansion_nnz));
+  m.min_avg_max("mcl.pruned_nnz").add(static_cast<double>(is.pruned_nnz));
+}
 
 /// Contiguous equal-row chunks for the per-column passes. Chunking is
 /// scheduling only: every row's output is computed identically and
@@ -445,6 +463,7 @@ Clustering markov_cluster_distributed(const SimilarityGraph& g,
     }
     is.pruned_nnz = pruned;
     is.chaos = chaos;
+    record_iteration(opt.telemetry, is);
     st.per_iteration.push_back(is);
     ++st.iterations;
     st.final_chaos = chaos;
@@ -481,11 +500,13 @@ Clustering markov_cluster(const SimilarityGraph& g, const MclOptions& opt,
 
   std::uint32_t cap = opt.max_column_entries;
   for (int it = 0; it < opt.max_iterations; ++it) {
+    obs::Span span(opt.telemetry.tracer, "mcl.iteration");
+    span.arg("iteration", static_cast<double>(it));
     // Expand: M ← M² on the configured kernel ((M²)ᵀ = Mᵀ·Mᵀ, so the
     // transposed storage multiplies by itself unchanged).
     const std::uint64_t products_before = st.spgemm.products;
     SpMat<float> E = sparse::spgemm<sparse::PlusTimes<float>>(
-        M, M, opt.kernel, &st.spgemm, pool, opt.max_threads);
+        M, M, opt.kernel, &st.spgemm, pool, opt.max_threads, opt.telemetry);
 
     MclIterationStats is;
     is.expansion_products = st.spgemm.products - products_before;
@@ -506,6 +527,10 @@ Clustering markov_cluster(const SimilarityGraph& g, const MclOptions& opt,
     M = inflate_prune(E, opt, cap, pool, opt.max_threads, &chaos);
     is.pruned_nnz = M.nnz();
     is.chaos = chaos;
+    span.arg("chaos", chaos);
+    span.arg("resident_bytes", static_cast<double>(is.resident_bytes));
+    span.arg("pruned_nnz", static_cast<double>(is.pruned_nnz));
+    record_iteration(opt.telemetry, is);
     st.per_iteration.push_back(is);
     ++st.iterations;
     st.final_chaos = chaos;

@@ -25,6 +25,7 @@
 
 #include "cluster/graph.hpp"
 #include "cluster/result.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/machine_model.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/thread_pool.hpp"
@@ -84,6 +85,15 @@ struct MclOptions {
   std::uint64_t rank_memory_budget_bytes = 0;
   /// Machine the distributed path charges (wire + SpGEMM + stream time).
   sim::MachineModel machine;
+
+  /// Telemetry sinks (null = off). With metrics, every iteration records
+  /// the chaos gauge and the resident-bytes / nnz min-avg-max series (and
+  /// the expansion inherits SpGEMM phase instrumentation); with a tracer,
+  /// each shared-path iteration is a measured "mcl.iteration" span carrying
+  /// chaos / nnz / resident-bytes args. Results are unaffected —
+  /// SimilaritySearch::run_and_cluster inherits PastisConfig::telemetry
+  /// here like the other knobs.
+  obs::Telemetry telemetry;
 };
 
 /// Per-iteration accounting (the exec-layer-compatible resident story).

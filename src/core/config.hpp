@@ -9,6 +9,7 @@
 #include "align/batch.hpp"
 #include "cluster/cluster.hpp"
 #include "kmer/alphabet.hpp"
+#include "obs/telemetry.hpp"
 #include "sparse/spgemm.hpp"
 
 namespace pastis::core {
@@ -112,6 +113,17 @@ struct PastisConfig {
   /// Edge weighting + extra cutoffs of the clustering graph (the search's
   /// own ANI/coverage filters already ran; these only tighten).
   cluster::GraphWeighting cluster_weighting;
+  // --- observability ---------------------------------------------------------
+  /// Telemetry sinks (non-owning; obs/telemetry.hpp). Null pointers — the
+  /// default — disable all instrumentation at a single branch per sample
+  /// site, keeping results and timings bit-identical to a build without
+  /// telemetry. Set metrics/tracer to a caller-owned
+  /// obs::MetricsRegistry / obs::Tracer to collect counters, latency
+  /// histograms and Chrome-trace spans across discovery, alignment,
+  /// serving and clustering. Stage layers inherit this (stream executor,
+  /// QueryEngine, SpGEMM, BatchAligner, MCL via run_and_cluster).
+  obs::Telemetry telemetry;
+
   /// MCL knobs for cluster::Method::kMarkov. Threads/memory budget left
   /// at defaults inherit spgemm_threads / exec_memory_budget_bytes (see
   /// run_and_cluster); mcl.kernel picks the expansion kernel directly

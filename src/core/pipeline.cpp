@@ -207,6 +207,7 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
       static_cast<std::size_t>(p));
 
   exec::OverlapTimeline timeline(p, depth);
+  timeline.set_tracer(cfg.telemetry.tracer, "pipeline.");
   exec::ResidentWindow resident(p, depth);
   exec::StreamPipeline* gate = nullptr;
 
@@ -348,6 +349,8 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
   exec_opt.depth = depth;
   exec_opt.memory_budget_bytes = cfg.exec_memory_budget_bytes;
   exec_opt.pool = pool_;
+  exec_opt.telemetry = cfg.telemetry;
+  exec_opt.trace_prefix = "pipeline";
   exec::StreamPipeline pipe(n_blocks, {discover, prune, align_stage},
                             exec_opt);
   gate = &pipe;
@@ -460,6 +463,7 @@ ClusteredSearchResult SimilaritySearch::run_and_cluster(
   // documented inheritance chain).
   cluster::MclOptions mcl = config_.mcl;
   if (mcl.max_threads == 0) mcl.max_threads = config_.spgemm_threads;
+  if (!mcl.telemetry.enabled()) mcl.telemetry = config_.telemetry;
   mcl.memory_budget_bytes = config_.effective_mcl_memory_budget();
   if (mcl.distributed && mcl.rank_memory_budget_bytes == 0) {
     mcl.rank_memory_budget_bytes = config_.effective_rank_memory_budget();

@@ -49,6 +49,7 @@ align::BatchAligner make_batch_aligner(const PastisConfig& cfg,
   bcfg.band_half_width = cfg.band_half_width;
   bcfg.xdrop = cfg.xdrop;
   bcfg.seed_len = static_cast<std::uint32_t>(cfg.k);
+  bcfg.telemetry = cfg.telemetry;
   return {cfg.make_scoring(), bcfg};
 }
 

@@ -90,7 +90,7 @@ template <sparse::SemiringLike SR>
     const sparse::SpMat<typename SR::right_type>& b, const PastisConfig& cfg,
     sparse::SpGemmStats* stats = nullptr, util::ThreadPool* pool = nullptr) {
   return sparse::spgemm<SR>(a, b, cfg.spgemm_kernel, stats, pool,
-                            cfg.spgemm_threads);
+                            cfg.spgemm_threads, cfg.telemetry);
 }
 
 /// SUMMA options for candidate discovery (the distributed analogue of

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pastis::exec {
 
 StreamPipeline::StreamPipeline(std::size_t n_items, std::vector<Stage> stages,
@@ -11,7 +14,9 @@ StreamPipeline::StreamPipeline(std::size_t n_items, std::vector<Stage> stages,
       stages_(std::move(stages)),
       depth_(std::max(1, opt.depth)),
       budget_(opt.memory_budget_bytes),
-      pool_(opt.pool) {
+      pool_(opt.pool),
+      telem_(opt.telemetry),
+      prefix_(std::move(opt.trace_prefix)) {
   if (stages_.empty()) {
     throw std::invalid_argument("StreamPipeline: need at least one stage");
   }
@@ -41,6 +46,31 @@ void StreamPipeline::run() {
   } else {
     run_pipelined();
   }
+  if (telem_.metrics != nullptr) {
+    telem_.metrics->counter(prefix_ + ".items_total")
+        .add(static_cast<double>(n_items_));
+    telem_.metrics->gauge(prefix_ + ".max_in_flight")
+        .set(static_cast<double>(max_in_flight_));
+  }
+}
+
+void StreamPipeline::run_stage(std::size_t s, std::size_t item,
+                               std::size_t slot, double in_flight,
+                               double resident_bytes) {
+  if (telem_.tracer == nullptr) {
+    stages_[s].run(item, slot);
+    return;
+  }
+  obs::Span span(telem_.tracer, prefix_ + "." + stages_[s].name);
+  span.arg("item", static_cast<double>(item));
+  span.arg("slot", static_cast<double>(slot));
+  if (s == 0) {
+    // Admission-stage spans carry the gate state at launch time, so a
+    // trace shows how full the pipeline ran.
+    span.arg("in_flight", in_flight);
+    span.arg("resident_bytes", resident_bytes);
+  }
+  stages_[s].run(item, slot);
 }
 
 void StreamPipeline::run_serial() {
@@ -48,7 +78,10 @@ void StreamPipeline::run_serial() {
   // the streaming schedule is tested against.
   max_in_flight_ = 1;
   for (std::size_t item = 0; item < n_items_; ++item) {
-    for (auto& stage : stages_) stage.run(item, item % slots_);
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      run_stage(s, item, item % slots_, 1.0,
+                static_cast<double>(resident_total_));
+    }
   }
 }
 
@@ -65,18 +98,46 @@ bool StreamPipeline::stage_ready(std::size_t s) const {
   return true;
 }
 
+void StreamPipeline::note_gate_state() {
+  // Count each blocked *episode* of the admission gate once, by reason
+  // (stage_ready(0) is evaluated on every scheduling pass, so counting
+  // there would overcount by an arbitrary factor).
+  if (telem_.metrics == nullptr) return;
+  bool depth_stall = false;
+  bool budget_stall = false;
+  if (!error_ && !running_[0] && done_[0] < n_items_) {
+    const std::size_t in_flight = done_[0] - done_.back();
+    if (in_flight >= static_cast<std::size_t>(depth_)) {
+      depth_stall = true;
+    } else if (budget_ > 0 && in_flight > 0 && resident_total_ > budget_) {
+      budget_stall = true;
+    }
+  }
+  if (depth_stall && !stalled_depth_) {
+    telem_.metrics->counter(prefix_ + ".gate_stalls_depth_total").add(1.0);
+  }
+  if (budget_stall && !stalled_budget_) {
+    telem_.metrics->counter(prefix_ + ".gate_stalls_budget_total").add(1.0);
+  }
+  stalled_depth_ = depth_stall;
+  stalled_budget_ = budget_stall;
+}
+
 void StreamPipeline::launch_ready() {
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     if (!stage_ready(s)) continue;
     const std::size_t item = done_[s];
     running_[s] = 1;
     ++active_tasks_;
+    double in_flight_now = 0.0;
     if (s == 0) {
       max_in_flight_ = std::max(max_in_flight_, done_[0] - done_.back() + 1);
+      in_flight_now = static_cast<double>(done_[0] - done_.back() + 1);
     }
-    pool_->submit([this, s, item] {
+    const double resident_now = static_cast<double>(resident_total_);
+    pool_->submit([this, s, item, in_flight_now, resident_now] {
       try {
-        stages_[s].run(item, item % slots_);
+        run_stage(s, item, item % slots_, in_flight_now, resident_now);
       } catch (...) {
         std::lock_guard lock(mutex_);
         if (!error_) error_ = std::current_exception();
@@ -95,6 +156,7 @@ void StreamPipeline::launch_ready() {
       if (active_tasks_ == 0) done_cv_.notify_all();
     });
   }
+  note_gate_state();
 }
 
 void StreamPipeline::run_pipelined() {

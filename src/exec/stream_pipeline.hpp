@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pastis::exec {
@@ -66,6 +67,16 @@ struct StreamOptions {
   /// Pool stage tasks run on when depth >= 2 (nullptr falls back to the
   /// serial oracle — there is nothing to overlap without workers).
   util::ThreadPool* pool = nullptr;
+  /// Telemetry sinks (null = off, the default). With a tracer, every stage
+  /// run becomes a measured span "<trace_prefix>.<stage name>" on the
+  /// running thread's track (admission spans carry in_flight /
+  /// resident_bytes args); with metrics, the executor counts retired items
+  /// and admission-gate stalls (depth vs memory budget, counted once per
+  /// blocked episode, not per scheduling pass).
+  obs::Telemetry telemetry;
+  /// Metric/span name prefix distinguishing concurrent pipelines
+  /// ("exec.block_loop", "serve", ...).
+  std::string trace_prefix = "exec";
 };
 
 class StreamPipeline {
@@ -95,12 +106,17 @@ class StreamPipeline {
   void run_pipelined();
   [[nodiscard]] bool stage_ready(std::size_t s) const;  // caller holds mutex_
   void launch_ready();                                  // caller holds mutex_
+  void note_gate_state();                               // caller holds mutex_
+  void run_stage(std::size_t s, std::size_t item, std::size_t slot,
+                 double in_flight, double resident_bytes);
 
   std::size_t n_items_;
   std::vector<Stage> stages_;
   int depth_;
   std::uint64_t budget_;
   util::ThreadPool* pool_;
+  obs::Telemetry telem_;
+  std::string prefix_;
   std::size_t slots_;
 
   // Scheduler state (guarded by mutex_).
@@ -112,6 +128,8 @@ class StreamPipeline {
   std::uint64_t resident_total_ = 0;
   std::size_t active_tasks_ = 0;
   std::size_t max_in_flight_ = 0;
+  bool stalled_depth_ = false;   // stage 0 currently blocked by the depth gate
+  bool stalled_budget_ = false;  // ... by the memory-budget gate
   std::exception_ptr error_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "obs/trace.hpp"
 
 namespace pastis::exec {
 
@@ -16,16 +19,34 @@ OverlapTimeline::OverlapTimeline(int nranks, int depth)
   }
 }
 
+void OverlapTimeline::set_tracer(obs::Tracer* tracer,
+                                 std::string span_prefix) {
+  tracer_ = tracer;
+  span_prefix_ = std::move(span_prefix);
+}
+
 void OverlapTimeline::add(std::span<const double> sparse_s,
                           std::span<const double> align_s) {
   assert(sparse_s.size() == static_cast<std::size_t>(nranks_));
   assert(align_s.size() == static_cast<std::size_t>(nranks_));
   const std::size_t b = items_;
+  const auto emit = [&](int rank, double disc_begin, double disc_end,
+                        double align_begin, double align_end) {
+    if (tracer_ == nullptr) return;
+    const double item = static_cast<double>(b);
+    tracer_->record_modeled(span_prefix_ + "discover", rank, disc_begin,
+                            disc_end, {{"item", item}});
+    tracer_->record_modeled(span_prefix_ + "align", rank, align_begin,
+                            align_end, {{"item", item}});
+  };
   for (int r = 0; r < nranks_; ++r) {
     const auto ri = static_cast<std::size_t>(r);
     if (depth_ == 1) {
       // Accumulated exactly like the serial loop's own timer: += S + A.
+      const double disc_begin = serial_[ri];
       serial_[ri] += sparse_s[ri] + align_s[ri];
+      emit(r, disc_begin, disc_begin + sparse_s[ri],
+           disc_begin + sparse_s[ri], serial_[ri]);
       continue;
     }
     const auto d = static_cast<std::size_t>(depth_);
@@ -34,10 +55,13 @@ void OverlapTimeline::add(std::span<const double> sparse_s,
     };
     const double prev_align = b > 0 ? ring(b - 1) : 0.0;
     const double gate = b >= d ? ring(b - d) : 0.0;
-    const double disc = std::max(disc_end_[ri], gate) + sparse_s[ri];
-    const double align = std::max(disc, prev_align) + align_s[ri];
+    const double disc_begin = std::max(disc_end_[ri], gate);
+    const double disc = disc_begin + sparse_s[ri];
+    const double align_begin = std::max(disc, prev_align);
+    const double align = align_begin + align_s[ri];
     disc_end_[ri] = disc;
     ring(b) = align;
+    emit(r, disc_begin, disc, align_begin, align);
   }
   ++items_;
 }

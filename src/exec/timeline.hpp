@@ -22,7 +22,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "obs/telemetry.hpp"
 
 namespace pastis::exec {
 
@@ -31,6 +34,14 @@ namespace pastis::exec {
 class OverlapTimeline {
  public:
   OverlapTimeline(int nranks, int depth);
+
+  /// Emits every subsequently added item's placed stage intervals as
+  /// modeled spans ("<span_prefix>discover" / "<span_prefix>align") on the
+  /// tracer's per-rank tracks (null = off, the default). The intervals are
+  /// the recurrence's own disc/align begin and end values, so the trace's
+  /// largest modeled end time equals max_makespan() exactly — the trace IS
+  /// the schedule, not a re-derivation of it.
+  void set_tracer(obs::Tracer* tracer, std::string span_prefix = "");
 
   /// Charges item `b`'s per-rank stage seconds (b = number of prior adds).
   /// Spans must have `nranks` entries; seconds are the already-dilated
@@ -49,6 +60,8 @@ class OverlapTimeline {
   int nranks_;
   int depth_;
   std::size_t items_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  std::string span_prefix_;
   std::vector<double> serial_;     // depth 1: running Σ (S + A) per rank
   std::vector<double> disc_end_;   // per rank
   std::vector<double> align_end_;  // per rank ring, depth entries each

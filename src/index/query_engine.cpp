@@ -9,6 +9,8 @@
 #include "exec/timeline.hpp"
 #include "kmer/codec.hpp"
 #include "kmer/nearest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/grid.hpp"
 
 namespace pastis::index {
@@ -243,6 +245,18 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
       [](CrossKmers& acc, const CrossKmers& v) { CrossSemiring::add(acc, v); });
   st.candidates = C.nnz();
   for (const auto& s : shard_stats) st.spgemm.merge(s);
+  if (cfg_.telemetry.metrics != nullptr) {
+    // Per-shard discovery-hit counters (shared and grid mode alike):
+    // which index shards this workload actually touches, and how hard.
+    auto& m = *cfg_.telemetry.metrics;
+    for (int s = 0; s < n_shards; ++s) {
+      const auto& ss = shard_stats[static_cast<std::size_t>(s)];
+      if (ss.out_nnz == 0) continue;
+      m.counter("serve.shard" + std::to_string(s) + ".candidates_total")
+          .add(static_cast<double>(ss.out_nnz));
+    }
+    m.counter("serve.candidates_total").add(static_cast<double>(C.nnz()));
+  }
 
   // ---- modeled discovery time (max serving rank) ---------------------------
   std::uint64_t aq_bytes = 0;
@@ -559,12 +573,31 @@ QueryEngine::Result QueryEngine::serve(
                         retire_distributed(slot);
                         window.add(slot.st.rank_workspace_bytes);
                       }
+                      if (cfg_.telemetry.metrics != nullptr) {
+                        // Per-batch modeled-latency histograms, sampled at
+                        // retirement (strictly ordered, so no locking
+                        // beyond the registry's own).
+                        auto& m = *cfg_.telemetry.metrics;
+                        m.counter("serve.batches_total").add(1.0);
+                        m.counter("serve.queries_total")
+                            .add(static_cast<double>(slot.st.n_queries));
+                        m.counter("serve.aligned_pairs_total")
+                            .add(static_cast<double>(slot.st.aligned_pairs));
+                        m.counter("serve.hits_total")
+                            .add(static_cast<double>(slot.st.hits));
+                        m.histogram("serve.batch_sparse_seconds")
+                            .observe(slot.st.t_sparse);
+                        m.histogram("serve.batch_align_seconds")
+                            .observe(slot.st.t_align);
+                      }
                       st.batches[b] = std::move(slot.st);
                     }};
   exec::StreamOptions exec_opt;
   exec_opt.depth = depth;
   exec_opt.memory_budget_bytes = cfg_.exec_memory_budget_bytes;
   exec_opt.pool = pool_;
+  exec_opt.telemetry = cfg_.telemetry;
+  exec_opt.trace_prefix = "serve";
   exec::StreamPipeline pipe(nb, {discover, align_stage}, exec_opt);
   gate = &pipe;
   slots.resize(pipe.slot_count());
@@ -580,8 +613,13 @@ QueryEngine::Result QueryEngine::serve(
     const double dad = st.preblocking ? model_.preblock_align_dilation : 1.0;
     if (rt_ != nullptr) {
       // Distributed: the SAME recurrence, per rank — the slowest rank's
-      // pipeline makespan is the serve time (exec::OverlapTimeline).
+      // pipeline makespan is the serve time (exec::OverlapTimeline). With
+      // a tracer, the recurrence also emits each batch's placed stage
+      // intervals as modeled spans on the per-rank tracks (fed from the
+      // batches' RankClock frames via rank_sparse_s/rank_align_s), so the
+      // trace's modeled end IS this makespan.
       exec::OverlapTimeline timeline(p, depth);
+      timeline.set_tracer(cfg_.telemetry.tracer, "serve.");
       std::vector<double> sparse_s(static_cast<std::size_t>(p));
       std::vector<double> align_s(static_cast<std::size_t>(p));
       for (std::size_t b = 0; b < nb; ++b) {
@@ -594,12 +632,17 @@ QueryEngine::Result QueryEngine::serve(
       }
       st.t_serve = timeline.max_makespan();
     } else {
-      std::vector<double> sparse_s(nb), align_s(nb);
+      // Shared path: the same OverlapTimeline loop pipelined_makespan
+      // wraps (bit-identical arithmetic), inlined so the recurrence can
+      // emit the single modeled "rank 0" track when a tracer is present.
+      exec::OverlapTimeline timeline(1, depth);
+      timeline.set_tracer(cfg_.telemetry.tracer, "serve.");
       for (std::size_t b = 0; b < nb; ++b) {
-        sparse_s[b] = st.batches[b].t_sparse * dsd;
-        align_s[b] = st.batches[b].t_align * dad;
+        const double s = st.batches[b].t_sparse * dsd;
+        const double a = st.batches[b].t_align * dad;
+        timeline.add({&s, 1}, {&a, 1});
       }
-      st.t_serve = exec::pipelined_makespan(sparse_s, align_s, depth);
+      st.t_serve = timeline.makespan(0);
     }
   }
 

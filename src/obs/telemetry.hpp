@@ -1,0 +1,29 @@
+// Telemetry injection point: a pair of non-owning sink pointers threaded
+// through PastisConfig (and the option structs that inherit from it) into
+// every instrumented layer. Both sinks default to null — the telemetry-off
+// configuration — and every sample site guards on that with a single
+// branch, so disabled runs stay bit-identical to (and within noise of) the
+// untelemetered code. This header is deliberately forward-declaration-only
+// so config headers can include it without pulling in the registry/tracer
+// machinery.
+#pragma once
+
+namespace pastis::obs {
+
+class MetricsRegistry;
+class Tracer;
+
+struct Telemetry {
+  /// Counters / gauges / latency histograms / min-avg-max accumulators
+  /// (thread-safe, snapshottable mid-run). Null disables metric sampling.
+  MetricsRegistry* metrics = nullptr;
+  /// Chrome-trace-event span recorder (measured thread tracks + modeled
+  /// rank tracks). Null disables span recording.
+  Tracer* tracer = nullptr;
+
+  [[nodiscard]] bool enabled() const {
+    return metrics != nullptr || tracer != nullptr;
+  }
+};
+
+}  // namespace pastis::obs

@@ -1,0 +1,124 @@
+// Stage/span tracing with Chrome trace-event JSON export.
+//
+// Two kinds of time exist in this codebase (util/timer.hpp): measured
+// wall-clock of the host process, and modeled seconds charged against the
+// MachineModel. The tracer keeps them on disjoint tracks so they can never
+// be confused in a viewer:
+//   * pid 1 "measured (host threads)" — one track per worker thread; spans
+//     are real wall-clock intervals (Span RAII), so the streaming
+//     executor's cross-stage overlap (block b+1's discovery running while
+//     block b aligns) is literally visible;
+//   * pid 2 "modeled (simulated ranks)" — one track per simulated rank;
+//     spans are modeled-second intervals placed by the
+//     exec::OverlapTimeline recurrence, so the §VI-C pipeline schedule
+//     (and failover / imbalance across ranks) can be read off the same
+//     timeline.
+// Export is the Chrome trace-event JSON array format: open the file in
+// chrome://tracing or https://ui.perfetto.dev. All methods are
+// thread-safe; recording with a null Tracer* (via obs::Span) is a no-op.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pastis::obs {
+
+/// One numeric span argument (rendered in the viewer's args pane).
+struct TraceArg {
+  std::string key;
+  double value = 0.0;
+};
+
+class Tracer {
+ public:
+  /// Track (pid) constants of the two time domains.
+  static constexpr int kMeasuredPid = 1;
+  static constexpr int kModeledPid = 2;
+
+  Tracer();
+
+  /// Microseconds of measured wall-clock since the tracer was constructed.
+  [[nodiscard]] double now_us() const;
+
+  /// Records one complete ("ph":"X") measured span on the calling thread's
+  /// track. Timestamps come from now_us().
+  void record_measured(std::string name, double ts_us, double dur_us,
+                       std::vector<TraceArg> args = {});
+
+  /// Records one complete modeled span on rank `rank`'s track; t0/t1 are
+  /// modeled seconds on the simulated timeline.
+  void record_modeled(std::string name, int rank, double t0_s, double t1_s,
+                      std::vector<TraceArg> args = {});
+
+  /// Recorded event count (tests / sanity checks).
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Largest modeled end timestamp recorded so far, in seconds — by
+  /// construction equal to the OverlapTimeline makespan the modeled spans
+  /// were placed by.
+  [[nodiscard]] double modeled_end_seconds() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}) with process/thread
+  /// metadata naming the measured and modeled tracks.
+  [[nodiscard]] std::string to_json() const;
+  void write(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    int pid = kMeasuredPid;
+    int tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::vector<TraceArg> args;
+  };
+
+  /// Small stable per-thread track id (0, 1, 2, ... in first-seen order).
+  int thread_track();
+
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::unordered_map<std::thread::id, int> thread_ids_;
+  int max_rank_track_ = -1;
+  double modeled_end_us_ = 0.0;
+};
+
+/// RAII measured span: records [construction, destruction) on the calling
+/// thread's measured track. A null tracer makes every operation a no-op —
+/// the single-branch telemetry-off path.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name)
+      : tracer_(tracer),
+        name_(tracer != nullptr ? std::move(name) : std::string()),
+        t0_us_(tracer != nullptr ? tracer->now_us() : 0.0) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(std::string key, double value) {
+    if (tracer_ != nullptr) args_.push_back({std::move(key), value});
+  }
+
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->record_measured(std::move(name_), t0_us_,
+                               tracer_->now_us() - t0_us_, std::move(args_));
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  double t0_us_;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace pastis::obs

@@ -47,6 +47,9 @@
 #include "kmer/codec.hpp"
 #include "kmer/extract.hpp"
 #include "kmer/nearest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "sim/grid.hpp"
 #include "sim/machine_model.hpp"
@@ -56,6 +59,7 @@
 #include "sparse/spgemm.hpp"
 #include "sparse/triple.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/memory.hpp"
 #include "util/rng.hpp"

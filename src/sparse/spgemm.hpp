@@ -19,11 +19,15 @@
 // All are exact over any semiring; tests assert they agree.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/semiring.hpp"
 #include "util/thread_pool.hpp"
@@ -345,17 +349,45 @@ template <SemiringLike SR>
 [[nodiscard]] SpMat<typename SR::value_type> spgemm_hash2p(
     const SpMat<typename SR::left_type>& A,
     const SpMat<typename SR::right_type>& B, SpGemmStats* stats = nullptr,
-    util::ThreadPool* pool = nullptr, int max_threads = 0) {
+    util::ThreadPool* pool = nullptr, int max_threads = 0,
+    const obs::Telemetry& telem = {}) {
   using V = typename SR::value_type;
   if (A.ncols() != B.nrows()) {
     throw std::invalid_argument("spgemm: inner dimensions disagree");
   }
   const std::size_t nka = A.n_nonempty_rows();
+  // Flop/nnz totals land in the registry rather than on SpGemmStats:
+  // SpGemmStats instances are compared across kernels/schedules in the
+  // cross-check tests, so it must not grow measured-time fields.
   auto finish_stats = [&](std::uint64_t products, std::uint64_t out_nnz) {
     if (stats != nullptr) {
       stats->products += products;
       stats->out_nnz += out_nnz;
       ++stats->calls;
+    }
+    if (telem.metrics != nullptr) {
+      telem.metrics->counter("spgemm.calls_total").add(1.0);
+      telem.metrics->counter("spgemm.flops_total")
+          .add(static_cast<double>(products));
+      telem.metrics->counter("spgemm.out_nnz_total")
+          .add(static_cast<double>(out_nnz));
+    }
+  };
+  // Runs one kernel phase under a measured span + a latency histogram
+  // named "<name>_seconds"; telemetry off is a plain call.
+  auto timed_phase = [&](const char* name, auto&& fn) {
+    if (!telem.enabled()) {
+      fn();
+      return;
+    }
+    obs::Span span(telem.tracer, name);
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    if (telem.metrics != nullptr) {
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      telem.metrics->histogram(std::string(name) + "_seconds").observe(s);
     }
   };
   if (nka == 0 || B.n_nonempty_rows() == 0) {
@@ -415,23 +447,25 @@ template <SemiringLike SR>
   // exceed the cap just rehash a few times (keys only, cheap).
   constexpr std::size_t kSymbolicSizeCap = 4096;
   std::vector<Offset> row_nnz(nka, 0);
-  run_chunks([&](std::size_t c) {
-    detail::HashAccumulator<V> acc;  // keys only; values untouched
-    for (std::size_t ka = bounds[c]; ka < bounds[c + 1]; ++ka) {
-      const std::uint64_t f = flops[ka + 1] - flops[ka];
-      if (f == 0) continue;
-      acc.begin_row(
-          std::min(static_cast<std::size_t>(f), kSymbolicSizeCap));
-      for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
-        const std::uint32_t kb = kb_of[o];
-        if (kb == kMissSlot) continue;
-        for (Offset ob = B.row_begin(kb); ob < B.row_end(kb); ++ob) {
-          acc.insert(B.col(ob));
+  timed_phase("spgemm.symbolic", [&] {
+    run_chunks([&](std::size_t c) {
+      detail::HashAccumulator<V> acc;  // keys only; values untouched
+      for (std::size_t ka = bounds[c]; ka < bounds[c + 1]; ++ka) {
+        const std::uint64_t f = flops[ka + 1] - flops[ka];
+        if (f == 0) continue;
+        acc.begin_row(
+            std::min(static_cast<std::size_t>(f), kSymbolicSizeCap));
+        for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+          const std::uint32_t kb = kb_of[o];
+          if (kb == kMissSlot) continue;
+          for (Offset ob = B.row_begin(kb); ob < B.row_end(kb); ++ob) {
+            acc.insert(B.col(ob));
+          }
         }
+        row_nnz[ka] = static_cast<Offset>(acc.row_size());
+        acc.clear_row();
       }
-      row_nnz[ka] = static_cast<Offset>(acc.row_size());
-      acc.clear_row();
-    }
+    });
   });
 
   // ---- exact prefix sum → pre-sized output arrays --------------------------
@@ -444,22 +478,24 @@ template <SemiringLike SR>
   std::vector<V> out_vals(out_nnz);
 
   // ---- numeric pass: direct DCSR assembly ----------------------------------
-  run_chunks([&](std::size_t c) {
-    detail::HashAccumulator<V> acc;
-    for (std::size_t ka = bounds[c]; ka < bounds[c + 1]; ++ka) {
-      if (row_nnz[ka] == 0) continue;
-      acc.begin_row(static_cast<std::size_t>(row_nnz[ka]));
-      for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
-        const std::uint32_t kb = kb_of[o];
-        if (kb == kMissSlot) continue;
-        const auto& aval = A.val(o);
-        for (Offset ob = B.row_begin(kb); ob < B.row_end(kb); ++ob) {
-          acc.template add<SR>(B.col(ob), SR::multiply(aval, B.val(ob)));
+  timed_phase("spgemm.numeric", [&] {
+    run_chunks([&](std::size_t c) {
+      detail::HashAccumulator<V> acc;
+      for (std::size_t ka = bounds[c]; ka < bounds[c + 1]; ++ka) {
+        if (row_nnz[ka] == 0) continue;
+        acc.begin_row(static_cast<std::size_t>(row_nnz[ka]));
+        for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+          const std::uint32_t kb = kb_of[o];
+          if (kb == kMissSlot) continue;
+          const auto& aval = A.val(o);
+          for (Offset ob = B.row_begin(kb); ob < B.row_end(kb); ++ob) {
+            acc.template add<SR>(B.col(ob), SR::multiply(aval, B.val(ob)));
+          }
         }
+        acc.extract_sorted_to(out_cols.data() + row_off[ka],
+                              out_vals.data() + row_off[ka]);
       }
-      acc.extract_sorted_to(out_cols.data() + row_off[ka],
-                            out_vals.data() + row_off[ka]);
-    }
+    });
   });
 
   // ---- directory of nonempty output rows -----------------------------------
@@ -552,13 +588,15 @@ template <SemiringLike SR>
 }
 
 /// Kernel-dispatching entry point. `pool`/`max_threads` only apply to the
-/// two-phase kernel (the serial oracles ignore them).
+/// two-phase kernel (the serial oracles ignore them); `telem` records
+/// phase timings and flop totals for the two-phase kernel only (the
+/// oracles stay uninstrumented — they exist to be compared against).
 template <SemiringLike SR>
 [[nodiscard]] SpMat<typename SR::value_type> spgemm(
     const SpMat<typename SR::left_type>& A,
     const SpMat<typename SR::right_type>& B, SpGemmKernel kernel,
     SpGemmStats* stats = nullptr, util::ThreadPool* pool = nullptr,
-    int max_threads = 0) {
+    int max_threads = 0, const obs::Telemetry& telem = {}) {
   switch (kernel) {
     case SpGemmKernel::kHash:
       return spgemm_hash<SR>(A, B, stats);
@@ -567,7 +605,7 @@ template <SemiringLike SR>
     case SpGemmKernel::kHash2Phase:
       break;
   }
-  return spgemm_hash2p<SR>(A, B, stats, pool, max_threads);
+  return spgemm_hash2p<SR>(A, B, stats, pool, max_threads, telem);
 }
 
 /// Merges partial results (e.g. the √p SUMMA stage outputs) into one matrix,

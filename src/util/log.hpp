@@ -13,6 +13,25 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// Parses a level name ("debug", "info", "warn", "error", "off",
+/// case-insensitive); unknown names return `fallback`.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name,
+                                       LogLevel fallback);
+
+/// Applies the PASTIS_LOG_LEVEL environment variable to the global
+/// threshold (no-op when unset or unparsable). Runs automatically at
+/// process startup; exposed so tests can drive it directly.
+void init_log_level_from_env();
+
+/// Small dense id of the calling thread (0, 1, 2, ... in first-log order),
+/// the `tid` every log line is prefixed with.
+[[nodiscard]] int log_thread_id();
+
+/// The formatted line log_line() writes, without the trailing newline:
+/// "<ISO-8601 UTC timestamp> [pastis LEVEL tid N] message".
+[[nodiscard]] std::string format_log_line(LogLevel level,
+                                          const std::string& message);
+
 /// Thread-safe write of one formatted line to stderr.
 void log_line(LogLevel level, const std::string& message);
 

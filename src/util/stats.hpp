@@ -45,7 +45,17 @@ struct MinAvgMax {
     return (imbalance() - 1.0) * 100.0;
   }
 
+  /// Combines two accumulators as if their streams had been interleaved.
+  /// Empty sides are explicit no-ops/adoptions so an empty accumulator's
+  /// ±infinity sentinels never flow through min/max arithmetic — exporters
+  /// (obs::MetricsRegistry JSON) additionally emit null for min/max when
+  /// count == 0, since JSON has no Infinity literal.
   void merge(const MinAvgMax& o) {
+    if (o.count == 0) return;
+    if (count == 0) {
+      *this = o;
+      return;
+    }
     min = std::min(min, o.min);
     max = std::max(max, o.max);
     sum += o.sum;

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
 #include "util/format.hpp"
+#include "util/log.hpp"
 #include "util/memory.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -71,6 +74,49 @@ TEST(MinAvgMax, MergeMatchesCombinedStream) {
   EXPECT_DOUBLE_EQ(a.min, c.min);
   EXPECT_DOUBLE_EQ(a.max, c.max);
   EXPECT_DOUBLE_EQ(a.avg(), c.avg());
+}
+
+TEST(MinAvgMax, MergeEmptyIsNoOp) {
+  // Merging an empty accumulator must not poison min/max with the
+  // ±infinity init sentinels (they would serialize as Infinity, which
+  // JSON exports cannot represent).
+  pu::MinAvgMax a, empty;
+  a.add(3.0);
+  a.add(7.0);
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.min, 3.0);
+  EXPECT_DOUBLE_EQ(a.max, 7.0);
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_TRUE(std::isfinite(a.min));
+  EXPECT_TRUE(std::isfinite(a.max));
+}
+
+TEST(MinAvgMax, MergeIntoEmptyAdopts) {
+  pu::MinAvgMax empty, b;
+  b.add(2.0);
+  b.add(10.0);
+  empty.merge(b);
+  EXPECT_DOUBLE_EQ(empty.min, 2.0);
+  EXPECT_DOUBLE_EQ(empty.max, 10.0);
+  EXPECT_DOUBLE_EQ(empty.avg(), 6.0);
+  EXPECT_EQ(empty.count, 2u);
+}
+
+TEST(MinAvgMax, MergeBothEmptyStaysEmpty) {
+  pu::MinAvgMax a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count, 0u);
+  EXPECT_DOUBLE_EQ(a.avg(), 0.0);
+  EXPECT_DOUBLE_EQ(a.imbalance(), 1.0);
+  EXPECT_DOUBLE_EQ(a.imbalance_pct(), 0.0);
+}
+
+TEST(MinAvgMax, ImbalancePct) {
+  pu::MinAvgMax m;
+  m.add(10.0);
+  m.add(10.0);
+  m.add(16.0);  // avg 12, max 16 -> imbalance 4/3 -> 33.3%
+  EXPECT_NEAR(m.imbalance_pct(), 100.0 / 3.0, 1e-9);
 }
 
 TEST(ScalingEfficiency, StrongAndWeak) {
@@ -242,4 +288,69 @@ TEST(Memory, LogicalTracksPeak) {
 TEST(Memory, RssReadable) {
   EXPECT_GT(pu::current_rss_bytes(), 0u);
   EXPECT_GE(pu::peak_rss_bytes(), pu::current_rss_bytes() / 2);
+}
+
+// RAII save/restore of the global log level, so these tests never leak a
+// threshold change into the rest of the suite.
+struct LogLevelGuard {
+  pu::LogLevel saved = pu::log_level();
+  ~LogLevelGuard() { pu::set_log_level(saved); }
+};
+
+TEST(Log, ParseLevelNames) {
+  const auto fb = pu::LogLevel::kWarn;
+  EXPECT_EQ(pu::parse_log_level("debug", fb), pu::LogLevel::kDebug);
+  EXPECT_EQ(pu::parse_log_level("info", fb), pu::LogLevel::kInfo);
+  EXPECT_EQ(pu::parse_log_level("warn", fb), pu::LogLevel::kWarn);
+  EXPECT_EQ(pu::parse_log_level("warning", fb), pu::LogLevel::kWarn);
+  EXPECT_EQ(pu::parse_log_level("error", fb), pu::LogLevel::kError);
+  EXPECT_EQ(pu::parse_log_level("off", fb), pu::LogLevel::kOff);
+  EXPECT_EQ(pu::parse_log_level("none", fb), pu::LogLevel::kOff);
+  // Case-insensitive; unknown names fall back.
+  EXPECT_EQ(pu::parse_log_level("DEBUG", fb), pu::LogLevel::kDebug);
+  EXPECT_EQ(pu::parse_log_level("Info", fb), pu::LogLevel::kInfo);
+  EXPECT_EQ(pu::parse_log_level("verbose", fb), fb);
+  EXPECT_EQ(pu::parse_log_level("", fb), fb);
+}
+
+TEST(Log, EnvVarSetsLevel) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("PASTIS_LOG_LEVEL", "error", 1), 0);
+  pu::init_log_level_from_env();
+  EXPECT_EQ(pu::log_level(), pu::LogLevel::kError);
+
+  // Unparsable values leave the threshold alone.
+  pu::set_log_level(pu::LogLevel::kInfo);
+  ASSERT_EQ(setenv("PASTIS_LOG_LEVEL", "shouting", 1), 0);
+  pu::init_log_level_from_env();
+  EXPECT_EQ(pu::log_level(), pu::LogLevel::kInfo);
+
+  // Unset: also a no-op.
+  ASSERT_EQ(unsetenv("PASTIS_LOG_LEVEL"), 0);
+  pu::set_log_level(pu::LogLevel::kWarn);
+  pu::init_log_level_from_env();
+  EXPECT_EQ(pu::log_level(), pu::LogLevel::kWarn);
+}
+
+TEST(Log, FormatLinePrefix) {
+  const std::string line = pu::format_log_line(pu::LogLevel::kInfo, "hello");
+  // ISO-8601 UTC timestamp: "YYYY-MM-DDTHH:MM:SS.mmmZ ...".
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+  // Tag carries the level name and the dense thread id.
+  EXPECT_NE(line.find("[pastis INFO "), std::string::npos);
+  EXPECT_NE(line.find("tid "), std::string::npos);
+  EXPECT_NE(line.find("] hello"), std::string::npos);
+  // The calling thread's id is stable across calls.
+  const std::string again = pu::format_log_line(pu::LogLevel::kError, "x");
+  EXPECT_NE(again.find("ERROR"), std::string::npos);
+  const auto tid = pu::log_thread_id();
+  EXPECT_GE(tid, 0);
+  EXPECT_EQ(tid, pu::log_thread_id());
 }
