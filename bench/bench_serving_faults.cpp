@@ -1,0 +1,190 @@
+// Fault-tolerant serving bench: the same query stream served through the
+// rank-resident grid engine under planned rank faults (sim/fault.hpp).
+// Two hard gates anchor the fault-tolerance contract in CI smoke runs:
+//   (a) with replication 2, a single rank death loses ZERO hits and the
+//       failover/recovery makespan overhead stays bounded;
+//   (b) with replication 1, the stream degrades to EXACTLY the dead
+//       primary's shards — per batch, from the death batch on — and the
+//       reported completeness matches the degraded cell count.
+// Transient faults (slowdown + retry ladder, message drops) ride along as
+// latency-only rows. Emits BENCH_faults.json.
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "sim/fault.hpp"
+
+using namespace pastis;
+using namespace pastis::bench;
+
+namespace {
+
+struct Point {
+  std::string name;
+  std::uint64_t hits = 0;
+  double t_serve = 0.0;
+  double completeness = 1.0;
+  std::uint64_t failover_shards = 0;
+  std::uint64_t retries = 0;
+  double recovery_s = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n_refs = static_cast<std::uint32_t>(args.i("refs", 1200));
+  const auto n_queries = static_cast<std::uint32_t>(args.i("queries", 240));
+  const auto n_batches = static_cast<std::size_t>(args.i("batches", 6));
+  const int n_shards = static_cast<int>(args.i("shards", 12));
+  const int side = static_cast<int>(args.i("side", 2));
+  const int dead_rank = static_cast<int>(args.i("dead_rank", 1));
+  const auto death_batch = static_cast<std::uint64_t>(args.i("death_batch", 2));
+  // Gate (a)'s makespan bound: failover + recovery may dilate the modeled
+  // serve time by at most this factor.
+  const double overhead_cap = args.d("overhead_cap", 1.5);
+  const std::string out =
+      args.s("out", pastis::bench::out_path("BENCH_faults.json"));
+
+  util::banner("fault-tolerant serving — failover, retries, degradation");
+  const auto ds = make_dataset(n_refs + n_queries, 17);
+  std::vector<std::string> refs(ds.seqs.begin(), ds.seqs.begin() + n_refs);
+  std::vector<std::string> queries(ds.seqs.begin() + n_refs, ds.seqs.end());
+  std::vector<std::vector<std::string>> batches(n_batches);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    batches[i * n_batches / queries.size()].push_back(queries[i]);
+  }
+
+  core::PastisConfig cfg;
+  const sim::MachineModel model;
+  const auto idx = index::KmerIndex::build(refs, cfg, n_shards);
+  const std::string kill_plan = "kill@b" + std::to_string(death_batch) +
+                                ":r" + std::to_string(dead_rank);
+  std::printf(
+      "refs %s   queries %s in %zu batches   shards %d   grid %dx%d\n"
+      "fault plan \"%s\"\n\n",
+      util::with_commas(n_refs).c_str(), util::with_commas(n_queries).c_str(),
+      n_batches, n_shards, side, side, kill_plan.c_str());
+
+  const auto serve = [&](const std::string& plan, int replication,
+                         double retry_timeout_s) {
+    core::PastisConfig c = cfg;
+    if (!plan.empty()) c.fault_plan = sim::FaultPlan::parse(plan);
+    c.retry.timeout_s = retry_timeout_s;
+    index::QueryEngine::Options opt;
+    opt.grid_side = side;
+    opt.replication = replication;
+    index::QueryEngine engine(idx, c, model, opt);
+    return engine.serve(batches);
+  };
+
+  ShapeChecks sc;
+  std::vector<Point> points;
+  util::TextTable t({"scenario", "hits", "t_serve (s)", "overhead",
+                     "completeness", "failover", "retries", "recovery (s)"});
+  const auto row = [&](const std::string& name,
+                       const index::QueryEngine::Result& r, double base_t) {
+    Point p;
+    p.name = name;
+    p.hits = r.stats.hits;
+    p.t_serve = r.stats.t_serve;
+    p.completeness = r.stats.completeness;
+    p.failover_shards = r.stats.failover_shards;
+    p.retries = r.stats.retries;
+    p.recovery_s = r.stats.recovery_seconds;
+    t.add_row({name, util::with_commas(p.hits), f4(p.t_serve),
+               base_t > 0.0 ? f4(p.t_serve / base_t) + "x" : "-",
+               f4(p.completeness), std::to_string(p.failover_shards),
+               std::to_string(p.retries), f4(p.recovery_s)});
+    points.push_back(p);
+    return p;
+  };
+
+  // ---- gate (a): replication 2, one death, zero loss -----------------------
+  const auto clean2 = serve("", 2, 0.0);
+  row("repl 2, no faults", clean2, 0.0);
+  const auto kill2 = serve(kill_plan, 2, 0.0);
+  const auto p2 = row("repl 2, " + kill_plan, kill2, clean2.stats.t_serve);
+  const bool zero_loss = kill2.hits == clean2.hits;
+  sc.check(zero_loss,
+           "replication 2: single rank death loses zero hits (hard gate)");
+  sc.check(kill2.stats.rank_deaths == 1 && p2.failover_shards > 0 &&
+               p2.recovery_s > 0.0,
+           "death surfaced, replicas promoted, recovery charged");
+  const bool bounded = p2.t_serve <= overhead_cap * clean2.stats.t_serve;
+  sc.check(bounded, "failover makespan overhead <= " + f4(overhead_cap) +
+                        "x the fault-free serve (hard gate; " +
+                        f4(p2.t_serve / clean2.stats.t_serve) + "x)");
+
+  // ---- gate (b): replication 1 degrades to exactly the dead shards ---------
+  const auto clean1 = serve("", 1, 0.0);
+  row("repl 1, no faults", clean1, 0.0);
+  const auto kill1 = serve(kill_plan, 1, 0.0);
+  const auto p1 = row("repl 1, " + kill_plan, kill1, clean1.stats.t_serve);
+  const auto placement = index::ShardPlacement::balance(
+      idx.shard_bytes(), side * side, 1);
+  const auto lost = placement.shards_of(dead_rank);
+  bool exact = !lost.empty();
+  for (std::size_t b = 0; b < kill1.stats.batches.size(); ++b) {
+    const auto& degraded = kill1.stats.batches[b].degraded_shards;
+    exact = exact && (b < death_batch ? degraded.empty() : degraded == lost);
+  }
+  sc.check(exact,
+           "replication 1: every batch >= the death batch degrades to "
+           "EXACTLY the dead primary's " +
+               std::to_string(lost.size()) + " shards (hard gate)");
+  const double want_completeness =
+      1.0 - static_cast<double>((n_batches - death_batch) * lost.size()) /
+                (static_cast<double>(n_batches) *
+                 static_cast<double>(n_shards));
+  sc.check(p1.completeness == want_completeness && p1.completeness < 1.0,
+           "completeness reports the degraded cell fraction (" +
+               f4(p1.completeness) + ")");
+  sc.check(kill1.hits.size() <= clean1.hits.size(),
+           "degraded stream returns partial results, never extra hits");
+
+  // ---- transient faults: latency-only --------------------------------------
+  const auto slow = serve("slow@b0:r0x4+3", 1, 0.001);
+  const auto ps = row("repl 1, slow@b0:r0x4+3", slow, clean1.stats.t_serve);
+  sc.check(slow.hits == clean1.hits && ps.retries > 0,
+           "slow rank retries through the backoff ladder, hits unchanged");
+  const auto drop = serve("drop@b1:r2+2", 1, 0.0);
+  row("repl 1, drop@b1:r2+2", drop, clean1.stats.t_serve);
+  sc.check(drop.hits == clean1.hits,
+           "dropped messages resend, hits unchanged");
+  t.print();
+
+  util::banner("shape checks");
+  sc.summary();
+
+  const bool ok = zero_loss && bounded && exact;
+  {
+    std::ofstream os(out);
+    os << "{\n"
+       << "  \"bench\": \"serving_faults\",\n"
+       << "  \"refs\": " << n_refs << ",\n"
+       << "  \"queries\": " << n_queries << ",\n"
+       << "  \"shards\": " << n_shards << ",\n"
+       << "  \"grid_side\": " << side << ",\n"
+       << "  \"fault_plan\": \"" << kill_plan << "\",\n"
+       << "  \"zero_loss_at_replication_2\": " << (zero_loss ? "true" : "false")
+       << ",\n"
+       << "  \"bounded_overhead\": " << (bounded ? "true" : "false") << ",\n"
+       << "  \"exact_degradation_at_replication_1\": "
+       << (exact ? "true" : "false") << ",\n"
+       << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      os << "    {\"name\": \"" << p.name << "\", \"hits\": " << p.hits
+         << ", \"t_serve_seconds\": " << p.t_serve
+         << ", \"completeness\": " << p.completeness
+         << ", \"failover_shards\": " << p.failover_shards
+         << ", \"retries\": " << p.retries
+         << ", \"recovery_seconds\": " << p.recovery_s << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return ok ? 0 : 1;
+}

@@ -8,8 +8,10 @@
 
 #include "align/batch.hpp"
 #include "cluster/cluster.hpp"
+#include "exec/retry.hpp"
 #include "kmer/alphabet.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/fault.hpp"
 #include "sparse/spgemm.hpp"
 
 namespace pastis::core {
@@ -100,11 +102,29 @@ struct PastisConfig {
   /// through the chain documented at effective_rank_memory_budget().
   std::uint64_t rank_memory_budget_bytes = 0;
   /// Replication factor of the serving shard placement: each shard stays
-  /// resident on this many distinct ranks (availability). Modeled as extra
-  /// resident bytes on the replica ranks and a smaller query-broadcast
-  /// team (only one replica set must receive the batch); results never
-  /// change — replicas do not compute.
+  /// resident on this many distinct ranks. Replicas cost resident bytes on
+  /// their ranks and shrink the modeled query-broadcast team — and under a
+  /// fault plan they TAKE OVER a dead primary's shards (failover), so with
+  /// replication >= 2 a single rank death loses zero hits. Without faults
+  /// replicas never compute and results are unchanged.
   int shard_replication = 1;
+
+  // --- fault tolerance (sim/fault.hpp, exec/retry.hpp) -----------------------
+  /// Planned rank faults (deaths / slowdowns / message drops) injected
+  /// into the simulated runtime. Consumed by grid-mode serving
+  /// (QueryEngine failover + graceful degradation; batch-ordinal
+  /// triggers) and by sequential SimRuntime super-step paths
+  /// (advance_to_batch / apply_time_faults). Empty (the default) keeps
+  /// every output bit-identical to a build without the fault layer;
+  /// ignored by the single-address-space serve (there is no rank to
+  /// fail). See docs/ARCHITECTURE.md for the plan grammar.
+  sim::FaultPlan fault_plan;
+  /// Retry/timeout/backoff policy for rank tasks in the serving stream:
+  /// transient slow-rank faults retry (per-attempt timeout, exponential
+  /// backoff with deterministic config-seeded jitter), permanent deaths
+  /// escalate to replica failover. timeout_s = 0 (default) disables
+  /// timeouts; the policy only ever engages under a non-empty fault plan.
+  exec::RetryPolicy retry;
 
   // --- clustering (post-align stage; §III use case 2) -----------------------
   /// Cluster the similarity graph after the block loop retires

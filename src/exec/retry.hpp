@@ -1,0 +1,88 @@
+// Retry / timeout / backoff policy for rank tasks in the streaming
+// executor's serving path.
+//
+// Fault taxonomy (sim/fault.hpp) maps onto the policy like a production
+// RPC stack:
+//   * transient slow-rank faults RETRY: an attempt whose modeled task time
+//     exceeds `timeout_s` is abandoned, the caller backs off
+//     (exponential, with deterministic config-seeded jitter) and
+//     re-dispatches; after `max_attempts` the caller stops timing out and
+//     waits the task out — slowness degrades latency, never results;
+//   * dropped messages RETRY once per send: the wasted send plus one
+//     backoff are charged, then the resend goes through;
+//   * permanent rank deaths do NOT retry — they escalate straight to
+//     replica failover (index::QueryEngine), because no number of retries
+//     revives a dead rank.
+//
+// Everything here is *modeled* seconds, and the jitter is a pure function
+// of (seed, key, attempt) — util::splitmix64, no global RNG state — so a
+// fixed (plan, policy) produces bit-identical makespans at any host
+// thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace pastis::exec {
+
+struct RetryPolicy {
+  /// Attempts per task before the caller gives up on timing out and waits
+  /// the task to completion (>= 1; 1 = never time out).
+  int max_attempts = 3;
+  /// Per-attempt modeled timeout in seconds. 0 (the default) disables
+  /// timeouts entirely — the empty-fault-plan / legacy behavior.
+  double timeout_s = 0.0;
+  /// Backoff before retry k (1-based): base * multiplier^(k-1), jittered.
+  double backoff_base_s = 0.005;
+  double backoff_multiplier = 2.0;
+  /// Jitter half-width as a fraction of the nominal backoff: the jittered
+  /// value lies in [nominal * (1 - frac), nominal * (1 + frac)).
+  double jitter_frac = 0.25;
+  /// Seed of the deterministic jitter hash (config-owned, not global).
+  std::uint64_t seed = 0x5eedfa17;
+
+  [[nodiscard]] bool timeouts_enabled() const {
+    return timeout_s > 0.0 && max_attempts > 1;
+  }
+
+  /// Modeled backoff before retry `attempt` (1-based) of the task
+  /// identified by `key` (e.g. batch_ordinal * nranks + rank). Pure.
+  [[nodiscard]] double backoff_s(std::uint64_t key, int attempt) const {
+    double nominal = backoff_base_s;
+    for (int k = 1; k < attempt; ++k) nominal *= backoff_multiplier;
+    const std::uint64_t h = util::splitmix64(
+        seed ^ util::splitmix64(key) ^
+        (static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    return nominal * (1.0 + jitter_frac * (2.0 * u - 1.0));
+  }
+
+  /// Timeout + backoff seconds a task of modeled length `task_s` pays
+  /// before its final (patient) attempt, and the retry count, for a task
+  /// that stays slow across attempts. Zero when the task beats the
+  /// timeout or timeouts are disabled.
+  struct SlowTaskPenalty {
+    double seconds = 0.0;
+    std::uint64_t retries = 0;
+  };
+  [[nodiscard]] SlowTaskPenalty slow_task_penalty(double task_s,
+                                                  std::uint64_t key) const {
+    SlowTaskPenalty p;
+    if (!timeouts_enabled() || task_s <= timeout_s) return p;
+    for (int k = 1; k < max_attempts; ++k) {
+      p.seconds += timeout_s + backoff_s(key, k);
+      ++p.retries;
+    }
+    return p;
+  }
+
+  /// One dropped send of modeled length `send_s`: the wasted attempt plus
+  /// the backoff before the (successful) resend.
+  [[nodiscard]] double drop_resend_penalty_s(double send_s,
+                                             std::uint64_t key) const {
+    return send_s + backoff_s(key, 1);
+  }
+};
+
+}  // namespace pastis::exec

@@ -17,6 +17,8 @@ OverlapTimeline::OverlapTimeline(int nranks, int depth)
     disc_end_.assign(n, 0.0);
     align_end_.assign(n * static_cast<std::size_t>(depth_), 0.0);
   }
+  last_disc_begin_.assign(n, 0.0);
+  last_disc_end_.assign(n, 0.0);
 }
 
 void OverlapTimeline::set_tracer(obs::Tracer* tracer,
@@ -45,6 +47,8 @@ void OverlapTimeline::add(std::span<const double> sparse_s,
       // Accumulated exactly like the serial loop's own timer: += S + A.
       const double disc_begin = serial_[ri];
       serial_[ri] += sparse_s[ri] + align_s[ri];
+      last_disc_begin_[ri] = disc_begin;
+      last_disc_end_[ri] = disc_begin + sparse_s[ri];
       emit(r, disc_begin, disc_begin + sparse_s[ri],
            disc_begin + sparse_s[ri], serial_[ri]);
       continue;
@@ -61,9 +65,16 @@ void OverlapTimeline::add(std::span<const double> sparse_s,
     const double align = align_begin + align_s[ri];
     disc_end_[ri] = disc;
     ring(b) = align;
+    last_disc_begin_[ri] = disc_begin;
+    last_disc_end_[ri] = disc;
     emit(r, disc_begin, disc, align_begin, align);
   }
   ++items_;
+}
+
+std::pair<double, double> OverlapTimeline::last_disc_interval(int rank) const {
+  const auto ri = static_cast<std::size_t>(rank);
+  return {last_disc_begin_[ri], last_disc_end_[ri]};
 }
 
 double OverlapTimeline::makespan(int rank) const {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/telemetry.hpp"
@@ -53,6 +54,12 @@ class OverlapTimeline {
   [[nodiscard]] double max_makespan() const;
   [[nodiscard]] std::vector<double> makespans() const;
 
+  /// The discovery interval the most recent add() placed for `rank` on the
+  /// modeled timeline — where serve() anchors failover-recovery spans
+  /// (the recovery seconds are charged at the head of the recovering
+  /// batch's discovery work). {0, 0} before the first add.
+  [[nodiscard]] std::pair<double, double> last_disc_interval(int rank) const;
+
   [[nodiscard]] int depth() const { return depth_; }
   [[nodiscard]] std::size_t items() const { return items_; }
 
@@ -65,6 +72,8 @@ class OverlapTimeline {
   std::vector<double> serial_;     // depth 1: running Σ (S + A) per rank
   std::vector<double> disc_end_;   // per rank
   std::vector<double> align_end_;  // per rank ring, depth entries each
+  std::vector<double> last_disc_begin_;  // per rank, most recent add()
+  std::vector<double> last_disc_end_;
 };
 
 /// Scalar convenience: the makespan of one rank's (or the max-rank

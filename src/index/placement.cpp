@@ -12,6 +12,56 @@ std::uint64_t ShardPlacement::max_rank_resident_bytes() const {
   return m;
 }
 
+void ShardPlacement::validate() const {
+  if (n_ranks < 1) {
+    throw std::invalid_argument("ShardPlacement: need n_ranks >= 1");
+  }
+  if (replication < 1 || replication > n_ranks) {
+    throw std::invalid_argument(
+        "ShardPlacement: replication must be in [1, n_ranks]");
+  }
+  if (replicas.size() != primary.size()) {
+    throw std::invalid_argument(
+        "ShardPlacement: replicas and primary must cover the same shards");
+  }
+  for (int s = 0; s < n_shards(); ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const int prim = primary[si];
+    if (prim < 0 || prim >= n_ranks) {
+      throw std::invalid_argument("ShardPlacement: shard " +
+                                  std::to_string(s) +
+                                  " primary rank out of range");
+    }
+    const auto& holders = replicas[si];
+    if (holders.size() != static_cast<std::size_t>(replication)) {
+      throw std::invalid_argument(
+          "ShardPlacement: shard " + std::to_string(s) + " has " +
+          std::to_string(holders.size()) + " holders, expected replication " +
+          std::to_string(replication));
+    }
+    if (holders.front() != prim) {
+      throw std::invalid_argument("ShardPlacement: shard " +
+                                  std::to_string(s) +
+                                  " holder list must lead with the primary");
+    }
+    for (std::size_t i = 0; i < holders.size(); ++i) {
+      if (holders[i] < 0 || holders[i] >= n_ranks) {
+        throw std::invalid_argument("ShardPlacement: shard " +
+                                    std::to_string(s) +
+                                    " replica rank out of range");
+      }
+      for (std::size_t j = i + 1; j < holders.size(); ++j) {
+        if (holders[i] == holders[j]) {
+          throw std::invalid_argument(
+              "ShardPlacement: shard " + std::to_string(s) +
+              " placed twice on rank " + std::to_string(holders[i]) +
+              " — duplicate replicas void the availability contract");
+        }
+      }
+    }
+  }
+}
+
 std::vector<int> ShardPlacement::shards_of(int rank) const {
   std::vector<int> out;
   for (int s = 0; s < n_shards(); ++s) {

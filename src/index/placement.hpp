@@ -39,6 +39,15 @@ struct ShardPlacement {
   /// order the serve path multiplies and merges in).
   [[nodiscard]] std::vector<int> shards_of(int rank) const;
 
+  /// Structural invariants every consumer (QueryEngine construction in
+  /// particular) relies on: n_ranks/replication sane, every primary in
+  /// range, every shard resident on exactly `replication` DISTINCT
+  /// in-range ranks with the primary first. Throws std::invalid_argument
+  /// on violation — a duplicated replica rank would silently void the
+  /// availability the replication factor promises (and the failover path
+  /// would promote a shard onto the rank that just died).
+  void validate() const;
+
   /// Builds the placement from per-shard resident byte counts. Throws
   /// std::invalid_argument for n_ranks < 1 or replication outside
   /// [1, n_ranks].

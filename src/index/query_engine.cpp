@@ -46,6 +46,14 @@ struct QueryEngine::BatchSlot {
   /// charges while concurrent slots are in flight; the engine merges it
   /// into the SimRuntime in batch order at retirement.
   std::vector<sim::RankClock> frame;
+  /// Fault state of THIS batch — the pure per-ordinal snapshot (so
+  /// concurrently in-flight batches never share mutable fault state), the
+  /// shard -> serving-rank map it induces over the replica holders, and
+  /// the sequentially precomputed failover recoveries surfacing here.
+  sim::FaultSnapshot snap;
+  bool fault_active = false;
+  std::vector<int> shard_server;  // fault_active only; -1 = degraded
+  QueryEngine::BatchFaults faults;
 
   void reset(std::span<const std::string> q, Index base, std::uint64_t ord,
              int p, bool dist) {
@@ -62,6 +70,10 @@ struct QueryEngine::BatchSlot {
     rank_offset.assign(np + 1, 0);
     if (lane_scratch.size() != np) lane_scratch.resize(np);
     hits.clear();
+    snap = {};
+    fault_active = false;
+    shard_server.clear();
+    faults = {};
     if (dist) {
       st.rank_sparse_s.assign(np, 0.0);
       st.rank_align_s.assign(np, 0.0);
@@ -104,17 +116,34 @@ QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
     }
     placement_ = std::make_unique<ShardPlacement>(
         ShardPlacement::balance(index.shard_bytes(), p, opt_.replication));
+    // The failover path promotes shards along the holder lists, so the
+    // structural invariants (distinct in-range holders, primary first)
+    // are load-bearing — reject a malformed placement up front.
+    placement_->validate();
 
     // Static residency: the shards a rank keeps (+ replicas) plus its
     // slice of the reference residues (the refs whose alignment it owns).
     static_resident_ = placement_->rank_resident_bytes;
+    ref_slice_bytes_.assign(static_cast<std::size_t>(p), 0);
     const Index n_refs = index.n_refs();
     for (int r = 0; r < p && n_refs > 0; ++r) {
       const Index r0 = sim::ProcGrid::split_point(n_refs, p, r);
       const Index r1 = sim::ProcGrid::split_point(n_refs, p, r + 1);
       std::uint64_t slice = 0;
       for (Index i = r0; i < r1; ++i) slice += index.ref(i).size();
+      ref_slice_bytes_[static_cast<std::size_t>(r)] = slice;
       static_resident_[static_cast<std::size_t>(r)] += slice;
+    }
+
+    // Fault layer: validate + install the plan (the runtime enforces the
+    // death contract inside spmd); the engine's own bookkeeping drives
+    // failover recovery deterministically in batch-ordinal order.
+    faults_enabled_ = !cfg_.fault_plan.empty();
+    if (faults_enabled_) {
+      rt_->install_faults(cfg_.fault_plan);
+      death_recovered_.assign(cfg_.fault_plan.events.size(), 0);
+      dead_seen_.assign(static_cast<std::size_t>(p), 0);
+      resident_estimate_ = static_resident_;
     }
 
     // The placement gate: no rank may be asked to keep more resident than
@@ -138,6 +167,102 @@ QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
   }
 }
 
+QueryEngine::BatchFaults QueryEngine::plan_batch_faults(
+    std::uint64_t ordinal) {
+  BatchFaults bf;
+  if (rt_ == nullptr || !faults_enabled_) return bf;
+  const int p = rt_->nprocs();
+  const auto np = static_cast<std::size_t>(p);
+  bf.recovery_s.assign(np, 0.0);
+  bf.new_resident.assign(np, 0);
+  const auto shard_bytes = index_->shard_bytes();
+  const auto& events = cfg_.fault_plan.events;
+  // Deaths planned before the stream surface at its first served batch;
+  // multiple deaths surfacing together recover in plan-event order.
+  for (std::size_t ei = 0; ei < events.size(); ++ei) {
+    const auto& e = events[ei];
+    if (e.kind != sim::FaultKind::kDeath || e.time_triggered()) continue;
+    if (e.rank < 0 || e.rank >= p) continue;
+    if (e.at_batch > ordinal || death_recovered_[ei] != 0) continue;
+    death_recovered_[ei] = 1;
+    const auto di = static_cast<std::size_t>(e.rank);
+    if (dead_seen_[di] != 0) continue;  // a duplicate kill of a dead rank
+    bf.any = true;
+    bf.deaths.push_back(e.rank);
+
+    // Shard promotions: every shard this rank was serving falls to its
+    // first surviving replica. The promoted rank re-validates its stripe
+    // (a stream over the shard bytes), then re-replication ships a fresh
+    // copy to the least-loaded surviving rank not holding the shard —
+    // restoring the lost redundancy's capacity in the ledger and the
+    // timeline (the serving holder list itself stays static).
+    for (int s = 0; s < placement_->n_shards(); ++s) {
+      const auto& holders = placement_->replicas[static_cast<std::size_t>(s)];
+      int prev_server = -1;
+      int next_server = -1;
+      for (const int h : holders) {
+        if (dead_seen_[static_cast<std::size_t>(h)] != 0) continue;
+        if (prev_server < 0) prev_server = h;
+        if (h != e.rank && next_server < 0) next_server = h;
+        if (prev_server >= 0 && next_server >= 0) break;
+      }
+      if (prev_server != e.rank || next_server < 0) continue;
+      const auto sb = shard_bytes[static_cast<std::size_t>(s)];
+      const auto ni = static_cast<std::size_t>(next_server);
+      bf.recovery_s[ni] += model_.sparse_stream_time(sb);
+      int target = -1;
+      for (int r = 0; r < p; ++r) {
+        if (r == e.rank || dead_seen_[static_cast<std::size_t>(r)] != 0) {
+          continue;
+        }
+        bool holds = false;
+        for (const int h : holders) {
+          if (h == r && dead_seen_[static_cast<std::size_t>(h)] == 0) {
+            holds = true;
+            break;
+          }
+        }
+        if (holds) continue;
+        if (target < 0 || resident_estimate_[static_cast<std::size_t>(r)] <
+                              resident_estimate_[static_cast<std::size_t>(
+                                  target)]) {
+          target = r;
+        }
+      }
+      if (target >= 0) {
+        const auto ti = static_cast<std::size_t>(target);
+        bf.recovery_s[ni] += model_.p2p_time(sb);  // promoted primary sends
+        bf.recovery_s[ti] += model_.p2p_time(sb);  // target receives
+        bf.new_resident[ti] += sb;
+        resident_estimate_[ti] += sb;
+      }
+    }
+
+    dead_seen_[di] = 1;
+    resident_estimate_[di] = 0;  // released when the death applies
+
+    // Reference-slice handoff: the cyclic successor inherits the dead
+    // rank's alignment ownership and receives its residue slice.
+    if (ref_slice_bytes_[di] > 0) {
+      int succ = -1;
+      for (int k = 1; k <= p; ++k) {
+        const int r = (e.rank + k) % p;
+        if (dead_seen_[static_cast<std::size_t>(r)] == 0) {
+          succ = r;
+          break;
+        }
+      }
+      if (succ >= 0) {
+        const auto si = static_cast<std::size_t>(succ);
+        bf.recovery_s[si] += model_.p2p_time(ref_slice_bytes_[di]);
+        bf.new_resident[si] += ref_slice_bytes_[di];
+        resident_estimate_[si] += ref_slice_bytes_[di];
+      }
+    }
+  }
+  return bf;
+}
+
 void QueryEngine::discover_batch(BatchSlot& slot) const {
   const Index n_refs = index_->n_refs();
   const int n_shards = index_->n_shards();
@@ -146,6 +271,35 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
   const Index batch_base = slot.batch_base;
   QueryBatchStats& st = slot.st;
   if (queries.empty() || n_refs == 0) return;
+
+  // ---- fault state of this batch (pure per-ordinal snapshot) ---------------
+  // Failover rule: each shard is served by the FIRST ALIVE rank on its
+  // holder list (primary first, so the empty plan reproduces the primary
+  // assignment exactly). A shard with no surviving holder is degraded:
+  // its multiply is skipped and its id recorded — partial results, never
+  // an exception.
+  if (slot.distributed && faults_enabled_) {
+    slot.snap = cfg_.fault_plan.snapshot_at_batch(slot.ordinal, p);
+    slot.fault_active = slot.snap.any();
+    st.rank_recovery_s.assign(static_cast<std::size_t>(p), 0.0);
+  }
+  if (slot.fault_active) {
+    slot.shard_server.assign(static_cast<std::size_t>(n_shards), -1);
+    for (int s = 0; s < n_shards; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      for (const int h : placement_->replicas[si]) {
+        if (slot.snap.dead[static_cast<std::size_t>(h)] == 0) {
+          slot.shard_server[si] = h;
+          break;
+        }
+      }
+      if (slot.shard_server[si] < 0) {
+        st.degraded_shards.push_back(s);
+      } else if (slot.shard_server[si] != placement_->primary[si]) {
+        ++st.failover_shards;
+      }
+    }
+  }
 
   // ---- A_query extraction (Fig. 1 left, queries only) ----------------------
   // Identical machinery to the index build / the pipeline's k-mer matrix:
@@ -228,6 +382,17 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
       }
     };
     run_ranks([&](int rank) {
+      if (slot.fault_active) {
+        // Failover assignment: the first-alive-holder map. Dead ranks own
+        // nothing (and SimRuntime skips their tasks once the death has
+        // retired into the ledger); degraded shards are nobody's.
+        for (int s = 0; s < n_shards; ++s) {
+          if (slot.shard_server[static_cast<std::size_t>(s)] == rank) {
+            multiply_shard(static_cast<std::size_t>(s));
+          }
+        }
+        return;
+      }
       for (const int s : placement_->shards_of(rank)) {
         multiply_shard(static_cast<std::size_t>(s));
       }
@@ -266,30 +431,48 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
     // replica team (1/replication of the grid suffices to cover every
     // shard), every rank multiplies and merges its resident stripes, and
     // the merged parts are shipped to the batch's owner rank, which
-    // assembles the overlap matrix and (later) the top-k.
-    const int owner = static_cast<int>(slot.ordinal %
-                                       static_cast<std::uint64_t>(p));
-    const int team = (p + opt_.replication - 1) / opt_.replication;
-    for (int r = 0; r < p; ++r) {
+    // assembles the overlap matrix and (later) the top-k. Under faults,
+    // ownership and the broadcast team follow the survivors; dead ranks
+    // charge nothing (their clocks are frozen).
+    const int owner_base =
+        static_cast<int>(slot.ordinal % static_cast<std::uint64_t>(p));
+    const int owner =
+        slot.fault_active ? slot.snap.next_alive(owner_base) : owner_base;
+    const int alive = slot.fault_active ? slot.snap.n_alive() : p;
+    const int team = (alive + opt_.replication - 1) / opt_.replication;
+    for (int r = 0; owner >= 0 && r < p; ++r) {
       const auto ri = static_cast<std::size_t>(r);
+      if (slot.fault_active && slot.snap.dead[ri] != 0) continue;
       auto& clock = slot.frame[ri];
       double t = model_.bcast_time(aq_bytes + query_residues, team) +
                  model_.sparse_stream_time(query_residues / p);
       std::uint64_t ws = aq_bytes + query_residues;  // broadcast stripe
       std::uint64_t own_bytes = 0;
-      for (const int s : placement_->shards_of(r)) {
-        const auto si = static_cast<std::size_t>(s);
+      const auto charge_shard = [&](std::size_t si) {
         if (shard_stats[si].products > 0) {
           t += model_.spgemm_time(shard_stats[si].products);
         }
         t += model_.sparse_stream_time(2 * parts[si].bytes());
         own_bytes += parts[si].bytes();
         clock.spgemm_products += shard_stats[si].products;
+      };
+      if (slot.fault_active) {
+        for (int s = 0; s < n_shards; ++s) {
+          if (slot.shard_server[static_cast<std::size_t>(s)] == r) {
+            charge_shard(static_cast<std::size_t>(s));
+          }
+        }
+      } else {
+        for (const int s : placement_->shards_of(r)) {
+          charge_shard(static_cast<std::size_t>(s));
+        }
       }
       // Per-rank merge of its shard products, then the ship to the owner.
       t += model_.sparse_stream_time(own_bytes);
+      double send_s = 0.0;
       if (own_bytes > 0 && r != owner) {
-        t += model_.p2p_time(own_bytes);
+        send_s = model_.p2p_time(own_bytes);
+        t += send_s;
         clock.bytes_sent += own_bytes;
       }
       clock.bytes_recv += aq_bytes + query_residues;
@@ -300,6 +483,36 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
         ws += C.bytes();
         clock.bytes_recv += C.bytes();
         clock.overlap_nnz += C.nnz();
+      }
+      if (slot.fault_active) {
+        // Transient faults, RPC-style (exec/retry.hpp): a slowed rank's
+        // task dilates and pays the timeout+backoff ladder before its
+        // final patient attempt; a dropped send wastes one attempt and
+        // backs off before the resend. Deaths never reach here — they
+        // escalated to failover above.
+        const std::uint64_t key =
+            slot.ordinal * static_cast<std::uint64_t>(p) +
+            static_cast<std::uint64_t>(r);
+        if (slot.snap.slowdown[ri] > 1.0) {
+          t *= slot.snap.slowdown[ri];
+          const auto pen = cfg_.retry.slow_task_penalty(t, key);
+          t += pen.seconds;
+          st.retries += pen.retries;
+        }
+        if (slot.snap.drop[ri] != 0 && send_s > 0.0) {
+          t += cfg_.retry.drop_resend_penalty_s(send_s, key);
+          ++st.retries;
+        }
+      }
+      if (!slot.faults.recovery_s.empty() && slot.faults.recovery_s[ri] > 0.0) {
+        // Failover recovery surfacing at this batch: replica promotion,
+        // re-replication copies, reference-slice handoff — charged at the
+        // head of this batch's discovery on the recovering ranks.
+        const double rec = slot.faults.recovery_s[ri];
+        t += rec;
+        st.rank_recovery_s[ri] = rec;
+        st.recovery_s += rec;
+        clock.bytes_recv += slot.faults.new_resident[ri];
       }
       clock.charge(sim::Comp::kSpGemm, t);
       st.rank_sparse_s[ri] = t;
@@ -346,8 +559,14 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
       eq.first = ck.first_qr;  // element (query, reference)
       task = core::canonical_task(q_global, rj, eq);
     }
-    const int owner = sim::ProcGrid::part_of(rj, n_refs, p);
-    slot.rank_tasks[static_cast<std::size_t>(owner)].push_back(task);
+    int align_owner = sim::ProcGrid::part_of(rj, n_refs, p);
+    if (slot.fault_active) {
+      // A dead rank's reference slice (and its alignment work) belongs to
+      // its cyclic successor — the same rule the recovery handoff charged.
+      align_owner = slot.snap.next_alive(align_owner);
+      if (align_owner < 0) return;  // every rank dead: nothing aligns
+    }
+    slot.rank_tasks[static_cast<std::size_t>(align_owner)].push_back(task);
   });
 }
 
@@ -386,6 +605,10 @@ void QueryEngine::align_batch(BatchSlot& slot) const {
   // ---- filter + per-rank device accounting ---------------------------------
   auto& hits = slot.hits;
   for (int r = 0; r < p; ++r) {
+    if (slot.fault_active &&
+        slot.snap.dead[static_cast<std::size_t>(r)] != 0) {
+      continue;  // frozen clock; its tasks went to the cyclic successor
+    }
     const auto& tasks = slot.rank_tasks[static_cast<std::size_t>(r)];
     const std::span<const AlignResult> results(
         slot.ws.results.data() + slot.rank_offset[static_cast<std::size_t>(r)],
@@ -441,9 +664,11 @@ void QueryEngine::align_batch(BatchSlot& slot) const {
 
   if (slot.distributed) {
     // Owner-side top-k + canonical sort: the batch owner gathers the
-    // per-rank hit lists and selects — a stream over the hit bytes.
-    const int owner =
-        static_cast<int>(slot.ordinal % static_cast<std::uint64_t>(p));
+    // per-rank hit lists and selects — a stream over the hit bytes. The
+    // owner role fails over to the next alive rank like everything else.
+    int owner = static_cast<int>(slot.ordinal % static_cast<std::uint64_t>(p));
+    if (slot.fault_active) owner = slot.snap.next_alive(owner);
+    if (owner < 0) return;  // every rank dead: nobody gathers
     const auto oi = static_cast<std::size_t>(owner);
     const std::uint64_t hit_bytes =
         static_cast<std::uint64_t>(st.aligned_pairs) *
@@ -459,6 +684,18 @@ void QueryEngine::align_batch(BatchSlot& slot) const {
 
 void QueryEngine::retire_distributed(BatchSlot& slot) {
   rt_->merge_frame(slot.frame);
+  if (!slot.faults.any) return;
+  // Ledger effects of this batch's surfaced faults, applied at the
+  // strictly-ordered retirement: deaths release the dead rank's resident
+  // bytes and freeze its clock from here on (the death mask is atomic, so
+  // concurrently discovering later batches may read it mid-flight — their
+  // shard assignments already excluded the rank via the pure snapshot);
+  // re-placement bytes land on the recovery targets permanently.
+  for (const int r : slot.faults.deaths) rt_->kill_rank(r);
+  for (int r = 0; r < rt_->nprocs(); ++r) {
+    const auto b = slot.faults.new_resident[static_cast<std::size_t>(r)];
+    if (b != 0) rt_->clock(r).add_resident(b);
+  }
 }
 
 void QueryEngine::enforce_rank_budget() const {
@@ -482,6 +719,7 @@ std::vector<io::SimilarityEdge> QueryEngine::search_batch(
   slot.reset(queries, next_query_id_, next_batch_ordinal_++, serving_ranks(),
              rt_ != nullptr);
   next_query_id_ += static_cast<Index>(queries.size());
+  slot.faults = plan_batch_faults(slot.ordinal);
   discover_batch(slot);
   align_batch(slot);
   if (rt_ != nullptr) {
@@ -532,6 +770,17 @@ QueryEngine::Result QueryEngine::serve(
   }
   st.batches.resize(nb);
 
+  // Failover recoveries are planned SEQUENTIALLY in ordinal order before
+  // the stream starts (planning advances the engine's death/residency
+  // bookkeeping); the concurrent stages only read the per-batch results.
+  std::vector<BatchFaults> batch_faults;
+  if (rt_ != nullptr && faults_enabled_) {
+    batch_faults.resize(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      batch_faults[b] = plan_batch_faults(ordinals[b]);
+    }
+  }
+
   // Per-rank workspace residency on top of the static placement: with
   // `depth` batches in flight, a rank's worst case holds `depth`
   // consecutive batches' workspaces at once.
@@ -549,6 +798,9 @@ QueryEngine::Result QueryEngine::serve(
                          BatchSlot& slot = slots[si];
                          slot.reset(batches[b], bases[b], ordinals[b], p,
                                     rt_ != nullptr);
+                         if (!batch_faults.empty()) {
+                           slot.faults = std::move(batch_faults[b]);
+                         }
                          discover_batch(slot);
                          // Register this batch's resident footprint with
                          // the admission gate (the overlap block itself
@@ -572,6 +824,31 @@ QueryEngine::Result QueryEngine::serve(
                       if (rt_ != nullptr) {
                         retire_distributed(slot);
                         window.add(slot.st.rank_workspace_bytes);
+                      }
+                      if (rt_ != nullptr && faults_enabled_) {
+                        st.rank_deaths += slot.faults.deaths.size();
+                        st.failover_shards += slot.st.failover_shards;
+                        st.retries += slot.st.retries;
+                        st.degraded_shard_batches +=
+                            slot.st.degraded_shards.size();
+                        st.recovery_seconds += slot.st.recovery_s;
+                        if (cfg_.telemetry.metrics != nullptr) {
+                          auto& m = *cfg_.telemetry.metrics;
+                          const auto add = [&m](const char* name, double v) {
+                            if (v != 0.0) m.counter(name).add(v);
+                          };
+                          add("fault.deaths_total",
+                              static_cast<double>(slot.faults.deaths.size()));
+                          add("fault.failover_shards_total",
+                              static_cast<double>(slot.st.failover_shards));
+                          add("fault.retries_total",
+                              static_cast<double>(slot.st.retries));
+                          add("fault.degraded_shard_batches_total",
+                              static_cast<double>(
+                                  slot.st.degraded_shards.size()));
+                          add("fault.recovery_seconds_total",
+                              slot.st.recovery_s);
+                        }
                       }
                       if (cfg_.telemetry.metrics != nullptr) {
                         // Per-batch modeled-latency histograms, sampled at
@@ -629,6 +906,21 @@ QueryEngine::Result QueryEngine::serve(
           align_s[ri] = st.batches[b].rank_align_s[ri] * dad;
         }
         timeline.add(sparse_s, align_s);
+        if (cfg_.telemetry.tracer != nullptr &&
+            !st.batches[b].rank_recovery_s.empty()) {
+          // Failover-recovery spans on the modeled rank tracks: recovery
+          // was charged at the head of this batch's discovery, so the
+          // span sits at the placed discovery interval's start.
+          for (int r = 0; r < p; ++r) {
+            const double rec =
+                st.batches[b].rank_recovery_s[static_cast<std::size_t>(r)];
+            if (rec <= 0.0) continue;
+            const double d0 = timeline.last_disc_interval(r).first;
+            cfg_.telemetry.tracer->record_modeled(
+                "serve.failover", r, d0, d0 + rec * dsd,
+                {{"item", static_cast<double>(b)}});
+          }
+        }
       }
       st.t_serve = timeline.max_makespan();
     } else {
@@ -656,6 +948,14 @@ QueryEngine::Result QueryEngine::serve(
     }
     st.rank_peak_resident_bytes = rt_->peak_resident_bytes();
     enforce_rank_budget();
+    // Graceful-degradation contract: the served fraction of the stream's
+    // (batch × shard) cells. 1.0 = complete results.
+    if (nb > 0 && st.n_shards > 0) {
+      st.completeness =
+          1.0 - static_cast<double>(st.degraded_shard_batches) /
+                    (static_cast<double>(nb) *
+                     static_cast<double>(st.n_shards));
+    }
   }
   return result;
 }

@@ -104,6 +104,22 @@ struct QueryBatchStats {
   /// stripe, shard products, alignment tasks + results) — fed to the
   /// depth-windowed residency reduction on top of the static placement.
   std::vector<std::uint64_t> rank_workspace_bytes;
+
+  // --- fault tolerance (all zero/empty under the empty fault plan) ---------
+  /// Shards with NO surviving replica this batch, ascending shard id:
+  /// their multiplies were skipped, so this batch's results are missing
+  /// any hit touching them — the graceful-degradation contract.
+  std::vector<int> degraded_shards;
+  /// Shards served by a non-primary replica this batch (failover).
+  std::uint64_t failover_shards = 0;
+  /// Retry attempts charged this batch (slow-task timeouts, resends of
+  /// dropped messages) under exec::RetryPolicy.
+  std::uint64_t retries = 0;
+  /// Per-rank modeled failover-recovery seconds charged at the head of
+  /// this batch's discovery (replica promotion, re-replication copies,
+  /// reference-slice handoff); recovery_s is their sum.
+  std::vector<double> rank_recovery_s;
+  double recovery_s = 0.0;
 };
 
 /// Aggregated serving statistics for a stream of batches.
@@ -136,9 +152,21 @@ struct ServeStats {
   /// rank_memory_budget_bytes gate compares against the max of these.
   std::vector<std::uint64_t> rank_peak_resident_bytes;
 
+  // --- fault tolerance (all zero under the empty fault plan) ---------------
+  std::uint64_t rank_deaths = 0;      // deaths surfaced during this stream
+  std::uint64_t failover_shards = 0;  // batch-shard cells served by a replica
+  std::uint64_t retries = 0;          // retry attempts charged (RetryPolicy)
+  std::uint64_t degraded_shard_batches = 0;  // batch-shard cells unserved
+  double recovery_seconds = 0.0;  // total modeled failover recovery
+  /// Served fraction of the stream's (batch × shard) cells: 1.0 = complete
+  /// results; below 1, each degraded cell's hits are missing from the
+  /// output — graceful degradation, never an exception.
+  double completeness = 1.0;
+
+  /// 0 for an empty rank_peak_resident_bytes (shared-memory path).
   [[nodiscard]] std::uint64_t max_rank_resident_bytes() const {
     std::uint64_t m = 0;
-    for (const auto b : rank_peak_resident_bytes) m = std::max(m, b);
+    for (const auto& b : rank_peak_resident_bytes) m = std::max(m, b);
     return m;
   }
 
@@ -243,6 +271,22 @@ class QueryEngine {
   /// keeps one per pipeline slot, search_batch() a transient one.
   struct BatchSlot;
 
+  /// Failover recoveries surfacing at one batch: per-rank modeled recovery
+  /// seconds (replica promotion, re-replication copies, reference-slice
+  /// handoff), the permanent resident bytes re-placement adds per rank,
+  /// and the ranks whose planned death this batch makes effective in the
+  /// runtime ledger. Computed SEQUENTIALLY in batch-ordinal order by
+  /// plan_batch_faults (it advances the engine's death/residency
+  /// bookkeeping); the concurrent pipeline stages only read it. Ledger
+  /// effects apply at the batch's strictly-ordered retirement.
+  struct BatchFaults {
+    std::vector<double> recovery_s;           // per-rank modeled seconds
+    std::vector<std::uint64_t> new_resident;  // per-rank permanent bytes
+    std::vector<int> deaths;                  // ranks whose death applies
+    bool any = false;
+  };
+  [[nodiscard]] BatchFaults plan_batch_faults(std::uint64_t ordinal);
+
   /// The two executor stages every served batch flows through. Both are
   /// deterministic functions of the slot's (queries, batch_base) — the
   /// property that makes hits depth- and schedule-invariant.
@@ -270,6 +314,18 @@ class QueryEngine {
   /// Static per-rank residency: placed shard bytes + the rank's slice of
   /// the reference residues (alignment ownership ranges).
   std::vector<std::uint64_t> static_resident_;
+
+  // Fault-tolerance bookkeeping (grid mode with a non-empty fault plan).
+  // All of it is read/written only by sequential code: plan_batch_faults
+  // in batch-ordinal order, never the concurrent stages.
+  bool faults_enabled_ = false;
+  std::vector<char> death_recovered_;  // plan event -> recovery charged
+  std::vector<char> dead_seen_;        // rank -> death already surfaced
+  /// Running per-rank resident estimate (static placement + re-placements)
+  /// — the deterministic tie-broken load the re-replication target rule
+  /// minimizes.
+  std::vector<std::uint64_t> resident_estimate_;
+  std::vector<std::uint64_t> ref_slice_bytes_;  // rank -> reference slice
 };
 
 }  // namespace pastis::index

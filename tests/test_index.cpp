@@ -421,6 +421,64 @@ TEST(ShardPlacement, ReplicationAddsResidentCopiesOnDistinctRanks) {
                std::invalid_argument);
 }
 
+TEST(ShardPlacement, ValidateAcceptsBalancedPlacementsIncludingCorners) {
+  const std::vector<std::uint64_t> bytes = {100, 200, 300, 400};
+  // Replication == n_ranks: every shard everywhere.
+  const auto full = pidx::ShardPlacement::balance(bytes, 3, 3);
+  EXPECT_NO_THROW(full.validate());
+  // Single shard, single rank.
+  const std::vector<std::uint64_t> one = {42};
+  EXPECT_NO_THROW(pidx::ShardPlacement::balance(one, 1, 1).validate());
+  // Single shard, replicated across the whole grid.
+  EXPECT_NO_THROW(pidx::ShardPlacement::balance(one, 4, 4).validate());
+  // No shards at all is structurally fine.
+  EXPECT_NO_THROW(
+      pidx::ShardPlacement::balance(std::vector<std::uint64_t>{}, 2, 2)
+          .validate());
+}
+
+TEST(ShardPlacement, ValidateRejectsDuplicateAndMalformedReplicas) {
+  const std::vector<std::uint64_t> bytes = {100, 200};
+  auto pl = pidx::ShardPlacement::balance(bytes, 3, 2);
+  EXPECT_NO_THROW(pl.validate());
+
+  // A duplicated replica rank silently voids the availability promise —
+  // validate must catch it.
+  auto dup = pl;
+  dup.replicas[0][1] = dup.replicas[0][0];
+  EXPECT_THROW(dup.validate(), std::invalid_argument);
+
+  auto out_of_range = pl;
+  out_of_range.replicas[1][1] = 7;
+  EXPECT_THROW(out_of_range.validate(), std::invalid_argument);
+
+  auto wrong_lead = pl;
+  std::swap(wrong_lead.replicas[0][0], wrong_lead.replicas[0][1]);
+  EXPECT_THROW(wrong_lead.validate(), std::invalid_argument);
+
+  auto short_holders = pl;
+  short_holders.replicas[0].pop_back();
+  EXPECT_THROW(short_holders.validate(), std::invalid_argument);
+
+  auto bad_primary = pl;
+  bad_primary.primary[0] = -1;
+  EXPECT_THROW(bad_primary.validate(), std::invalid_argument);
+
+  auto bad_repl = pl;
+  bad_repl.replication = 5;
+  EXPECT_THROW(bad_repl.validate(), std::invalid_argument);
+}
+
+TEST(ServeStats, MaxRankResidentBytesIsZeroOnTheSharedMemoryPath) {
+  // The shared-memory path leaves rank_peak_resident_bytes empty; the
+  // reduction must report 0, not read past an empty vector.
+  pidx::ServeStats st;
+  EXPECT_TRUE(st.rank_peak_resident_bytes.empty());
+  EXPECT_EQ(st.max_rank_resident_bytes(), 0u);
+  st.rank_peak_resident_bytes = {7, 42, 13};
+  EXPECT_EQ(st.max_rank_resident_bytes(), 42u);
+}
+
 TEST(DistributedServe, HitsBitIdenticalAcrossGridShardAndPoolSweep) {
   // The acceptance bar of the distributed memory model: rank-resident
   // serving reproduces the shared-memory hits bitwise for every grid side
