@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "cluster/components.hpp"
 #include "dist/distmat.hpp"
@@ -32,6 +33,10 @@ void record_iteration(const obs::Telemetry& telem,
   m.min_avg_max("mcl.expansion_nnz")
       .add(static_cast<double>(is.expansion_nnz));
   m.min_avg_max("mcl.pruned_nnz").add(static_cast<double>(is.pruned_nnz));
+  m.counter("mcl.dropout_columns")
+      .add(static_cast<double>(is.dropout_columns));
+  m.gauge("mcl.scratch_high_water_bytes")
+      .set(static_cast<double>(is.scratch_high_water_bytes));
 }
 
 /// Contiguous equal-row chunks for the per-column passes. Chunking is
@@ -118,11 +123,114 @@ SpMat<float> build_flow_matrix(const SimilarityGraph& g, double loop_scale) {
                                          std::move(vals));
 }
 
-/// One inflate + prune + renormalize sweep over the expanded matrix.
-/// Returns the new flow matrix; `chaos_out` gets the column chaos maximum.
-SpMat<float> inflate_prune(const SpMat<float>& E, const MclOptions& opt,
-                           std::uint32_t cap, util::ThreadPool* pool,
-                           int max_threads, double* chaos_out) {
+/// Per-lane scratch of the column epilogue (pow cache + selection buffer);
+/// lanes persist across iterations in MclBuffers so each hits its high
+/// water once.
+struct EpiScratch {
+  std::vector<double> inflated;
+  std::vector<std::pair<float, Index>> top;
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(inflated.capacity()) * sizeof(double) +
+           static_cast<std::uint64_t>(top.capacity()) *
+               sizeof(std::pair<float, Index>);
+  }
+};
+
+/// The inflate + prune + renormalize + chaos pass over ONE flow column,
+/// shaped as the fused-SpGEMM epilogue contract (spgemm_hash2p_fused):
+/// given the column's sorted pre-epilogue entries it writes the survivors
+/// and returns their count. The SAME functor runs inside the fused numeric
+/// phase, the standalone inflate_prune sweep, and the distributed gather
+/// fold — one float-op sequence, so every path is bit-identical.
+///
+/// Side outputs (col_chaos, dropout streaks) are per-column slots indexed
+/// by the GLOBAL column id (`row + row_offset`): one writer per slot under
+/// any scheduling, keeping the pass deterministic and race-free. The
+/// column cap is read through a pointer because the budget feedback may
+/// tighten it between an iteration's symbolic and numeric phases.
+struct ColumnEpilogue {
+  double inflation;
+  float prune_threshold;
+  const std::uint32_t* cap;  // live column cap (budget feedback target)
+  double drop_eps;
+  double* col_chaos;          // per global column, this iteration's chaos
+  std::uint32_t* streak;      // dropout streaks (null = dropout off)
+  Index row_offset;           // local row id -> global column id
+  std::vector<EpiScratch>* lanes;
+  std::size_t lane_base;      // distributed path: one lane block per rank
+
+  std::size_t operator()(std::size_t lane, Index row, const Index* cols,
+                         const float* vals, std::size_t n, Index* out_cols,
+                         float* out_vals) const {
+    EpiScratch& s = (*lanes)[lane_base + lane];
+    // Inflate and normalize the column in one fixed-order scan (pow is
+    // the pass's hot operation; computed once per entry).
+    s.inflated.clear();
+    double sum = 0.0;
+    for (std::size_t o = 0; o < n; ++o) {
+      s.inflated.push_back(
+          std::pow(static_cast<double>(vals[o]), inflation));
+      sum += s.inflated.back();
+    }
+    const auto inv = static_cast<float>(1.0 / sum);
+    // Collect survivors of the threshold cut (the maximum entry always
+    // survives, so no column ever empties).
+    s.top.clear();
+    float vmax = 0.0f;
+    Index cmax = 0;
+    for (std::size_t o = 0; o < n; ++o) {
+      const float v = static_cast<float>(s.inflated[o]) * inv;
+      if (v > vmax) {
+        vmax = v;
+        cmax = cols[o];
+      }
+      if (v >= prune_threshold) s.top.push_back({v, cols[o]});
+    }
+    if (s.top.empty()) s.top.push_back({vmax, cmax});
+    // Top-k selection with a fixed tie-break (value desc, column asc).
+    const std::uint32_t k = *cap;
+    if (k != 0 && s.top.size() > k) {
+      std::partial_sort(s.top.begin(),
+                        s.top.begin() + static_cast<std::ptrdiff_t>(k),
+                        s.top.end(), [](const auto& x, const auto& y) {
+                          return x.first != y.first ? x.first > y.first
+                                                    : x.second < y.second;
+                        });
+      s.top.resize(k);
+      std::sort(s.top.begin(), s.top.end(),
+                [](const auto& x, const auto& y) {
+                  return x.second < y.second;
+                });
+    }
+    // Renormalize survivors and accumulate the chaos of this column.
+    float kept = 0.0f;
+    for (const auto& [v, col] : s.top) kept += v;
+    float col_max = 0.0f;
+    double col_sumsq = 0.0;
+    for (auto& [v, col] : s.top) {
+      v /= kept;
+      col_max = std::max(col_max, v);
+      col_sumsq += static_cast<double>(v) * static_cast<double>(v);
+    }
+    const double chaos = static_cast<double>(col_max) - col_sumsq;
+    const Index g = row + row_offset;
+    col_chaos[g] = chaos;
+    if (streak != nullptr) streak[g] = chaos < drop_eps ? streak[g] + 1 : 0;
+    for (std::size_t o = 0; o < s.top.size(); ++o) {
+      out_cols[o] = s.top[o].second;
+      out_vals[o] = s.top[o].first;
+    }
+    return s.top.size();
+  }
+};
+
+/// One standalone inflate + prune sweep over an already-built expanded
+/// matrix — the unfused (expand-then-prune) oracle, running the SAME
+/// ColumnEpilogue per row. Chunking is scheduling only; the chunk index is
+/// the epilogue lane. Chaos lands in epi.col_chaos (scan it afterwards).
+SpMat<float> inflate_prune(const SpMat<float>& E, const ColumnEpilogue& epi,
+                           util::ThreadPool* pool, int max_threads) {
   const std::size_t n_rows = E.n_nonempty_rows();
   const std::vector<std::size_t> bounds =
       row_chunks(n_rows, pass_threads(pool, max_threads));
@@ -132,71 +240,27 @@ SpMat<float> inflate_prune(const SpMat<float>& E, const MclOptions& opt,
     std::vector<Index> cols;
     std::vector<float> vals;
     std::vector<Offset> row_nnz;  // per row of the chunk
-    double chaos = 0.0;
   };
   std::vector<ChunkOut> outs(n_chunks);
+  const std::uint32_t cap = *epi.cap;
 
   run_chunks(pool, n_chunks, [&](std::size_t c) {
     ChunkOut& out = outs[c];
     out.row_nnz.reserve(bounds[c + 1] - bounds[c]);
-    std::vector<std::pair<float, Index>> top;  // (value, col) selection buf
-    std::vector<double> inflated;              // pow cache, reused per row
     for (std::size_t k = bounds[c]; k < bounds[c + 1]; ++k) {
       const Offset b = E.row_begin(k);
-      const Offset e = E.row_end(k);
-      // Inflate and normalize the column in one fixed-order scan (pow is
-      // the pass's hot operation; computed once per entry).
-      inflated.clear();
-      double sum = 0.0;
-      for (Offset o = b; o < e; ++o) {
-        inflated.push_back(
-            std::pow(static_cast<double>(E.val(o)), opt.inflation));
-        sum += inflated.back();
-      }
-      const auto inv = static_cast<float>(1.0 / sum);
-      // Collect survivors of the threshold cut (the maximum entry always
-      // survives, so no column ever empties).
-      top.clear();
-      float vmax = 0.0f;
-      Index cmax = 0;
-      for (Offset o = b; o < e; ++o) {
-        const float v = static_cast<float>(inflated[o - b]) * inv;
-        if (v > vmax) {
-          vmax = v;
-          cmax = E.col(o);
-        }
-        if (v >= opt.prune_threshold) top.push_back({v, E.col(o)});
-      }
-      if (top.empty()) top.push_back({vmax, cmax});
-      // Top-k selection with a fixed tie-break (value desc, column asc).
-      if (cap != 0 && top.size() > cap) {
-        std::partial_sort(top.begin(), top.begin() + cap, top.end(),
-                          [](const auto& x, const auto& y) {
-                            return x.first != y.first ? x.first > y.first
-                                                      : x.second < y.second;
-                          });
-        top.resize(cap);
-        std::sort(top.begin(), top.end(), [](const auto& x, const auto& y) {
-          return x.second < y.second;
-        });
-      }
-      // Renormalize survivors and accumulate the chaos of this column.
-      float kept = 0.0f;
-      for (const auto& [v, col] : top) kept += v;
-      float col_max = 0.0f;
-      double col_sumsq = 0.0;
-      for (auto& [v, col] : top) {
-        v /= kept;
-        col_max = std::max(col_max, v);
-        col_sumsq += static_cast<double>(v) * static_cast<double>(v);
-      }
-      out.chaos = std::max(out.chaos,
-                           static_cast<double>(col_max) - col_sumsq);
-      out.row_nnz.push_back(top.size());
-      for (const auto& [v, col] : top) {
-        out.cols.push_back(col);
-        out.vals.push_back(v);
-      }
+      const auto rn = static_cast<std::size_t>(E.row_end(k) - b);
+      const std::size_t bound =
+          cap == 0 ? rn : std::min<std::size_t>(rn, cap);
+      const std::size_t at = out.cols.size();
+      out.cols.resize(at + bound);
+      out.vals.resize(at + bound);
+      const std::size_t kept =
+          epi(c, E.row_id(k), E.col_data(b), E.val_data(b), rn,
+              out.cols.data() + at, out.vals.data() + at);
+      out.cols.resize(at + kept);
+      out.vals.resize(at + kept);
+      out.row_nnz.push_back(static_cast<Offset>(kept));
     }
   });
 
@@ -217,17 +281,161 @@ SpMat<float> inflate_prune(const SpMat<float>& E, const MclOptions& opt,
   std::vector<float> vals;
   cols.reserve(nnz);
   vals.reserve(nnz);
-  double chaos = 0.0;
   for (auto& out : outs) {
     cols.insert(cols.end(), out.cols.begin(), out.cols.end());
     vals.insert(vals.end(), out.vals.begin(), out.vals.end());
-    chaos = std::max(chaos, out.chaos);
   }
-  *chaos_out = chaos;
   return SpMat<float>::from_sorted_parts(E.nrows(), E.ncols(),
                                          std::move(row_ids),
                                          std::move(row_ptr), std::move(cols),
                                          std::move(vals));
+}
+
+/// The recycled cross-iteration state of one MCL run: SpGEMM workspace,
+/// epilogue lanes, the per-column chaos/dropout arrays, and spare DCSR
+/// storage for the frozen-row stitch. Everything here is an allocation
+/// cache or per-column slot store — reuse never changes results.
+struct MclBuffers {
+  sparse::SpGemmWorkspace<float> ws;
+  std::vector<EpiScratch> lanes;
+  std::vector<double> col_chaos;      // per global column, latest chaos
+  std::vector<std::uint32_t> streak;  // consecutive sub-epsilon iterations
+  std::vector<std::uint8_t> skip;     // this iteration's dropout mask
+  std::vector<std::uint8_t> prev_skip;
+  // Spare DCSR arrays cycling through the frozen-row stitch.
+  std::vector<Index> sp_row_ids;
+  std::vector<Offset> sp_row_ptr;
+  std::vector<Index> sp_cols;
+  std::vector<float> sp_vals;
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    std::uint64_t b = ws.capacity_bytes();
+    for (const auto& l : lanes) b += l.capacity_bytes();
+    b += static_cast<std::uint64_t>(col_chaos.capacity()) * sizeof(double);
+    b += static_cast<std::uint64_t>(streak.capacity()) *
+         sizeof(std::uint32_t);
+    b += skip.capacity() + prev_skip.capacity();
+    b += static_cast<std::uint64_t>(sp_row_ids.capacity()) * sizeof(Index) +
+         static_cast<std::uint64_t>(sp_row_ptr.capacity()) * sizeof(Offset) +
+         static_cast<std::uint64_t>(sp_cols.capacity()) * sizeof(Index) +
+         static_cast<std::uint64_t>(sp_vals.capacity()) * sizeof(float);
+    return b;
+  }
+};
+
+struct MaskCounts {
+  std::size_t skipped = 0;
+  std::uint64_t frozen_nnz = 0;
+  std::uint64_t reentered = 0;
+};
+
+/// Builds this iteration's dropout mask over the rows of M (stripe-local
+/// ids + row_offset = global column ids): column j skips recompute when
+/// its own streak AND every support column's streak reached `after`.
+/// The pass reads only LAST iteration's streaks, so a neighbour's reset
+/// reaches dependants one iteration later — that lag is the re-entry rule.
+/// One writer per skip/prev_skip slot; streaks are read-only here (the
+/// frozen columns' streak bump is a separate pass, else the mask pass
+/// would race with it).
+MaskCounts build_skip_mask(const SpMat<float>& M, Index row_offset,
+                           std::uint32_t after, MclBuffers& buf,
+                           util::ThreadPool* pool, int max_threads) {
+  const std::size_t n_rows = M.n_nonempty_rows();
+  const std::vector<std::size_t> bounds =
+      row_chunks(n_rows, pass_threads(pool, max_threads));
+  const std::size_t n_chunks = bounds.empty() ? 0 : bounds.size() - 1;
+  std::vector<MaskCounts> parts(n_chunks);
+  run_chunks(pool, n_chunks, [&](std::size_t c) {
+    MaskCounts& mc = parts[c];
+    for (std::size_t k = bounds[c]; k < bounds[c + 1]; ++k) {
+      const Index g = M.row_id(k) + row_offset;
+      bool frozen = buf.streak[g] >= after;
+      for (Offset o = M.row_begin(k); frozen && o < M.row_end(k); ++o) {
+        frozen = buf.streak[M.col(o)] >= after;
+      }
+      const auto sv = static_cast<std::uint8_t>(frozen ? 1 : 0);
+      buf.skip[g] = sv;
+      if (frozen) {
+        ++mc.skipped;
+        mc.frozen_nnz += M.row_end(k) - M.row_begin(k);
+      }
+      if (buf.prev_skip[g] != 0 && !frozen) ++mc.reentered;
+      buf.prev_skip[g] = sv;
+    }
+  });
+  MaskCounts mc;
+  for (const auto& x : parts) {
+    mc.skipped += x.skipped;
+    mc.frozen_nnz += x.frozen_nnz;
+    mc.reentered += x.reentered;
+  }
+  return mc;
+}
+
+/// Frozen columns' streaks keep growing (their chaos is definitionally
+/// unchanged below epsilon); active columns' streaks are updated by the
+/// epilogue itself. Runs strictly AFTER the mask build — see above.
+void bump_frozen_streaks(const SpMat<float>& M, Index row_offset,
+                         MclBuffers& buf) {
+  for (std::size_t k = 0; k < M.n_nonempty_rows(); ++k) {
+    const Index g = M.row_id(k) + row_offset;
+    if (buf.skip[g] != 0) ++buf.streak[g];
+  }
+}
+
+/// Rebuilds the full flow matrix from the recomputed active columns (P)
+/// and the frozen columns carried over from the previous matrix (M): a
+/// linear row-order merge into the given spare DCSR arrays. Every row of
+/// M lands in exactly one of the two sources (the expansion of an active
+/// column is never empty — every referenced column is stochastic).
+SpMat<float> stitch_frozen(const SpMat<float>& P, const SpMat<float>& M,
+                           const std::uint8_t* skip, Index row_offset,
+                           std::vector<Index>&& row_ids,
+                           std::vector<Offset>&& row_ptr,
+                           std::vector<Index>&& cols,
+                           std::vector<float>&& vals) {
+  row_ids.clear();
+  row_ptr.clear();
+  cols.clear();
+  vals.clear();
+  row_ptr.push_back(0);
+  std::size_t kp = 0;
+  for (std::size_t k = 0; k < M.n_nonempty_rows(); ++k) {
+    const Index id = M.row_id(k);
+    if (skip[id + row_offset] != 0) {
+      const Offset b = M.row_begin(k);
+      const Offset e = M.row_end(k);
+      row_ids.push_back(id);
+      cols.insert(cols.end(), M.col_data(b), M.col_data(e));
+      vals.insert(vals.end(), M.val_data(b), M.val_data(e));
+      row_ptr.push_back(static_cast<Offset>(cols.size()));
+    } else if (kp < P.n_nonempty_rows() && P.row_id(kp) == id) {
+      const Offset b = P.row_begin(kp);
+      const Offset e = P.row_end(kp);
+      row_ids.push_back(id);
+      cols.insert(cols.end(), P.col_data(b), P.col_data(e));
+      vals.insert(vals.end(), P.val_data(b), P.val_data(e));
+      row_ptr.push_back(static_cast<Offset>(cols.size()));
+      ++kp;
+    }
+  }
+  return SpMat<float>::from_sorted_parts(M.nrows(), M.ncols(),
+                                         std::move(row_ids),
+                                         std::move(row_ptr), std::move(cols),
+                                         std::move(vals));
+}
+
+/// Chaos gauge of the flow matrix: max over its columns of the per-column
+/// chaos slots. With dropout, frozen columns contribute their last
+/// computed (sub-epsilon) value; without, every slot was written this
+/// iteration, reproducing the fold the old per-chunk max computed.
+double chaos_of(const SpMat<float>& M, Index row_offset,
+                const std::vector<double>& col_chaos) {
+  double chaos = 0.0;
+  for (std::size_t k = 0; k < M.n_nonempty_rows(); ++k) {
+    chaos = std::max(chaos, col_chaos[M.row_id(k) + row_offset]);
+  }
+  return chaos;
 }
 
 /// Logical DCSR bytes of a non-empty float matrix with `nonempty_rows`
@@ -239,6 +447,44 @@ std::uint64_t dcsr_bytes(std::uint64_t nonempty_rows, std::uint64_t nnz) {
   if (nnz == 0) return 0;  // empty SpMat stores nothing, not even row_ptr
   return nonempty_rows * sizeof(Index) + (nonempty_rows + 1) * sizeof(Offset) +
          nnz * (sizeof(Index) + sizeof(float));
+}
+
+/// (rows, nnz) of rank `rank`'s row stripe of the 2D-tiled `A`, computed
+/// from the tile directories BEFORE the gather materializes it — the
+/// numbers the budget feedback needs ahead of the fused gather fold, and
+/// exactly what the gathered stripe will contain.
+void stripe_pre_counts(const sim::ProcGrid& grid,
+                       const dist::DistSpMat<float>& A, int rank,
+                       std::vector<std::uint8_t>& seen,
+                       std::uint64_t* rows_out, std::uint64_t* nnz_out) {
+  const int side = grid.side();
+  const int p = grid.size();
+  const Index n = A.nrows();
+  const int gi = grid.row_of(rank);
+  const Index r0 = sim::ProcGrid::split_point(n, p, rank);
+  const Index r1 = sim::ProcGrid::split_point(n, p, rank + 1);
+  const Index base = A.row_begin(gi);
+  seen.assign(static_cast<std::size_t>(r1 - r0), 0);
+  std::uint64_t rows = 0;
+  std::uint64_t nnz = 0;
+  for (int s = 0; s < side; ++s) {
+    const auto& t = A.local(grid.rank_of(gi, s));
+    const auto ids = t.row_ids();
+    const auto lo = static_cast<std::size_t>(
+        std::lower_bound(ids.begin(), ids.end(), r0 - base) - ids.begin());
+    const auto hi = static_cast<std::size_t>(
+        std::lower_bound(ids.begin(), ids.end(), r1 - base) - ids.begin());
+    for (std::size_t k = lo; k < hi; ++k) {
+      nnz += t.row_end(k) - t.row_begin(k);
+      auto& sv = seen[static_cast<std::size_t>(t.row_id(k) - (r0 - base))];
+      if (sv == 0) {
+        sv = 1;
+        ++rows;
+      }
+    }
+  }
+  *rows_out = rows;
+  *nnz_out = nnz;
 }
 
 /// Vertically concatenates per-rank row stripes (stripe r = global rows
@@ -291,11 +537,14 @@ Clustering interpret(const SpMat<float>& M, Index n, float threshold,
 /// whole on one rank — the layout inflate/prune/chaos need), expansion
 /// scatters to the 2D tiling and runs the gather-stages SUMMA (bitwise
 /// equal to the local kernel — dist/summa.hpp), and the expanded matrix
-/// gathers back to stripes for the rank-local column scans. All
+/// gathers back to stripes for the rank-local column scans — with the
+/// fused path folding the ColumnEpilogue into the gather itself
+/// (gather_row_stripes_fused), so each column is pruned as it is
+/// assembled and only the pruned stripe materializes. All
 /// result-affecting decisions (per-column prune, global budget
-/// tightening) are bit-compatible with the shared-memory loop, so
-/// assignments are identical for any grid side; the per-rank ledger and
-/// clocks are what the grid changes.
+/// tightening, dropout masks) are bit-compatible with the shared-memory
+/// loop, so assignments are identical for any grid side; the per-rank
+/// ledger and clocks are what the grid changes.
 Clustering markov_cluster_distributed(const SimilarityGraph& g,
                                       const MclOptions& opt, MclStats& st,
                                       util::ThreadPool* pool) {
@@ -332,8 +581,69 @@ Clustering markov_cluster_distributed(const SimilarityGraph& g,
   });
   M0 = SpMat<float>();
 
+  const bool fused =
+      opt.fused && opt.kernel == sparse::SpGemmKernel::kHash2Phase;
+  const bool dropout = opt.dropout_iterations != 0;
+  const double drop_eps =
+      opt.dropout_epsilon > 0.0 ? opt.dropout_epsilon : opt.chaos_epsilon;
+
+  MclBuffers buf;
+  buf.col_chaos.assign(n, 0.0);
+  if (dropout) {
+    buf.streak.assign(n, 0);
+    buf.skip.assign(n, 0);
+    buf.prev_skip.assign(n, 0);
+  }
+  // One epilogue lane per rank: the fused gather fold passes the rank as
+  // the lane, the per-rank unfused sweep offsets by its lane_base.
+  buf.lanes.resize(static_cast<std::size_t>(p));
+
   std::uint32_t cap = opt.max_column_entries;
+  const ColumnEpilogue epi{opt.inflation,
+                           opt.prune_threshold,
+                           &cap,
+                           drop_eps,
+                           buf.col_chaos.data(),
+                           dropout ? buf.streak.data() : nullptr,
+                           /*row_offset=*/0,
+                           &buf.lanes,
+                           /*lane_base=*/0};
+
   for (int it = 0; it < opt.max_iterations; ++it) {
+    MclIterationStats is;
+    MaskCounts mc;
+    if (dropout) {
+      // Mask pass (reads last iteration's streaks only; skip/prev_skip
+      // slots are rank-disjoint), then the serial frozen-streak bump.
+      std::vector<MaskCounts> rank_mc(static_cast<std::size_t>(p));
+      rt.spmd([&](int r) {
+        const auto ri = static_cast<std::size_t>(r);
+        const Index r0 = sim::ProcGrid::split_point(n, p, r);
+        rank_mc[ri] = build_skip_mask(stripes[ri], r0,
+                                      opt.dropout_iterations, buf, nullptr, 0);
+      });
+      std::size_t total_rows = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        const Index r0 = sim::ProcGrid::split_point(n, p, r);
+        bump_frozen_streaks(stripes[ri], r0, buf);
+        mc.skipped += rank_mc[ri].skipped;
+        mc.frozen_nnz += rank_mc[ri].frozen_nnz;
+        mc.reentered += rank_mc[ri].reentered;
+        total_rows += stripes[ri].n_nonempty_rows();
+      }
+      if (mc.skipped == total_rows) {
+        // Every column froze below the dropout epsilon: the flow is
+        // settled even if the (stale) chaos gauge still reads above
+        // chaos_epsilon — only reachable when dropout_epsilon exceeds it.
+        st.converged = true;
+        break;
+      }
+      is.dropout_columns = static_cast<std::uint32_t>(mc.skipped);
+      is.reentered_columns = static_cast<std::uint32_t>(mc.reentered);
+    }
+    const bool masked = dropout && mc.skipped != 0;
+
     // Global (rows, nnz) of M from the stripes — the shared-memory
     // resident-bytes numbers, reproduced exactly.
     std::uint64_t m_rows = 0, m_nnz = 0;
@@ -350,7 +660,36 @@ Clustering markov_cluster_distributed(const SimilarityGraph& g,
       stripe_bytes[static_cast<std::size_t>(r)] =
           stripes[static_cast<std::size_t>(r)].bytes();
     }
-    for (auto& s : stripes) s = SpMat<float>();
+    // Under an active mask the stripes stay resident for the frozen-row
+    // stitch; the ledger still swaps them out at expand time (the frozen
+    // carry-over is not double-counted — a deliberate approximation).
+    if (!masked) {
+      for (auto& s : stripes) s = SpMat<float>();
+    }
+
+    // A-side dropout masking is tile-local filtering: the mask is globally
+    // known, so no extra wire traffic — each rank drops its frozen tile
+    // rows before the SUMMA. B stays the full Md (frozen columns still
+    // feed active products).
+    dist::DistSpMat<float> Ad;
+    std::vector<std::uint64_t> ad_tile_bytes(static_cast<std::size_t>(p), 0);
+    if (masked) {
+      Ad = dist::DistSpMat<float>(grid, n, n);
+      rt.spmd([&](int r) {
+        const Index base = Md.row_begin(grid.row_of(r));
+        Ad.local(r) = Md.local(r).pruned([&](Index rr, Index, float) {
+          return buf.skip[rr + base] == 0;
+        });
+        const std::uint64_t b = Ad.local(r).bytes();
+        ad_tile_bytes[static_cast<std::size_t>(r)] = b;
+        // Transient: streamed once, never entered into the resident ledger
+        // (it is charged against the rank budget below instead).
+        rt.clock(r).charge(
+            sim::Comp::kSparseOther,
+            rt.model().sparse_stream_time(Md.local(r).bytes() + b));
+      });
+    }
+    const dist::DistSpMat<float>& A_op = masked ? Ad : Md;
 
     // Ledger: the stripe is shipped out, the tile plus the gathered SUMMA
     // strips (the rank's full grid-row of A and grid-column of B) come in.
@@ -360,7 +699,7 @@ Clustering markov_cluster_distributed(const SimilarityGraph& g,
       const int gj = grid.col_of(r);
       std::uint64_t b = 0;
       for (int s = 0; s < side; ++s) {
-        b += Md.local(grid.rank_of(gi, s)).bytes() +
+        b += A_op.local(grid.rank_of(gi, s)).bytes() +
              Md.local(grid.rank_of(s, gj)).bytes();
       }
       strip_bytes[static_cast<std::size_t>(r)] = b;
@@ -375,37 +714,37 @@ Clustering markov_cluster_distributed(const SimilarityGraph& g,
     sopt.pool = pool;
     sopt.spgemm_threads = opt.max_threads;
     sopt.gather_stages = true;  // bitwise-exact float fold (see summa.hpp)
-    auto Ed = dist::summa<sparse::PlusTimes<float>>(rt, Md, Md, sopt,
+    auto Ed = dist::summa<sparse::PlusTimes<float>>(rt, A_op, Md, sopt,
                                                     &st.spgemm);
 
     rt.spmd([&](int r) {
       rt.clock(r).add_resident(Ed.local(r).bytes());
       rt.clock(r).sub_resident(strip_bytes[static_cast<std::size_t>(r)]);
     });
-    auto e_stripes = dist::gather_row_stripes(rt, Ed, sim::Comp::kSparseOther,
-                                              pool);
+
     std::vector<std::uint64_t> md_tile_bytes(static_cast<std::size_t>(p));
     std::vector<std::uint64_t> ed_tile_bytes(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
       md_tile_bytes[static_cast<std::size_t>(r)] = Md.local(r).bytes();
       ed_tile_bytes[static_cast<std::size_t>(r)] = Ed.local(r).bytes();
     }
-    rt.spmd([&](int r) {
-      rt.clock(r).add_resident(
-          e_stripes[static_cast<std::size_t>(r)].bytes());
-      rt.clock(r).sub_resident(md_tile_bytes[static_cast<std::size_t>(r)] +
-                               ed_tile_bytes[static_cast<std::size_t>(r)]);
-    });
-    Md = dist::DistSpMat<float>();
-    Ed = dist::DistSpMat<float>();
 
+    // Pre-gather stripe shapes from the tile directories: the budget
+    // feedback fires BEFORE the gather fold, mirroring the shared-memory
+    // fused kernel's symbolic→tighten→numeric ordering — and the counts
+    // equal the gathered stripes' exactly, so the decisions match the
+    // expand-then-prune sequence bit-for-bit.
+    std::vector<std::uint64_t> pre_rows_r(static_cast<std::size_t>(p));
+    std::vector<std::uint64_t> pre_nnz_r(static_cast<std::size_t>(p));
+    std::vector<std::uint8_t> seen;
     std::uint64_t e_rows = 0, e_nnz = 0;
-    for (const auto& s : e_stripes) {
-      e_rows += s.n_nonempty_rows();
-      e_nnz += s.nnz();
+    for (int r = 0; r < p; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      stripe_pre_counts(grid, Ed, r, seen, &pre_rows_r[ri], &pre_nnz_r[ri]);
+      e_rows += pre_rows_r[ri];
+      e_nnz += pre_nnz_r[ri];
     }
 
-    MclIterationStats is;
     is.expansion_products = st.spgemm.products - products_before;
     is.expansion_nnz = e_nnz;
     is.resident_bytes = dcsr_bytes(m_rows, m_nnz) + dcsr_bytes(e_rows, e_nnz);
@@ -425,10 +764,11 @@ Clustering markov_cluster_distributed(const SimilarityGraph& g,
     std::uint64_t max_rank = 0;
     for (int r = 0; r < p; ++r) {
       const auto ri = static_cast<std::size_t>(r);
-      const std::uint64_t f_expand =
-          md_tile_bytes[ri] + strip_bytes[ri] + ed_tile_bytes[ri];
-      const std::uint64_t f_gather = md_tile_bytes[ri] + ed_tile_bytes[ri] +
-                                     e_stripes[ri].bytes();
+      const std::uint64_t f_expand = md_tile_bytes[ri] + ad_tile_bytes[ri] +
+                                     strip_bytes[ri] + ed_tile_bytes[ri];
+      const std::uint64_t f_gather =
+          md_tile_bytes[ri] + ed_tile_bytes[ri] +
+          dcsr_bytes(pre_rows_r[ri], pre_nnz_r[ri]);
       max_rank = std::max({max_rank, f_expand, f_gather});
     }
     is.max_rank_resident_bytes = max_rank;
@@ -439,27 +779,86 @@ Clustering markov_cluster_distributed(const SimilarityGraph& g,
     }
     is.column_cap = cap;
 
-    // Inflate + prune + chaos: rank-local column scans (the transposed
-    // stripe holds every one of its flow columns whole), cap applied per
-    // tile. Row-identical to the shared-memory pass.
-    std::vector<double> rank_chaos(static_cast<std::size_t>(p), 0.0);
-    rt.spmd([&](int r) {
-      const auto ri = static_cast<std::size_t>(r);
-      const std::uint64_t e_b = e_stripes[ri].bytes();
-      stripes[ri] = inflate_prune(e_stripes[ri], opt, cap, nullptr, 0,
-                                  &rank_chaos[ri]);
-      e_stripes[ri] = SpMat<float>();
-      auto& clock = rt.clock(r);
-      clock.charge(sim::Comp::kSparseOther,
-                   rt.model().sparse_stream_time(e_b + stripes[ri].bytes()));
-      clock.add_resident(stripes[ri].bytes());
-      clock.sub_resident(e_b);
-    });
+    // Inflate + prune + chaos via the shared ColumnEpilogue — fused into
+    // the gather fold (each column pruned as its tile segments merge, only
+    // the pruned stripe materializes) or as the rank-local sweep over the
+    // gathered stripe. Row-identical to the shared-memory pass either way.
+    std::vector<SpMat<float>> pruned_stripes;
+    if (fused) {
+      obs::Span fspan(opt.telemetry.tracer, "mcl.fused_epilogue");
+      fspan.arg("pre_nnz", static_cast<double>(e_nnz));
+      fspan.arg("dropout_columns", static_cast<double>(is.dropout_columns));
+      pruned_stripes =
+          dist::gather_row_stripes_fused(rt, Ed, epi, cap,
+                                         sim::Comp::kSparseOther);
+      rt.spmd([&](int r) {
+        const auto ri = static_cast<std::size_t>(r);
+        const std::uint64_t pruned_b = pruned_stripes[ri].bytes();
+        auto& clock = rt.clock(r);
+        clock.charge(sim::Comp::kSparseOther,
+                     rt.model().sparse_stream_time(pruned_b));
+        clock.add_resident(pruned_b);
+        clock.sub_resident(md_tile_bytes[ri] + ed_tile_bytes[ri]);
+      });
+    } else {
+      auto e_stripes = dist::gather_row_stripes(rt, Ed,
+                                                sim::Comp::kSparseOther, pool);
+      rt.spmd([&](int r) {
+        rt.clock(r).add_resident(
+            e_stripes[static_cast<std::size_t>(r)].bytes());
+        rt.clock(r).sub_resident(md_tile_bytes[static_cast<std::size_t>(r)] +
+                                 ed_tile_bytes[static_cast<std::size_t>(r)]);
+      });
+      pruned_stripes.resize(static_cast<std::size_t>(p));
+      rt.spmd([&](int r) {
+        const auto ri = static_cast<std::size_t>(r);
+        const Index r0 = sim::ProcGrid::split_point(n, p, r);
+        const std::uint64_t e_b = e_stripes[ri].bytes();
+        ColumnEpilogue repi = epi;
+        repi.row_offset = r0;  // stripe-local rows -> global columns
+        repi.lane_base = ri;   // serial sweep -> chunk 0 -> this rank's lane
+        pruned_stripes[ri] = inflate_prune(e_stripes[ri], repi, nullptr, 0);
+        e_stripes[ri] = SpMat<float>();
+        auto& clock = rt.clock(r);
+        clock.charge(
+            sim::Comp::kSparseOther,
+            rt.model().sparse_stream_time(e_b + pruned_stripes[ri].bytes()));
+        clock.add_resident(pruned_stripes[ri].bytes());
+        clock.sub_resident(e_b);
+      });
+    }
+    Md = dist::DistSpMat<float>();
+    Ed = dist::DistSpMat<float>();
+    Ad = dist::DistSpMat<float>();
+
+    if (masked) {
+      // Merge the recomputed active columns with the frozen carry-over.
+      rt.spmd([&](int r) {
+        const auto ri = static_cast<std::size_t>(r);
+        const Index r0 = sim::ProcGrid::split_point(n, p, r);
+        SpMat<float> prev = std::move(stripes[ri]);
+        const std::uint64_t pruned_b = pruned_stripes[ri].bytes();
+        stripes[ri] = stitch_frozen(pruned_stripes[ri], prev,
+                                    buf.skip.data(), r0, {}, {}, {}, {});
+        pruned_stripes[ri] = SpMat<float>();
+        auto& clock = rt.clock(r);
+        const std::uint64_t b = stripes[ri].bytes();
+        clock.charge(sim::Comp::kSparseOther,
+                     rt.model().sparse_stream_time(b));
+        clock.add_resident(b);
+        clock.sub_resident(pruned_b);
+      });
+    } else {
+      stripes = std::move(pruned_stripes);
+    }
+
     double chaos = 0.0;
     std::uint64_t pruned = 0;
     for (int r = 0; r < p; ++r) {
-      chaos = std::max(chaos, rank_chaos[static_cast<std::size_t>(r)]);
-      pruned += stripes[static_cast<std::size_t>(r)].nnz();
+      const auto ri = static_cast<std::size_t>(r);
+      const Index r0 = sim::ProcGrid::split_point(n, p, r);
+      chaos = std::max(chaos, chaos_of(stripes[ri], r0, buf.col_chaos));
+      pruned += stripes[ri].nnz();
     }
     is.pruned_nnz = pruned;
     is.chaos = chaos;
@@ -498,35 +897,132 @@ Clustering markov_cluster(const SimilarityGraph& g, const MclOptions& opt,
     return canonicalize(labels);
   }
 
+  const bool fused =
+      opt.fused && opt.kernel == sparse::SpGemmKernel::kHash2Phase;
+  const bool dropout = opt.dropout_iterations != 0;
+  const double drop_eps =
+      opt.dropout_epsilon > 0.0 ? opt.dropout_epsilon : opt.chaos_epsilon;
+  const Index n = g.n_vertices();
+
+  MclBuffers buf;
+  buf.col_chaos.assign(n, 0.0);
+  if (dropout) {
+    buf.streak.assign(n, 0);
+    buf.skip.assign(n, 0);
+    buf.prev_skip.assign(n, 0);
+  }
+  buf.lanes.resize(
+      std::max<std::size_t>(1, pass_threads(pool, opt.max_threads)));
+
   std::uint32_t cap = opt.max_column_entries;
+  const ColumnEpilogue epi{opt.inflation,
+                           opt.prune_threshold,
+                           &cap,
+                           drop_eps,
+                           buf.col_chaos.data(),
+                           dropout ? buf.streak.data() : nullptr,
+                           /*row_offset=*/0,
+                           &buf.lanes,
+                           /*lane_base=*/0};
+  std::uint64_t scratch_hw = 0;
+
   for (int it = 0; it < opt.max_iterations; ++it) {
     obs::Span span(opt.telemetry.tracer, "mcl.iteration");
     span.arg("iteration", static_cast<double>(it));
-    // Expand: M ← M² on the configured kernel ((M²)ᵀ = Mᵀ·Mᵀ, so the
-    // transposed storage multiplies by itself unchanged).
-    const std::uint64_t products_before = st.spgemm.products;
-    SpMat<float> E = sparse::spgemm<sparse::PlusTimes<float>>(
-        M, M, opt.kernel, &st.spgemm, pool, opt.max_threads, opt.telemetry);
 
     MclIterationStats is;
-    is.expansion_products = st.spgemm.products - products_before;
-    is.expansion_nnz = E.nnz();
-    is.resident_bytes = M.bytes() + E.bytes();
-    st.peak_resident_bytes =
-        std::max(st.peak_resident_bytes, is.resident_bytes);
-    // Memory-budget feedback: a too-fat iteration tightens the column cap
-    // for this and all later prunes (deterministic — byte counts are).
-    if (opt.memory_budget_bytes != 0 &&
-        is.resident_bytes > opt.memory_budget_bytes) {
-      cap = cap == 0 ? 256 : std::max<std::uint32_t>(4, cap / 2);
-      ++st.budget_tightenings;
+    MaskCounts mc;
+    if (dropout) {
+      mc = build_skip_mask(M, 0, opt.dropout_iterations, buf, pool,
+                           opt.max_threads);
+      bump_frozen_streaks(M, 0, buf);
+      if (mc.skipped == M.n_nonempty_rows()) {
+        // Every column froze below the dropout epsilon: the flow is
+        // settled even if the (stale) chaos gauge still reads above
+        // chaos_epsilon — only reachable when dropout_epsilon exceeds it.
+        st.converged = true;
+        break;
+      }
+      is.dropout_columns = static_cast<std::uint32_t>(mc.skipped);
+      is.reentered_columns = static_cast<std::uint32_t>(mc.reentered);
     }
-    is.column_cap = cap;
+    const bool masked = dropout && mc.skipped != 0;
 
-    double chaos = 0.0;
-    M = inflate_prune(E, opt, cap, pool, opt.max_threads, &chaos);
+    const std::uint64_t m_rows = M.n_nonempty_rows();
+    const std::uint64_t m_nnz = M.nnz();
+    const std::uint64_t products_before = st.spgemm.products;
+
+    // Memory-budget feedback: a too-fat iteration tightens the column cap
+    // for this and all later prunes (deterministic — byte counts are). On
+    // the fused path this runs BETWEEN the symbolic and numeric phases
+    // (the on_symbolic hook), fed the exact pre-epilogue shape — the same
+    // numbers, hence the same decision, as the expand-then-prune sequence.
+    auto tighten = [&](std::uint64_t e_rows, std::uint64_t e_nnz) {
+      is.expansion_nnz = e_nnz;
+      is.resident_bytes =
+          dcsr_bytes(m_rows, m_nnz) + dcsr_bytes(e_rows, e_nnz);
+      st.peak_resident_bytes =
+          std::max(st.peak_resident_bytes, is.resident_bytes);
+      if (opt.memory_budget_bytes != 0 &&
+          is.resident_bytes > opt.memory_budget_bytes) {
+        cap = cap == 0 ? 256 : std::max<std::uint32_t>(4, cap / 2);
+        ++st.budget_tightenings;
+      }
+      is.column_cap = cap;
+      return cap;
+    };
+
+    // Expand M ← M² ((M²)ᵀ = Mᵀ·Mᵀ, so the transposed storage multiplies
+    // by itself unchanged) and prune — fused (inflate/prune/chaos inside
+    // the numeric phase, one DCSR write per iteration) or as the classic
+    // expand-then-sweep with the same epilogue.
+    SpMat<float> P;  // the pruned update (active columns only when masked)
+    if (fused) {
+      obs::Span fspan(opt.telemetry.tracer, "mcl.fused_epilogue");
+      sparse::FusedExpandInfo finfo;
+      P = sparse::spgemm_hash2p_fused<sparse::PlusTimes<float>>(
+          M, M, epi, tighten, dropout ? buf.skip.data() : nullptr, &buf.ws,
+          &finfo, &st.spgemm, pool, opt.max_threads, opt.telemetry);
+      fspan.arg("pre_nnz", static_cast<double>(finfo.pre_nnz));
+      fspan.arg("kept_nnz", static_cast<double>(P.nnz()));
+      fspan.arg("dropout_columns", static_cast<double>(is.dropout_columns));
+    } else {
+      SpMat<float> A_active;
+      if (masked) {
+        A_active = M.pruned(
+            [&](Index r, Index, float) { return buf.skip[r] == 0; });
+      }
+      const SpMat<float>& A = masked ? A_active : M;
+      SpMat<float> E = sparse::spgemm<sparse::PlusTimes<float>>(
+          A, M, opt.kernel, &st.spgemm, pool, opt.max_threads, opt.telemetry);
+      tighten(E.n_nonempty_rows(), E.nnz());
+      P = inflate_prune(E, epi, pool, opt.max_threads);
+    }
+    is.expansion_products = st.spgemm.products - products_before;
+
+    // Install the new flow matrix, donating the dying arrays back to the
+    // recycled workspace (two DCSR array sets alternate between the live
+    // matrix and the builder; the stitch spares cycle the same way).
+    SpMat<float> Mold = std::move(M);
+    if (!masked) {
+      M = std::move(P);
+      Mold.release_parts(buf.ws.out_row_ids, buf.ws.out_row_ptr,
+                         buf.ws.out_cols, buf.ws.out_vals);
+    } else {
+      M = stitch_frozen(P, Mold, buf.skip.data(), 0,
+                        std::move(buf.sp_row_ids), std::move(buf.sp_row_ptr),
+                        std::move(buf.sp_cols), std::move(buf.sp_vals));
+      P.release_parts(buf.ws.out_row_ids, buf.ws.out_row_ptr,
+                      buf.ws.out_cols, buf.ws.out_vals);
+      Mold.release_parts(buf.sp_row_ids, buf.sp_row_ptr, buf.sp_cols,
+                         buf.sp_vals);
+    }
+
     is.pruned_nnz = M.nnz();
+    const double chaos = chaos_of(M, 0, buf.col_chaos);
     is.chaos = chaos;
+    scratch_hw = std::max(scratch_hw, buf.capacity_bytes());
+    is.scratch_high_water_bytes = scratch_hw;
     span.arg("chaos", chaos);
     span.arg("resident_bytes", static_cast<double>(is.resident_bytes));
     span.arg("pruned_nnz", static_cast<double>(is.pruned_nnz));

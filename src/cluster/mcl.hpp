@@ -64,6 +64,28 @@ struct MclOptions {
   /// tightening depends only on deterministic byte counts, so results
   /// remain thread-count invariant.
   std::uint64_t memory_budget_bytes = 0;
+  /// Fuse inflate + prune + chaos into the expansion's numeric phase
+  /// (sparse::spgemm_hash2p_fused): each flow column is powered,
+  /// renormalized, capped and chaos-accumulated while hot, and the flow
+  /// matrix is written to DCSR exactly once per iteration. Only applies
+  /// when `kernel == kHash2Phase` (the serial oracles stay expand-then-
+  /// prune); both paths run the SAME per-column epilogue, so fused on/off
+  /// is bit-identical — it is a performance knob, kept toggleable as its
+  /// own oracle.
+  bool fused = true;
+  /// Converged-column dropout: a column whose chaos stayed below
+  /// dropout_epsilon for this many consecutive iterations — and whose
+  /// support columns all did too — skips recompute (its flow column is
+  /// carried over frozen) until a support column's streak resets, which
+  /// re-enters it the following iteration. 0 = off (the default;
+  /// exact-equivalence mode). With dropout on, iterations shrink as the
+  /// flow settles; results stay bit-identical across pool sizes and grid
+  /// sides for a FIXED dropout setting, and epsilon-close to the
+  /// no-dropout run.
+  std::uint32_t dropout_iterations = 0;
+  /// Per-column chaos threshold the dropout streaks compare against
+  /// (0 = use chaos_epsilon).
+  double dropout_epsilon = 0.0;
 
   // --- distributed expansion (HipMCL-style; PastisConfig::mcl.distributed) --
   /// Run the expansion through the sparse SUMMA over a simulated
@@ -107,6 +129,17 @@ struct MclIterationStats {
   std::uint64_t max_rank_resident_bytes = 0;
   double chaos = 0.0;
   std::uint32_t column_cap = 0;          // cap in force this iteration
+  /// Columns excluded from this iteration's expansion by the converged-
+  /// column dropout mask (0 when dropout is off).
+  std::uint32_t dropout_columns = 0;
+  /// Previously-frozen columns forced back into this iteration's expansion
+  /// because a support column's streak reset (the re-entry rule).
+  std::uint32_t reentered_columns = 0;
+  /// Running high-water of the recycled iteration scratch (SpGEMM
+  /// workspace + epilogue lanes + dropout arrays + stitch spares) — the
+  /// buffer-churn gauge: flat from iteration 2 on means no per-iteration
+  /// reallocation growth (asserted in tests). Shared-memory path only.
+  std::uint64_t scratch_high_water_bytes = 0;
 };
 
 struct MclStats {

@@ -13,6 +13,8 @@
 // order-independent adds this code base uses (see core/common_kmers.hpp).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "dist/distmat.hpp"
@@ -152,6 +154,131 @@ template <sparse::SemiringLike SR>
     stats->out_nnz += C.nnz();
   }
   return C;
+}
+
+/// gather_row_stripes with a per-row epilogue fused into the stripe
+/// assembly — the distributed companion of sparse::spgemm_hash2p_fused.
+///
+/// Each rank walks its stripe's rows by merging the <= side tile segments
+/// that cover them (ascending grid column = ascending global column, so the
+/// assembled row is sorted and bit-exactly the row gather_row_stripes would
+/// extract), and instead of materializing the unpruned stripe hands every
+/// assembled row to
+///
+///   kept = epilogue(rank, global_row, cols, vals, nnz, out_cols, out_vals)
+///
+/// with the same contract as the fused kernel's epilogue: out slots sized
+/// min(nnz, max_row_out) (0 = nnz), survivors written column-ascending,
+/// rows keeping 0 dropped. The returned stripes are exactly
+/// inflate_prune(gather_row_stripes(...)) when the epilogue is the MCL
+/// column pass — without the pre-epilogue stripe ever existing on the
+/// rank. Charges mirror gather_row_stripes, with the UNpruned stripe as
+/// the received bytes (the fold runs receiver-side; the full rows still
+/// cross the wire).
+template <typename T, typename Epilogue>
+[[nodiscard]] std::vector<sparse::SpMat<T>> gather_row_stripes_fused(
+    sim::SimRuntime& rt, const DistSpMat<T>& A, Epilogue&& epilogue,
+    std::uint32_t max_row_out,
+    sim::Comp charge = sim::Comp::kSparseOther) {
+  using sparse::Index;
+  using sparse::Offset;
+  using sparse::SpMat;
+  const sim::ProcGrid& grid = rt.grid();
+  const int side = grid.side();
+  const int p = grid.size();
+  const Index n = A.nrows();
+  constexpr Index kNoRow = static_cast<Index>(-1);
+
+  std::vector<SpMat<T>> stripes(static_cast<std::size_t>(p));
+  rt.spmd([&](int rank) {
+    const int gi = rank / side;  // the grid row this rank's stripe nests in
+    const Index r0 = sim::ProcGrid::split_point(n, p, rank);
+    const Index r1 = sim::ProcGrid::split_point(n, p, rank + 1);
+    const Index base = A.row_begin(gi);
+
+    // Per-tile directory windows covering this stripe's local row range.
+    std::vector<std::size_t> cur(static_cast<std::size_t>(side));
+    std::vector<std::size_t> end(static_cast<std::size_t>(side));
+    for (int s = 0; s < side; ++s) {
+      const auto& t = A.local(grid.rank_of(gi, s));
+      const auto ids = t.row_ids();
+      cur[static_cast<std::size_t>(s)] = static_cast<std::size_t>(
+          std::lower_bound(ids.begin(), ids.end(), r0 - base) - ids.begin());
+      end[static_cast<std::size_t>(s)] = static_cast<std::size_t>(
+          std::lower_bound(ids.begin(), ids.end(), r1 - base) - ids.begin());
+    }
+
+    std::vector<Index> row_ids;
+    std::vector<Offset> row_ptr;
+    std::vector<Index> cols;
+    std::vector<T> vals;
+    row_ptr.push_back(0);
+    std::vector<Index> seg_cols;  // one assembled (pre-epilogue) row
+    std::vector<T> seg_vals;
+    std::uint64_t pre_rows = 0;
+    std::uint64_t pre_nnz = 0;
+    for (;;) {
+      Index next = kNoRow;
+      for (int s = 0; s < side; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        if (cur[si] < end[si]) {
+          next = std::min(next, A.local(grid.rank_of(gi, s)).row_id(cur[si]));
+        }
+      }
+      if (next == kNoRow) break;
+      seg_cols.clear();
+      seg_vals.clear();
+      for (int s = 0; s < side; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        const auto& t = A.local(grid.rank_of(gi, s));
+        if (cur[si] < end[si] && t.row_id(cur[si]) == next) {
+          const Index c0 = A.col_begin(s);
+          for (Offset o = t.row_begin(cur[si]); o < t.row_end(cur[si]); ++o) {
+            seg_cols.push_back(t.col(o) + c0);
+            seg_vals.push_back(t.val(o));
+          }
+          ++cur[si];
+        }
+      }
+      const std::size_t nseg = seg_cols.size();
+      ++pre_rows;
+      pre_nnz += nseg;
+      const std::size_t bound =
+          max_row_out == 0
+              ? nseg
+              : std::min<std::size_t>(nseg, max_row_out);
+      const std::size_t at = cols.size();
+      cols.resize(at + bound);
+      vals.resize(at + bound);
+      const std::size_t kept =
+          epilogue(rank, next + base, seg_cols.data(), seg_vals.data(), nseg,
+                   cols.data() + at, vals.data() + at);
+      cols.resize(at + kept);
+      vals.resize(at + kept);
+      if (kept != 0) {
+        row_ids.push_back(next + base - r0);
+        row_ptr.push_back(static_cast<Offset>(cols.size()));
+      }
+    }
+    stripes[static_cast<std::size_t>(rank)] = SpMat<T>::from_sorted_parts(
+        r1 - r0, A.ncols(), std::move(row_ids), std::move(row_ptr),
+        std::move(cols), std::move(vals));
+
+    const std::uint64_t b_out = A.local(rank).bytes();
+    // What crosses the wire is the PRE-epilogue stripe (the fold is
+    // receiver-side): its DCSR bytes, reconstructed from the merge counts.
+    const std::uint64_t b_wire =
+        pre_nnz == 0
+            ? 0
+            : pre_rows * sizeof(Index) + (pre_rows + 1) * sizeof(Offset) +
+                  pre_nnz * (sizeof(Index) + sizeof(T));
+    rt.clock(rank).charge(charge,
+                          rt.model().sparse_stream_time(b_out + b_wire) +
+                              rt.model().p2p_time(b_out));
+    rt.clock(rank).bytes_sent += b_out;
+    rt.clock(rank).bytes_recv += b_wire;
+  });
+  return stripes;
 }
 
 }  // namespace pastis::dist

@@ -124,6 +124,30 @@ class SpMat {
   [[nodiscard]] Index col(Offset o) const { return col_ids_[o]; }
   [[nodiscard]] const T& val(Offset o) const { return vals_[o]; }
   [[nodiscard]] T& val(Offset o) { return vals_[o]; }
+  /// Raw pointers into the column/value arrays starting at nonzero `o` —
+  /// for callers that process a whole row as contiguous spans (the fused
+  /// epilogue takes pointer+length, not an accessor object).
+  [[nodiscard]] const Index* col_data(Offset o) const {
+    return col_ids_.data() + o;
+  }
+  [[nodiscard]] const T* val_data(Offset o) const { return vals_.data() + o; }
+
+  /// Moves the four DCSR arrays out into the given receivers (swap: the
+  /// receivers' old storage lands in this — now emptied — matrix and is
+  /// freed with it). Lets an iterative caller donate a dying matrix's
+  /// capacity to the next iteration's builder instead of reallocating.
+  /// The matrix is left empty; its shape is unchanged.
+  void release_parts(std::vector<Index>& row_ids, std::vector<Offset>& row_ptr,
+                     std::vector<Index>& col_ids, std::vector<T>& vals) {
+    row_ids.swap(row_ids_);
+    row_ptr.swap(row_ptr_);
+    col_ids.swap(col_ids_);
+    vals.swap(vals_);
+    row_ids_.clear();
+    row_ptr_.clear();
+    col_ids_.clear();
+    vals_.clear();
+  }
 
   /// Binary-searches the row directory; returns the directory slot of row
   /// `r` or npos if the row is empty.

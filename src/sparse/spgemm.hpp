@@ -21,8 +21,10 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -148,6 +150,14 @@ class HashAccumulator {
   }
 
   [[nodiscard]] std::size_t row_size() const { return used_.size(); }
+
+  /// Current storage footprint (table + slot list capacities) — the number
+  /// the MCL scratch high-water accounting tracks across iterations.
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(keys_.capacity()) * sizeof(Index) +
+           static_cast<std::uint64_t>(vals_.capacity()) * sizeof(V) +
+           static_cast<std::uint64_t>(used_.capacity()) * sizeof(std::size_t);
+  }
 
  private:
   void sort_used() {
@@ -514,6 +524,350 @@ template <SemiringLike SR>
   out_row_ptr.push_back(out_nnz);
 
   finish_stats(total_flops, out_nnz);
+  return SpMat<V>::from_sorted_parts(A.nrows(), B.ncols(),
+                                     std::move(out_row_ids),
+                                     std::move(out_row_ptr),
+                                     std::move(out_cols), std::move(out_vals));
+}
+
+/// Reusable cross-call scratch for spgemm_hash2p_fused: the B-row slot
+/// cache, flop/schedule prefixes, per-row nnz/offset arrays, per-chunk hash
+/// accumulators and row-extraction buffers, and the output DCSR arrays.
+/// An iterative caller (the MCL loop) keeps one workspace alive so every
+/// allocation hits its high water once and is then recycled; donating a
+/// dying matrix's storage back via SpMat::release_parts into out_* closes
+/// the loop. Purely an allocation cache: reusing a workspace across calls
+/// never changes any result.
+template <typename V>
+struct SpGemmWorkspace {
+  std::vector<std::uint32_t> kb_of;
+  std::vector<std::uint64_t> flops;  // cumulative flops (symbolic balance)
+  std::vector<std::uint64_t> sched;  // flops + epilogue weight (numeric)
+  std::vector<Offset> row_nnz;
+  std::vector<Offset> row_off;   // padded output offsets
+  std::vector<Offset> kept_nnz;  // per-row epilogue survivors
+  std::vector<Index> out_row_ids;
+  std::vector<Offset> out_row_ptr;
+  std::vector<Index> out_cols;
+  std::vector<V> out_vals;
+  std::vector<detail::HashAccumulator<V>> sym_accs;
+  std::vector<detail::HashAccumulator<V>> num_accs;
+  std::vector<std::vector<Index>> row_cols;  // per-chunk extracted row
+  std::vector<std::vector<V>> row_vals;
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    auto vec = [](const auto& v) {
+      return static_cast<std::uint64_t>(v.capacity()) *
+             sizeof(typename std::decay_t<decltype(v)>::value_type);
+    };
+    std::uint64_t b = vec(kb_of) + vec(flops) + vec(sched) + vec(row_nnz) +
+                      vec(row_off) + vec(kept_nnz) + vec(out_row_ids) +
+                      vec(out_row_ptr) + vec(out_cols) + vec(out_vals);
+    for (const auto& a : sym_accs) b += a.capacity_bytes();
+    for (const auto& a : num_accs) b += a.capacity_bytes();
+    for (const auto& v : row_cols) b += vec(v);
+    for (const auto& v : row_vals) b += vec(v);
+    return b;
+  }
+};
+
+/// Exact pre-epilogue output shape of one fused call: the (nonempty rows,
+/// nnz) the unfused kernel would have materialized for the rows actually
+/// computed (skip-masked rows excluded). The MCL loop turns these into the
+/// same resident-bytes numbers the unfused path charges.
+struct FusedExpandInfo {
+  std::uint64_t pre_rows = 0;
+  std::uint64_t pre_nnz = 0;
+};
+
+/// Relative cost of one output entry's epilogue work (pow + select + write)
+/// vs one semiring product, used to re-balance the numeric-phase chunks.
+/// Scheduling only — never affects results.
+inline constexpr std::uint64_t kFusedEpilogueWeight = 16;
+
+/// C = A ·_SR B with the two-phase kernel and a per-row epilogue fused into
+/// the numeric phase (prune-during-accumulate).
+///
+/// After a row of A·B is accumulated and extracted column-sorted into
+/// chunk-local scratch, the epilogue rewrites it in place of the plain
+/// copy-out:
+///
+///   kept = epilogue(chunk, row_id, cols, vals, nnz, out_cols, out_vals)
+///
+/// where (cols, vals, nnz) are the row's sorted pre-epilogue entries and
+/// (out_cols, out_vals) point at the row's final DCSR slice, pre-sized to
+/// min(nnz, max_row_out) (max_row_out == 0 means nnz). The epilogue writes
+/// its survivors column-ascending and returns how many it kept (<= the
+/// slice size); rows that keep 0 entries drop from the output directory.
+/// `chunk` identifies the scheduling chunk for per-chunk caller scratch; it
+/// is scheduling-only, so determinism requires the epilogue's OUTPUT be a
+/// pure function of (row_id, cols, vals, nnz). Under that contract the
+/// result is bit-identical for any pool size, thread cap, or workspace
+/// reuse — the MCL inflate/prune/chaos pass satisfies it by construction.
+///
+/// `on_symbolic(pre_rows, pre_nnz)` is invoked exactly once per call —
+/// after the symbolic pass, before any epilogue runs (with zeros on the
+/// trivially-empty early returns) — and returns max_row_out. This is the
+/// hook the MCL loop uses to make its memory-budget / column-cap decision
+/// from the same pre-epilogue numbers, at the same point, as the unfused
+/// expand-then-prune path.
+///
+/// `skip_rows` (optional; indexed by GLOBAL row id, so size >= A.nrows())
+/// marks rows to exclude entirely: they cost no flops and emit nothing
+/// (the MCL converged-column dropout mask).
+///
+/// Scheduling: the symbolic pass balances chunks by flops, as in
+/// spgemm_hash2p; the numeric pass re-balances by
+/// flops + kFusedEpilogueWeight * row_nnz, since the fused epilogue's
+/// per-entry work rivals several hash adds (the "column-balanced"
+/// schedule — A rows are flow-matrix columns in the transposed layout).
+///
+/// `stats->out_nnz` counts PRE-epilogue nnz (what the unfused kernel would
+/// report), keeping fused and unfused runs' compression factors and stats
+/// comparable; the kept nnz is visible on the returned matrix.
+template <SemiringLike SR, typename Epilogue, typename OnSymbolic>
+[[nodiscard]] SpMat<typename SR::value_type> spgemm_hash2p_fused(
+    const SpMat<typename SR::left_type>& A,
+    const SpMat<typename SR::right_type>& B, Epilogue&& epilogue,
+    OnSymbolic&& on_symbolic, const std::uint8_t* skip_rows = nullptr,
+    SpGemmWorkspace<typename SR::value_type>* ws = nullptr,
+    FusedExpandInfo* info = nullptr, SpGemmStats* stats = nullptr,
+    util::ThreadPool* pool = nullptr, int max_threads = 0,
+    const obs::Telemetry& telem = {}) {
+  using V = typename SR::value_type;
+  if (A.ncols() != B.nrows()) {
+    throw std::invalid_argument("spgemm: inner dimensions disagree");
+  }
+  SpGemmWorkspace<V> local_ws;
+  SpGemmWorkspace<V>& w = ws != nullptr ? *ws : local_ws;
+  const std::size_t nka = A.n_nonempty_rows();
+
+  auto finish_stats = [&](std::uint64_t products, std::uint64_t out_nnz) {
+    if (stats != nullptr) {
+      stats->products += products;
+      stats->out_nnz += out_nnz;
+      ++stats->calls;
+    }
+    if (telem.metrics != nullptr) {
+      telem.metrics->counter("spgemm.calls_total").add(1.0);
+      telem.metrics->counter("spgemm.flops_total")
+          .add(static_cast<double>(products));
+      telem.metrics->counter("spgemm.out_nnz_total")
+          .add(static_cast<double>(out_nnz));
+    }
+  };
+  auto timed_phase = [&](const char* name, auto&& fn) {
+    if (!telem.enabled()) {
+      fn();
+      return;
+    }
+    obs::Span span(telem.tracer, name);
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    if (telem.metrics != nullptr) {
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      telem.metrics->histogram(std::string(name) + "_seconds").observe(s);
+    }
+  };
+  auto empty_result = [&] {
+    if (info != nullptr) *info = {};
+    (void)on_symbolic(0, 0);
+    finish_stats(0, 0);
+    return SpMat<V>(A.nrows(), B.ncols());
+  };
+  if (nka == 0 || B.n_nonempty_rows() == 0) return empty_result();
+
+  const detail::RowDirectory dir(B.nrows(), B.row_ids());
+
+  // Directory pass (as in spgemm_hash2p), with skip-masked rows charged
+  // zero flops so both the schedule and the passes ignore them.
+  constexpr std::uint32_t kMissSlot = static_cast<std::uint32_t>(-1);
+  w.kb_of.resize(A.nnz());
+  w.flops.resize(nka + 1);
+  w.flops[0] = 0;
+  for (std::size_t ka = 0; ka < nka; ++ka) {
+    std::uint64_t f = 0;
+    if (skip_rows == nullptr || skip_rows[A.row_id(ka)] == 0) {
+      for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+        const std::size_t kb = dir.lookup(A.col(o));
+        if (kb != detail::RowDirectory::npos) {
+          w.kb_of[o] = static_cast<std::uint32_t>(kb);
+          f += static_cast<std::uint64_t>(B.row_end(kb) - B.row_begin(kb));
+        } else {
+          w.kb_of[o] = kMissSlot;
+        }
+      }
+    }
+    w.flops[ka + 1] = w.flops[ka] + f;
+  }
+  const std::uint64_t total_flops = w.flops[nka];
+  if (total_flops == 0) return empty_result();
+
+  std::size_t threads = pool != nullptr ? pool->size() : 1;
+  if (max_threads > 0) {
+    threads = std::min(threads, static_cast<std::size_t>(max_threads));
+  }
+  if (total_flops < (1u << 14)) threads = 1;
+
+  auto run_chunks = [&](const std::vector<std::size_t>& bounds,
+                        const std::function<void(std::size_t)>& chunk_fn) {
+    const std::size_t n = bounds.size() - 1;
+    if (pool == nullptr || n <= 1) {
+      for (std::size_t c = 0; c < n; ++c) chunk_fn(c);
+    } else {
+      pool->parallel_for(n, chunk_fn);
+    }
+  };
+
+  // ---- symbolic pass: exact pre-epilogue nnz of every output row -----------
+  constexpr std::size_t kSymbolicSizeCap = 4096;
+  const std::vector<std::size_t> sym_bounds =
+      detail::flop_chunks(w.flops, threads);
+  const std::size_t n_sym = sym_bounds.size() - 1;
+  if (w.sym_accs.size() < n_sym) w.sym_accs.resize(n_sym);
+  w.row_nnz.assign(nka, 0);
+  timed_phase("spgemm.symbolic", [&] {
+    run_chunks(sym_bounds, [&](std::size_t c) {
+      detail::HashAccumulator<V>& acc = w.sym_accs[c];
+      for (std::size_t ka = sym_bounds[c]; ka < sym_bounds[c + 1]; ++ka) {
+        const std::uint64_t f = w.flops[ka + 1] - w.flops[ka];
+        if (f == 0) continue;
+        acc.begin_row(std::min(static_cast<std::size_t>(f), kSymbolicSizeCap));
+        for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+          const std::uint32_t kb = w.kb_of[o];
+          if (kb == kMissSlot) continue;
+          for (Offset ob = B.row_begin(kb); ob < B.row_end(kb); ++ob) {
+            acc.insert(B.col(ob));
+          }
+        }
+        w.row_nnz[ka] = static_cast<Offset>(acc.row_size());
+        acc.clear_row();
+      }
+    });
+  });
+
+  // ---- pre-epilogue shape → caller's budget decision -----------------------
+  std::uint64_t pre_rows = 0;
+  std::uint64_t pre_nnz = 0;
+  for (std::size_t ka = 0; ka < nka; ++ka) {
+    pre_rows += w.row_nnz[ka] != 0;
+    pre_nnz += w.row_nnz[ka];
+  }
+  if (info != nullptr) {
+    info->pre_rows = pre_rows;
+    info->pre_nnz = pre_nnz;
+  }
+  const std::uint32_t max_row_out = on_symbolic(pre_rows, pre_nnz);
+
+  // ---- padded offsets + recycled output arrays -----------------------------
+  w.row_off.resize(nka + 1);
+  w.row_off[0] = 0;
+  for (std::size_t ka = 0; ka < nka; ++ka) {
+    const Offset bound =
+        max_row_out == 0
+            ? w.row_nnz[ka]
+            : std::min<Offset>(w.row_nnz[ka], max_row_out);
+    w.row_off[ka + 1] = w.row_off[ka] + bound;
+  }
+  const Offset padded_nnz = w.row_off[nka];
+  std::vector<Index> out_cols = std::move(w.out_cols);
+  std::vector<V> out_vals = std::move(w.out_vals);
+  out_cols.clear();
+  out_vals.clear();
+  out_cols.resize(padded_nnz);
+  out_vals.resize(padded_nnz);
+  w.kept_nnz.assign(nka, 0);
+
+  // ---- numeric pass, epilogue fused ----------------------------------------
+  // Re-balanced: a fused chunk's cost is its products plus its epilogue
+  // entries, so the schedule weighs both (the symbolic flop split would
+  // starve high-compression chunks of their epilogue time).
+  w.sched.resize(nka + 1);
+  w.sched[0] = 0;
+  for (std::size_t ka = 0; ka < nka; ++ka) {
+    w.sched[ka + 1] = w.sched[ka] + (w.flops[ka + 1] - w.flops[ka]) +
+                      kFusedEpilogueWeight * w.row_nnz[ka];
+  }
+  const std::vector<std::size_t> num_bounds =
+      detail::flop_chunks(w.sched, threads);
+  const std::size_t n_num = num_bounds.size() - 1;
+  if (w.num_accs.size() < n_num) w.num_accs.resize(n_num);
+  if (w.row_cols.size() < n_num) {
+    w.row_cols.resize(n_num);
+    w.row_vals.resize(n_num);
+  }
+  timed_phase("spgemm.numeric", [&] {
+    run_chunks(num_bounds, [&](std::size_t c) {
+      detail::HashAccumulator<V>& acc = w.num_accs[c];
+      std::vector<Index>& rc = w.row_cols[c];
+      std::vector<V>& rv = w.row_vals[c];
+      for (std::size_t ka = num_bounds[c]; ka < num_bounds[c + 1]; ++ka) {
+        const Offset rn = w.row_nnz[ka];
+        if (rn == 0) continue;
+        acc.begin_row(static_cast<std::size_t>(rn));
+        for (Offset o = A.row_begin(ka); o < A.row_end(ka); ++o) {
+          const std::uint32_t kb = w.kb_of[o];
+          if (kb == kMissSlot) continue;
+          const auto& aval = A.val(o);
+          for (Offset ob = B.row_begin(kb); ob < B.row_end(kb); ++ob) {
+            acc.template add<SR>(B.col(ob), SR::multiply(aval, B.val(ob)));
+          }
+        }
+        if (rc.size() < static_cast<std::size_t>(rn)) {
+          rc.resize(static_cast<std::size_t>(rn));
+          rv.resize(static_cast<std::size_t>(rn));
+        }
+        acc.extract_sorted_to(rc.data(), rv.data());
+        const std::size_t kept =
+            epilogue(c, A.row_id(ka), rc.data(), rv.data(),
+                     static_cast<std::size_t>(rn),
+                     out_cols.data() + w.row_off[ka],
+                     out_vals.data() + w.row_off[ka]);
+        w.kept_nnz[ka] = static_cast<Offset>(kept);
+      }
+    });
+  });
+
+  // ---- compact the padded slices left, build the directory -----------------
+  // Serial by design: destinations always trail sources within a left-to-
+  // right sweep, but a parallel sweep's chunk could overwrite an earlier
+  // chunk's still-unread source region. The pass moves only the kept
+  // (pruned) entries — a small fraction of the numeric work.
+  std::vector<Index> out_row_ids = std::move(w.out_row_ids);
+  std::vector<Offset> out_row_ptr = std::move(w.out_row_ptr);
+  out_row_ids.clear();
+  out_row_ptr.clear();
+  Offset dst = 0;
+  for (std::size_t ka = 0; ka < nka; ++ka) {
+    const Offset kept = w.kept_nnz[ka];
+    if (kept == 0) continue;
+    const Offset src = w.row_off[ka];
+    if (dst != src) {
+      std::copy(out_cols.begin() + static_cast<std::ptrdiff_t>(src),
+                out_cols.begin() + static_cast<std::ptrdiff_t>(src + kept),
+                out_cols.begin() + static_cast<std::ptrdiff_t>(dst));
+      std::copy(out_vals.begin() + static_cast<std::ptrdiff_t>(src),
+                out_vals.begin() + static_cast<std::ptrdiff_t>(src + kept),
+                out_vals.begin() + static_cast<std::ptrdiff_t>(dst));
+    }
+    out_row_ids.push_back(A.row_id(ka));
+    out_row_ptr.push_back(dst);
+    dst += kept;
+  }
+  out_row_ptr.push_back(dst);
+  finish_stats(total_flops, pre_nnz);
+  if (dst == 0) {
+    // Return the recycled arrays so their capacity survives the miss.
+    w.out_cols = std::move(out_cols);
+    w.out_vals = std::move(out_vals);
+    w.out_row_ids = std::move(out_row_ids);
+    w.out_row_ptr = std::move(out_row_ptr);
+    return SpMat<V>(A.nrows(), B.ncols());
+  }
+  out_cols.resize(dst);
+  out_vals.resize(dst);
   return SpMat<V>::from_sorted_parts(A.nrows(), B.ncols(),
                                      std::move(out_row_ids),
                                      std::move(out_row_ptr),

@@ -497,3 +497,190 @@ TEST(Config, RunAndClusterInheritsThroughTheChain) {
 
   EXPECT_TRUE(from_root.clustering.clusters == from_mcl.clustering.clusters);
 }
+
+// ---- fused iteration: epilogue fusion, buffer recycling, dropout -----------
+
+TEST(Mcl, FusedOffIsBitIdenticalToFusedOn) {
+  const auto edges = planted_graph(400, 16, 0.5, 120, 21);
+  const auto g = pc::SimilarityGraph::from_edges(400, edges);
+
+  pc::MclStats fused_stats;
+  const auto fused = pc::markov_cluster(g, {}, &fused_stats);  // fused default
+
+  for (std::size_t threads : {1u, 8u}) {
+    pastis::util::ThreadPool pool(threads);
+    pc::MclOptions opt;
+    opt.fused = false;
+    pc::MclStats stats;
+    const auto got = pc::markov_cluster(g, opt, &stats, &pool);
+    EXPECT_TRUE(got == fused) << "threads=" << threads;
+    EXPECT_EQ(stats.iterations, fused_stats.iterations);
+    // The fused kernel reports PRE-epilogue SpGEMM stats, so the two
+    // paths' counters must coincide exactly — pruning never leaks in.
+    EXPECT_EQ(stats.spgemm.products, fused_stats.spgemm.products);
+    EXPECT_EQ(stats.spgemm.out_nnz, fused_stats.spgemm.out_nnz);
+    EXPECT_EQ(stats.spgemm.calls, fused_stats.spgemm.calls);
+    ASSERT_EQ(stats.per_iteration.size(), fused_stats.per_iteration.size());
+    for (std::size_t i = 0; i < stats.per_iteration.size(); ++i) {
+      EXPECT_EQ(stats.per_iteration[i].expansion_nnz,
+                fused_stats.per_iteration[i].expansion_nnz);
+      EXPECT_EQ(stats.per_iteration[i].pruned_nnz,
+                fused_stats.per_iteration[i].pruned_nnz);
+      EXPECT_EQ(stats.per_iteration[i].resident_bytes,
+                fused_stats.per_iteration[i].resident_bytes);
+      EXPECT_DOUBLE_EQ(stats.per_iteration[i].chaos,
+                       fused_stats.per_iteration[i].chaos);
+    }
+  }
+}
+
+TEST(Mcl, IterationScratchHighWaterIsFlatAfterIterationTwo) {
+  // The recycled workspace (SpGEMM scratch, epilogue lanes, DCSR arrays)
+  // must hit its high water by iteration 2 and never grow again — flat
+  // scratch is the no-per-iteration-reallocation contract.
+  const auto edges = planted_graph(400, 16, 0.5, 120, 22);
+  const auto g = pc::SimilarityGraph::from_edges(400, edges);
+  pc::MclStats stats;
+  (void)pc::markov_cluster(g, {}, &stats);
+  ASSERT_GE(stats.iterations, 5);
+  const auto& pit = stats.per_iteration;
+  ASSERT_GT(pit[2].scratch_high_water_bytes, 0u);
+  for (std::size_t i = 2; i < pit.size(); ++i) {
+    EXPECT_EQ(pit[i].scratch_high_water_bytes,
+              pit[2].scratch_high_water_bytes)
+        << "iteration " << i;
+  }
+}
+
+TEST(Mcl, DropoutBitIdenticalAcrossPoolsAndFusionModes) {
+  const auto edges = planted_graph(400, 16, 0.5, 120, 23);
+  const auto g = pc::SimilarityGraph::from_edges(400, edges);
+
+  pc::MclOptions dopt;
+  dopt.dropout_iterations = 2;
+  pc::MclStats ref_stats;
+  const auto ref = pc::markov_cluster(g, dopt, &ref_stats);  // serial fused
+
+  std::uint64_t dropped = 0;
+  for (const auto& it : ref_stats.per_iteration) dropped += it.dropout_columns;
+  EXPECT_GT(dropped, 0u);  // the knob actually engages on this workload
+
+  // For a FIXED dropout setting, results are bit-identical across pool
+  // sizes and across the fused/unfused paths — including the mask series.
+  for (bool fuse : {true, false}) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      pastis::util::ThreadPool pool(threads);
+      pc::MclOptions opt = dopt;
+      opt.fused = fuse;
+      pc::MclStats stats;
+      const auto got = pc::markov_cluster(g, opt, &stats, &pool);
+      EXPECT_TRUE(got == ref) << "fused=" << fuse << " threads=" << threads;
+      EXPECT_EQ(stats.iterations, ref_stats.iterations);
+      EXPECT_EQ(stats.spgemm.products, ref_stats.spgemm.products);
+      ASSERT_EQ(stats.per_iteration.size(), ref_stats.per_iteration.size());
+      for (std::size_t i = 0; i < stats.per_iteration.size(); ++i) {
+        EXPECT_EQ(stats.per_iteration[i].dropout_columns,
+                  ref_stats.per_iteration[i].dropout_columns);
+        EXPECT_EQ(stats.per_iteration[i].reentered_columns,
+                  ref_stats.per_iteration[i].reentered_columns);
+        EXPECT_EQ(stats.per_iteration[i].pruned_nnz,
+                  ref_stats.per_iteration[i].pruned_nnz);
+        EXPECT_DOUBLE_EQ(stats.per_iteration[i].chaos,
+                         ref_stats.per_iteration[i].chaos);
+      }
+    }
+  }
+
+  // With the conservative default epsilon the frozen columns are genuinely
+  // settled: the assignments match the no-dropout run.
+  const auto plain = pc::markov_cluster(g, {});
+  EXPECT_TRUE(ref == plain);
+}
+
+TEST(Mcl, DroppedColumnsReenterWhenNeighboursReset) {
+  // An aggressive epsilon freezes columns early while still-active
+  // neighbours' chaos can rebound above it — resetting their streaks and
+  // forcing the frozen dependants back into the expansion.
+  const auto edges = planted_graph(300, 12, 0.45, 200, 24);
+  const auto g = pc::SimilarityGraph::from_edges(300, edges);
+  pc::MclOptions opt;
+  opt.dropout_iterations = 2;
+  opt.dropout_epsilon = 0.2;
+  pc::MclStats stats;
+  const auto got = pc::markov_cluster(g, opt, &stats);
+  std::uint64_t dropped = 0, reentered = 0;
+  for (const auto& it : stats.per_iteration) {
+    dropped += it.dropout_columns;
+    reentered += it.reentered_columns;
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(reentered, 0u);
+  // Re-entry keeps the run pool-invariant.
+  pastis::util::ThreadPool pool(8);
+  pc::MclStats par;
+  EXPECT_TRUE(pc::markov_cluster(g, opt, &par, &pool) == got);
+  EXPECT_EQ(par.iterations, stats.iterations);
+}
+
+TEST(Mcl, BindingBudgetTightensIdenticallyFusedAndUnfused) {
+  // The fused kernel's on_symbolic hook fires between the symbolic and
+  // numeric phases with the exact pre-epilogue shape — the same numbers,
+  // hence the same cap decisions, as the expand-then-prune sequence.
+  const auto edges = planted_graph(300, 30, 0.6, 0, 5);
+  const auto g = pc::SimilarityGraph::from_edges(300, edges);
+  pc::MclStats probe;
+  (void)pc::markov_cluster(g, {}, &probe);
+
+  pc::MclOptions opt;
+  opt.memory_budget_bytes = probe.peak_resident_bytes / 2;
+  pc::MclStats fused_stats;
+  const auto fused = pc::markov_cluster(g, opt, &fused_stats);
+  ASSERT_GT(fused_stats.budget_tightenings, 0);
+
+  opt.fused = false;
+  pc::MclStats plain_stats;
+  const auto plain = pc::markov_cluster(g, opt, &plain_stats);
+  EXPECT_TRUE(fused == plain);
+  EXPECT_EQ(fused_stats.budget_tightenings, plain_stats.budget_tightenings);
+  ASSERT_EQ(fused_stats.per_iteration.size(),
+            plain_stats.per_iteration.size());
+  for (std::size_t i = 0; i < fused_stats.per_iteration.size(); ++i) {
+    EXPECT_EQ(fused_stats.per_iteration[i].column_cap,
+              plain_stats.per_iteration[i].column_cap);
+    EXPECT_EQ(fused_stats.per_iteration[i].resident_bytes,
+              plain_stats.per_iteration[i].resident_bytes);
+  }
+}
+
+TEST(DistMcl, DropoutSweepBitIdenticalAcrossGridSides) {
+  const auto edges = planted_graph(160, 9, 0.7, 120, 77);
+  const auto g = pc::SimilarityGraph::from_edges(160, edges);
+
+  for (std::uint32_t drop : {0u, 2u}) {
+    pc::MclOptions sopt;
+    sopt.dropout_iterations = drop;
+    pc::MclStats shared_stats;
+    const auto expected = pc::markov_cluster(g, sopt, &shared_stats);
+
+    for (int side : {1, 2, 3}) {
+      pc::MclOptions opt = sopt;
+      opt.distributed = true;
+      opt.grid_side = side;
+      pc::MclStats stats;
+      const auto got = pc::markov_cluster(g, opt, &stats);
+      EXPECT_TRUE(got == expected) << "side=" << side << " dropout=" << drop;
+      EXPECT_EQ(stats.iterations, shared_stats.iterations);
+      ASSERT_EQ(stats.per_iteration.size(),
+                shared_stats.per_iteration.size());
+      for (std::size_t i = 0; i < stats.per_iteration.size(); ++i) {
+        EXPECT_EQ(stats.per_iteration[i].dropout_columns,
+                  shared_stats.per_iteration[i].dropout_columns)
+            << "side=" << side << " dropout=" << drop << " iter=" << i;
+        EXPECT_EQ(stats.per_iteration[i].pruned_nnz,
+                  shared_stats.per_iteration[i].pruned_nnz);
+        EXPECT_DOUBLE_EQ(stats.per_iteration[i].chaos,
+                         shared_stats.per_iteration[i].chaos);
+      }
+    }
+  }
+}
