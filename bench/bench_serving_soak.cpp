@@ -1,0 +1,327 @@
+// Serving-tier soak: an always-on stream of Zipf-skewed, drifting query
+// batches against a mutating index (add_references every epoch, LSM delta
+// segments, size-ratio compaction, online re-placement on the grid).
+// Three hard gates anchor the serving-tier contract in CI smoke runs:
+//   (a) the result cache's hit rate reaches the stream's theoretical
+//       repeat fraction — computed EXACTLY from the generated stream under
+//       the cache's key (content, epoch, parity) and pipeline-visibility
+//       rule — minus epsilon;
+//   (b) delta-path results are bit-identical to a from-scratch rebuild of
+//       the union index at EVERY epoch — shared memory and grid alike;
+//   (c) measured p95 and amortized per-batch latency with cache + deltas
+//       stay below the rebuild-per-epoch baseline (each baseline batch
+//       carries its epoch's measured rebuild share; each tier batch its
+//       epoch's measured add_references share — segment build plus any
+//       compaction). Wall time, not the machine model: the model charges
+//       a fixed per-call SpGEMM overhead that is invariant to cached
+//       queries, so only measured time can see the cache win; modeled
+//       seconds are still reported for the record.
+// Emits BENCH_soak.json.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "bench_common.hpp"
+
+using namespace pastis;
+using namespace pastis::bench;
+
+namespace {
+
+/// Zipf(s) sampler over [0, n) via the precomputed CDF — deterministic in
+/// the Xoshiro stream, heavy-headed like production query logs.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) : cdf_(n) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+  }
+  [[nodiscard]] std::size_t operator()(util::Xoshiro256& rng) const {
+    const double u = rng.uniform();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto i = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n_refs = static_cast<std::uint32_t>(args.i("refs", 700));
+  const auto n_add = static_cast<std::uint32_t>(args.i("adds", 140));
+  const auto n_epochs = static_cast<std::size_t>(args.i("epochs", 3));
+  const auto n_batches = static_cast<std::size_t>(args.i("batches", 6));
+  const auto batch_q = static_cast<std::size_t>(args.i("batch_queries", 25));
+  const auto pool_sz = static_cast<std::size_t>(args.i("pool", 48));
+  const auto drift = static_cast<std::size_t>(args.i("drift", 16));
+  const double zipf_s = args.d("zipf", 1.1);
+  const int n_shards = static_cast<int>(args.i("shards", 8));
+  const int depth = static_cast<int>(args.i("depth", 2));
+  const int side = static_cast<int>(args.i("side", 2));
+  const double trigger = args.d("trigger", 0.3);
+  const double eps = args.d("epsilon", 0.02);
+  const std::string out =
+      args.s("out", pastis::bench::out_path("BENCH_soak.json"));
+
+  util::banner("serving-tier soak — cache, deltas, compaction, re-placement");
+  const auto ds = make_dataset(n_refs, 23);
+  std::vector<std::string> base_refs = ds.seqs;
+
+  // Epoch reference deltas, disjoint from the base by seed.
+  std::vector<std::vector<std::string>> adds(n_epochs);
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    adds[e] = make_dataset(n_add, 101 + e).seqs;
+  }
+
+  // Distinct query pool: mutated copies of base references plus decoys —
+  // the pool the Zipf head ranks over. Drift slides the window each epoch.
+  static const std::string aas = "ARNDCQEGHILKMFPSTWYV";
+  util::Xoshiro256 rng(77);
+  const std::size_t master_sz = pool_sz + n_epochs * drift;
+  std::vector<std::string> master(master_sz);
+  for (auto& q : master) {
+    if (rng.chance(0.8)) {
+      q = base_refs[rng.below(base_refs.size())];
+      for (auto& c : q) {
+        if (rng.chance(0.08)) c = aas[rng.below(aas.size())];
+      }
+    } else {
+      q.assign(120 + rng.below(200), 'A');
+      for (auto& c : q) c = aas[rng.below(aas.size())];
+    }
+  }
+
+  // The full stream, generated up front: per epoch, `n_batches` batches of
+  // `batch_q` Zipf draws over the drifted pool window. Knowing the stream
+  // lets us compute gate (a)'s prediction EXACTLY: the engine's cache key
+  // is (content, epoch, parity) — parity is the query's global-id parity
+  // under the index-based load-balance scheme, and global ids run
+  // sequentially from the epoch's total reference count — and a lookup in
+  // batch b only sees entries first served in a batch o with
+  // o + depth <= b (the pipeline-visibility rule). The cache is
+  // invalidated at every epoch, so the map resets with the epoch.
+  const Zipf zipf(pool_sz, zipf_s);
+  std::vector<std::vector<std::vector<std::string>>> stream(n_epochs);
+  std::uint64_t predicted_hits = 0, total_queries = 0;
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    stream[e].resize(n_batches);
+    const std::uint64_t ref_count = n_refs + (e + 1) * n_add;
+    std::map<std::pair<std::string, unsigned>, std::size_t> first_batch;
+    for (std::size_t b = 0; b < n_batches; ++b) {
+      for (std::size_t i = 0; i < batch_q; ++i) {
+        const auto& q = master[e * drift + zipf(rng)];
+        stream[e][b].push_back(q);
+        const auto parity = static_cast<unsigned>(
+            (ref_count + static_cast<std::uint64_t>(total_queries) -
+             static_cast<std::uint64_t>(e) * n_batches * batch_q) &
+            1u);
+        ++total_queries;
+        const auto key = std::make_pair(q, parity);
+        const auto it = first_batch.find(key);
+        if (it != first_batch.end() &&
+            it->second + static_cast<std::size_t>(depth) <= b) {
+          ++predicted_hits;
+        } else if (it == first_batch.end()) {
+          first_batch.emplace(key, b);
+        }
+      }
+    }
+  }
+  const double predicted_rate = static_cast<double>(predicted_hits) /
+                                static_cast<double>(total_queries);
+  std::printf(
+      "base %s refs + %zu epochs x %s adds   shards %d   depth %d\n"
+      "stream: %zu batches/epoch x %zu queries, Zipf(%.2f) over %zu-query "
+      "pool, drift %zu/epoch\npredicted repeat fraction %.4f\n\n",
+      util::with_commas(n_refs).c_str(), n_epochs,
+      util::with_commas(n_add).c_str(), n_shards, depth, n_batches, batch_q,
+      zipf_s, pool_sz, drift, predicted_rate);
+
+  core::PastisConfig cfg;
+  const sim::MachineModel model;
+
+  // ---- tier under soak (shared memory) -------------------------------------
+  serve::TierOptions topt;
+  topt.engine.pipeline_depth = depth;
+  topt.cache_capacity_bytes = 64ull << 20;
+  topt.compaction_trigger_ratio = trigger;
+  serve::ServingTier tier(index::KmerIndex::build(base_refs, cfg, n_shards),
+                          cfg, model, topt);
+
+  ShapeChecks sc;
+  bool identical = true;
+  std::uint64_t cache_hits = 0;
+  double tier_total = 0.0, base_total = 0.0;
+  double tier_modeled = 0.0, base_modeled = 0.0;
+  std::vector<double> tier_lat, base_lat;
+  std::vector<std::vector<io::SimilarityEdge>> oracle_hits(n_epochs);
+  util::TextTable t({"epoch", "refs", "segments", "tier hits", "cache hits",
+                     "tier amort (ms)", "rebuild amort (ms)", "identical"});
+  std::vector<std::string> union_refs = base_refs;
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    // Measured epoch fixed costs: the tier pays the incremental add
+    // (segment build + any compaction the trigger fires); the baseline
+    // pays a from-scratch rebuild of the union.
+    util::Timer add_wall;
+    (void)tier.add_references(adds[e]);
+    const double tier_fixed = add_wall.seconds();
+    union_refs.insert(union_refs.end(), adds[e].begin(), adds[e].end());
+    const int segments_now = tier.delta_index().n_segments();
+
+    util::Timer build_wall;
+    const auto rebuilt = index::KmerIndex::build(union_refs, cfg, n_shards);
+    const double base_fixed = build_wall.seconds();
+    index::QueryEngine::Options bopt;
+    bopt.pipeline_depth = depth;
+    index::QueryEngine oracle(rebuilt, cfg, model, bopt);
+
+    // Batch-by-batch so each batch gets a measured latency; the cache's
+    // ordinal/visibility behavior is identical to one serve() of the
+    // whole epoch (ordinals advance per batch either way).
+    std::vector<io::SimilarityEdge> got_hits, want_hits;
+    std::uint64_t epoch_cache_hits = 0;
+    double tier_epoch = tier_fixed, base_epoch = base_fixed;
+    for (std::size_t b = 0; b < n_batches; ++b) {
+      util::Timer tw;
+      const auto got = tier.serve({stream[e][b]});
+      const double tl = tw.seconds();
+      util::Timer bw;
+      const auto want = oracle.serve({stream[e][b]});
+      const double bl = bw.seconds();
+      got_hits.insert(got_hits.end(), got.hits.begin(), got.hits.end());
+      want_hits.insert(want_hits.end(), want.hits.begin(), want.hits.end());
+      epoch_cache_hits += got.stats.cache_hits;
+      tier_epoch += tl;
+      base_epoch += bl;
+      tier_modeled += got.stats.t_serve;
+      base_modeled += want.stats.t_serve + want.stats.t_index_build;
+      tier_lat.push_back(tl + tier_fixed / static_cast<double>(n_batches));
+      base_lat.push_back(bl + base_fixed / static_cast<double>(n_batches));
+    }
+    cache_hits += epoch_cache_hits;
+    tier_total += tier_epoch;
+    base_total += base_epoch;
+    // Canonical order: serve() sorts a whole stream's hits globally, so
+    // per-batch concatenations are compared after the same sort.
+    io::sort_edges(got_hits);
+    io::sort_edges(want_hits);
+    const bool same = got_hits == want_hits;
+    identical = identical && same && !got_hits.empty();
+    oracle_hits[e] = std::move(want_hits);
+    t.add_row({std::to_string(e + 1), util::with_commas(union_refs.size()),
+               std::to_string(segments_now),
+               util::with_commas(got_hits.size()),
+               util::with_commas(epoch_cache_hits),
+               f4(1e3 * tier_epoch / static_cast<double>(n_batches)),
+               f4(1e3 * base_epoch / static_cast<double>(n_batches)),
+               same ? "yes" : "NO"});
+  }
+  t.print();
+
+  const double hit_rate =
+      static_cast<double>(cache_hits) / static_cast<double>(total_queries);
+  const double tier_amort = tier_total / static_cast<double>(tier_lat.size());
+  const double base_amort = base_total / static_cast<double>(base_lat.size());
+  const double tier_p95 = percentile(tier_lat, 0.95);
+  const double base_p95 = percentile(base_lat, 0.95);
+  std::printf("\ncache hit rate %.4f (predicted %.4f)   compactions %llu\n",
+              hit_rate, predicted_rate,
+              static_cast<unsigned long long>(tier.stats().compactions));
+  std::printf(
+      "amortized batch: tier %.2f ms vs rebuild-per-epoch %.2f ms (%.2fx)\n",
+      1e3 * tier_amort, 1e3 * base_amort, base_amort / tier_amort);
+  std::printf("p95 batch: tier %.2f ms vs rebuild-per-epoch %.2f ms\n",
+              1e3 * tier_p95, 1e3 * base_p95);
+  std::printf("modeled serve totals: tier %s s vs rebuild %s s\n\n",
+              f4(tier_modeled).c_str(), f4(base_modeled).c_str());
+
+  util::banner("shape checks");
+  const bool rate_ok = hit_rate >= predicted_rate - eps;
+  sc.check(rate_ok, "cache hit rate " + f4(hit_rate) +
+                        " >= predicted repeat fraction " + f4(predicted_rate) +
+                        " - " + f4(eps) + " (hard gate)");
+  sc.check(identical,
+           "delta-path results bit-identical to the from-scratch rebuild at "
+           "every epoch (hard gate)");
+  const bool faster = tier_amort < base_amort && tier_p95 <= base_p95;
+  sc.check(faster, "measured amortized " + f2(1e3 * tier_amort) + " ms < " +
+                       f2(1e3 * base_amort) + " ms and p95 " +
+                       f2(1e3 * tier_p95) + " <= " + f2(1e3 * base_p95) +
+                       " ms vs rebuild-per-epoch (hard gate)");
+  sc.check(tier.stats().compactions > 0,
+           "the size-ratio trigger fired during the soak");
+
+  // ---- the same soak on the grid, with online re-placement -----------------
+  serve::TierOptions gopt = topt;
+  gopt.engine.grid_side = side;
+  gopt.online_replacement = args.i("grid_replace", 1) != 0;
+  if (args.i("grid_cache", 1) == 0) gopt.cache_capacity_bytes = 0;
+  serve::ServingTier grid(index::KmerIndex::build(base_refs, cfg, n_shards),
+                          cfg, model, gopt);
+  bool grid_identical = true;
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    (void)grid.add_references(adds[e]);
+    const auto got = grid.serve(stream[e]);
+    grid_identical = grid_identical && got.hits == oracle_hits[e];
+  }
+  sc.check(grid_identical,
+           "grid soak (side " + std::to_string(side) +
+               ", compaction + online re-placement) stays bit-identical "
+               "(hard gate)");
+  std::printf("grid: %llu shards migrated (%s bytes), %s modeled s\n",
+              static_cast<unsigned long long>(grid.stats().migrated_shards),
+              util::with_commas(grid.stats().migrated_bytes).c_str(),
+              f4(grid.stats().migrate_modeled_seconds).c_str());
+  sc.summary();
+
+  const bool ok = rate_ok && identical && faster && grid_identical;
+  {
+    std::ofstream os(out);
+    os << "{\n"
+       << "  \"bench\": \"serving_soak\",\n"
+       << "  \"refs\": " << n_refs << ",\n"
+       << "  \"adds_per_epoch\": " << n_add << ",\n"
+       << "  \"epochs\": " << n_epochs << ",\n"
+       << "  \"batches_per_epoch\": " << n_batches << ",\n"
+       << "  \"queries_per_batch\": " << batch_q << ",\n"
+       << "  \"zipf_s\": " << zipf_s << ",\n"
+       << "  \"pool\": " << pool_sz << ",\n"
+       << "  \"drift\": " << drift << ",\n"
+       << "  \"predicted_repeat_fraction\": " << predicted_rate << ",\n"
+       << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+       << "  \"hit_rate_gate\": " << (rate_ok ? "true" : "false") << ",\n"
+       << "  \"bit_identical_every_epoch\": " << (identical ? "true" : "false")
+       << ",\n"
+       << "  \"grid_bit_identical\": " << (grid_identical ? "true" : "false")
+       << ",\n"
+       << "  \"compactions\": " << tier.stats().compactions << ",\n"
+       << "  \"migrated_shards\": " << grid.stats().migrated_shards << ",\n"
+       << "  \"migrated_bytes\": " << grid.stats().migrated_bytes << ",\n"
+       << "  \"amortized_batch_seconds\": {\"tier\": " << tier_amort
+       << ", \"rebuild_per_epoch\": " << base_amort << "},\n"
+       << "  \"p95_batch_seconds\": {\"tier\": " << tier_p95
+       << ", \"rebuild_per_epoch\": " << base_p95 << "},\n"
+       << "  \"latency_gate\": " << (faster ? "true" : "false") << "\n"
+       << "}\n";
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return ok ? 0 : 1;
+}

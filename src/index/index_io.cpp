@@ -45,26 +45,60 @@ T read_pod(std::istream& is, const char* what) {
   return v;
 }
 
-struct Header {
-  IndexParams params;
+/// v3 segment manifest entry: the header-level description of one LSM
+/// delta segment (serve/delta_index.hpp), enough to gate memory and find
+/// placement loads without materializing postings.
+struct SegmentMeta {
   std::uint64_t n_refs = 0;
   std::uint64_t ref_residues = 0;
+  std::uint64_t total_nnz = 0;  // sum of shard_nnz (not stored; derived)
+  std::vector<std::uint64_t> shard_nnz;
+};
+
+struct Header {
+  IndexParams params;
+  std::uint64_t n_refs = 0;        // base only
+  std::uint64_t ref_residues = 0;  // base only
   std::uint32_t n_shards = 0;
   std::uint64_t kmer_space = 0;
-  std::uint64_t total_nnz = 0;
+  std::uint64_t total_nnz = 0;     // base only
   /// v2 placement section: per-shard postings counts, so per-rank resident
   /// bytes of any serving placement are computable before materializing.
   std::vector<std::uint64_t> shard_nnz;
+  /// v3 segment manifest (empty for v2 files and plain saves).
+  std::vector<SegmentMeta> segments;
 
-  [[nodiscard]] std::uint64_t logical_bytes() const {
-    return ref_residues + total_nnz * kBytesPerPosting;
+  [[nodiscard]] std::uint64_t all_nnz() const {
+    std::uint64_t n = total_nnz;
+    for (const auto& g : segments) n += g.total_nnz;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t all_refs() const {
+    std::uint64_t n = n_refs;
+    for (const auto& g : segments) n += g.n_refs;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t all_ref_residues() const {
+    std::uint64_t n = ref_residues;
+    for (const auto& g : segments) n += g.ref_residues;
+    return n;
   }
 
-  /// The modeled resident bytes per shard (the placement's load vector).
+  [[nodiscard]] std::uint64_t logical_bytes() const {
+    return all_ref_residues() + all_nnz() * kBytesPerPosting;
+  }
+
+  /// The modeled resident bytes per shard (the placement's load vector);
+  /// folds base and delta segment postings — a shard is served from both.
   [[nodiscard]] std::vector<std::uint64_t> shard_resident_bytes() const {
     std::vector<std::uint64_t> out;
     out.reserve(shard_nnz.size());
     for (const auto nnz : shard_nnz) out.push_back(nnz * kBytesPerPosting);
+    for (const auto& g : segments) {
+      for (std::size_t s = 0; s < out.size(); ++s) {
+        out[s] += g.shard_nnz[s] * kBytesPerPosting;
+      }
+    }
     return out;
   }
 };
@@ -85,6 +119,13 @@ void write_header(std::ostream& os, const Header& h) {
   write_pod(os, h.kmer_space);
   write_pod(os, h.total_nnz);
   for (const auto nnz : h.shard_nnz) write_pod(os, nnz);
+  // v3 segment manifest (always written; empty = no deltas).
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(h.segments.size()));
+  for (const auto& g : h.segments) {
+    write_pod(os, g.n_refs);
+    write_pod(os, g.ref_residues);
+    for (const auto nnz : g.shard_nnz) write_pod(os, nnz);
+  }
 }
 
 Header read_header(std::istream& is) {
@@ -93,10 +134,12 @@ Header read_header(std::istream& is) {
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("index_io: not a PASTIS index file (bad magic)");
   }
+  // v2 files (no segment manifest) stay loadable: the serving tier's
+  // format bump must not orphan existing indexes.
   const auto version = read_pod<std::uint32_t>(is, "version");
-  if (version != kIndexFormatVersion) {
+  if (version != 2 && version != kIndexFormatVersion) {
     throw std::runtime_error("index_io: unsupported index format version " +
-                             std::to_string(version) + " (expected " +
+                             std::to_string(version) + " (expected 2 or " +
                              std::to_string(kIndexFormatVersion) + ")");
   }
   Header h;
@@ -141,6 +184,24 @@ Header read_header(std::istream& is) {
         "index_io: corrupt header: placement section disagrees with "
         "total_nnz");
   }
+  // v3 segment manifest (a v2 file simply has none).
+  if (version >= 3) {
+    const auto n_segments = read_pod<std::uint32_t>(is, "segment count");
+    if (n_segments > (1u << 16)) {
+      throw std::runtime_error("index_io: corrupt header: bad segment count");
+    }
+    h.segments.resize(n_segments);
+    for (auto& g : h.segments) {
+      g.n_refs = read_pod<std::uint64_t>(is, "segment n_refs");
+      g.ref_residues = read_pod<std::uint64_t>(is, "segment ref_residues");
+      g.shard_nnz.resize(h.n_shards);
+      g.total_nnz = 0;
+      for (std::uint32_t s = 0; s < h.n_shards; ++s) {
+        g.shard_nnz[s] = read_pod<std::uint64_t>(is, "segment shard nnz");
+        g.total_nnz += g.shard_nnz[s];
+      }
+    }
+  }
   return h;
 }
 
@@ -159,25 +220,11 @@ auto guard_corruption(Fn fn) -> decltype(fn()) {
 
 }  // namespace
 
-void save_index(const std::string& path, const KmerIndex& index) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) {
-    throw std::runtime_error("index_io: cannot open for writing: " + path);
-  }
+namespace {
 
-  Header h;
-  h.params = index.params();
-  h.n_refs = index.n_refs();
-  h.ref_residues = index.ref_residues();
-  h.n_shards = static_cast<std::uint32_t>(index.n_shards());
-  h.kmer_space = index.kmer_space();
-  h.total_nnz = index.nnz();
-  h.shard_nnz.reserve(h.n_shards);
-  for (int s = 0; s < index.n_shards(); ++s) {
-    h.shard_nnz.push_back(index.shard(s).nnz());
-  }
-  write_header(os, h);
-
+/// The v2 body layout (also the v3 segment format, reused verbatim):
+/// ref lengths, concatenated residues, then the shard stripes.
+void write_index_body(std::ostream& os, const KmerIndex& index) {
   for (Index i = 0; i < index.n_refs(); ++i) {
     write_pod<std::uint32_t>(os,
                              static_cast<std::uint32_t>(index.ref(i).size()));
@@ -202,6 +249,56 @@ void save_index(const std::string& path, const KmerIndex& index) {
     });
     os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   }
+}
+
+}  // namespace
+
+void save_index(const std::string& path, const KmerIndex& index) {
+  save_index(path, index, {});
+}
+
+void save_index(const std::string& path, const KmerIndex& base,
+                std::span<const KmerIndex> segments) {
+  for (const auto& seg : segments) {
+    if (!(seg.params() == base.params()) ||
+        seg.n_shards() != base.n_shards() ||
+        seg.kmer_space() != base.kmer_space()) {
+      throw std::invalid_argument(
+          "index_io: segment params/shards do not match the base index");
+    }
+  }
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("index_io: cannot open for writing: " + path);
+  }
+
+  Header h;
+  h.params = base.params();
+  h.n_refs = base.n_refs();
+  h.ref_residues = base.ref_residues();
+  h.n_shards = static_cast<std::uint32_t>(base.n_shards());
+  h.kmer_space = base.kmer_space();
+  h.total_nnz = base.nnz();
+  h.shard_nnz.reserve(h.n_shards);
+  for (int s = 0; s < base.n_shards(); ++s) {
+    h.shard_nnz.push_back(base.shard(s).nnz());
+  }
+  h.segments.reserve(segments.size());
+  for (const auto& seg : segments) {
+    SegmentMeta g;
+    g.n_refs = seg.n_refs();
+    g.ref_residues = seg.ref_residues();
+    g.total_nnz = seg.nnz();
+    g.shard_nnz.reserve(h.n_shards);
+    for (int s = 0; s < seg.n_shards(); ++s) {
+      g.shard_nnz.push_back(seg.shard(s).nnz());
+    }
+    h.segments.push_back(std::move(g));
+  }
+  write_header(os, h);
+
+  write_index_body(os, base);
+  for (const auto& seg : segments) write_index_body(os, seg);
 
   os.write(kFooter, sizeof(kFooter));
   if (!os) {
@@ -229,7 +326,7 @@ std::vector<std::uint64_t> rank_resident_from_header(const Header& h,
       ShardPlacement::balance(h.shard_resident_bytes(), n_ranks, replication);
   std::vector<std::uint64_t> out = pl.rank_resident_bytes;
   const auto ref_share =
-      (h.ref_residues + static_cast<std::uint64_t>(n_ranks) - 1) /
+      (h.all_ref_residues() + static_cast<std::uint64_t>(n_ranks) - 1) /
       static_cast<std::uint64_t>(n_ranks);
   for (auto& b : out) b += ref_share;
   return out;
@@ -251,30 +348,26 @@ KmerIndex load_index(const std::string& path, std::uint64_t max_bytes) {
   return load_index(path, RankBudgetGate{1, 1, max_bytes});
 }
 
-KmerIndex load_index(const std::string& path, const RankBudgetGate& gate) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    throw std::runtime_error("index_io: cannot open: " + path);
-  }
-  const Header h = read_header(is);
+namespace {
 
-  // Header sanity before any allocation sized from it: every declared
-  // section must fit inside the file, or the header is corrupt (a
-  // bit-flipped count must throw, not trigger an exabyte allocation that
-  // would bypass the memory-budget gate below).
+/// Header sanity + the per-rank memory gate, both decided before any
+/// posting is materialized. Counts fold base + segments (every declared
+/// section must fit inside the file — a bit-flipped count must throw, not
+/// trigger an exabyte allocation that would bypass the budget gate).
+void gate_load(const std::string& path, const Header& h,
+               const RankBudgetGate& gate) {
   const std::uint64_t file_size = std::filesystem::file_size(path);
   if (h.n_shards == 0 ||
-      h.n_refs > file_size / sizeof(std::uint32_t) ||
-      h.ref_residues > file_size ||
-      h.total_nnz > file_size / kDiskBytesPerPosting) {
+      h.all_refs() > file_size / sizeof(std::uint32_t) ||
+      h.all_ref_residues() > file_size ||
+      h.all_nnz() > file_size / kDiskBytesPerPosting) {
     throw std::runtime_error(
         "index_io: header counts exceed the file size (corrupt header)");
   }
 
   // Per-rank memory gate: decided from the header's placement section
-  // alone, before any posting is materialized. The whole-index budget of
-  // the v1 format is the 1-rank special case (placement on one rank =
-  // everything resident there).
+  // alone. The whole-index budget of the v1 format is the 1-rank special
+  // case (placement on one rank = everything resident there).
   if (gate.rank_memory_budget_bytes != 0) {
     const auto per_rank =
         rank_resident_from_header(h, gate.n_ranks, gate.replication);
@@ -289,34 +382,32 @@ KmerIndex load_index(const std::string& path, const RankBudgetGate& gate) {
           "-byte per-rank budget");
     }
   }
+}
 
-  std::vector<std::uint32_t> lengths(h.n_refs);
+/// Reads one v2-layout body (ref lengths + residues + shard stripes) and
+/// assembles the KmerIndex. Used for the base and for each v3 segment.
+KmerIndex read_index_body(std::istream& is, const Header& h,
+                          std::uint64_t n_refs, std::uint64_t ref_residues,
+                          std::uint64_t expected_nnz) {
+  std::vector<std::uint32_t> lengths(n_refs);
   is.read(reinterpret_cast<char*>(lengths.data()),
-          static_cast<std::streamsize>(h.n_refs * sizeof(std::uint32_t)));
+          static_cast<std::streamsize>(n_refs * sizeof(std::uint32_t)));
   if (!is) {
     throw std::runtime_error("index_io: truncated file reading ref lengths");
   }
   std::uint64_t residues = 0;
   for (const auto len : lengths) residues += len;
-  if (residues != h.ref_residues) {
+  if (residues != ref_residues) {
     throw std::runtime_error("index_io: corrupt reference section");
   }
-  std::vector<std::string> refs(h.n_refs);
-  for (std::uint64_t i = 0; i < h.n_refs; ++i) {
+  std::vector<std::string> refs(n_refs);
+  for (std::uint64_t i = 0; i < n_refs; ++i) {
     refs[i].resize(lengths[i]);
     is.read(refs[i].data(), lengths[i]);
   }
   if (!is) {
     throw std::runtime_error("index_io: truncated reference section");
   }
-
-  guard_corruption([&] {
-    const kmer::Alphabet alphabet(h.params.alphabet);
-    const kmer::KmerCodec codec(alphabet.size(), h.params.k);
-    if (codec.space() != h.kmer_space) {
-      throw std::runtime_error("index_io: header k-mer space disagrees with k");
-    }
-  });
 
   std::vector<sparse::SpMat<KmerPos>> shards;
   shards.reserve(h.n_shards);
@@ -325,7 +416,7 @@ KmerIndex load_index(const std::string& path, const RankBudgetGate& gate) {
   for (std::uint32_t s = 0; s < h.n_shards; ++s) {
     const auto nnz = read_pod<std::uint64_t>(is, "shard nnz");
     total_nnz += nnz;
-    if (total_nnz > h.total_nnz) {
+    if (total_nnz > expected_nnz) {
       throw std::runtime_error("index_io: shard postings exceed header total");
     }
     // One bulk read per shard (the format is fixed-width little-endian).
@@ -351,22 +442,76 @@ KmerIndex load_index(const std::string& path, const RankBudgetGate& gate) {
                                    static_cast<int>(h.n_shards),
                                    static_cast<int>(s));
     shards.push_back(sparse::SpMat<KmerPos>::from_triples(
-        rows, static_cast<Index>(h.n_refs), std::move(triples)));
+        rows, static_cast<Index>(n_refs), std::move(triples)));
   }
-  if (total_nnz != h.total_nnz) {
+  if (total_nnz != expected_nnz) {
     throw std::runtime_error("index_io: shard postings disagree with header");
-  }
-
-  char footer[8];
-  is.read(footer, sizeof(footer));
-  if (!is || std::memcmp(footer, kFooter, sizeof(kFooter)) != 0) {
-    throw std::runtime_error("index_io: missing footer (truncated file)");
   }
 
   return guard_corruption([&] {
     return KmerIndex::from_parts(h.params, static_cast<int>(h.n_shards),
                                  std::move(refs), std::move(shards));
   });
+}
+
+void check_footer(std::istream& is) {
+  char footer[8];
+  is.read(footer, sizeof(footer));
+  if (!is || std::memcmp(footer, kFooter, sizeof(kFooter)) != 0) {
+    throw std::runtime_error("index_io: missing footer (truncated file)");
+  }
+}
+
+void check_codec(const Header& h) {
+  guard_corruption([&] {
+    const kmer::Alphabet alphabet(h.params.alphabet);
+    const kmer::KmerCodec codec(alphabet.size(), h.params.k);
+    if (codec.space() != h.kmer_space) {
+      throw std::runtime_error("index_io: header k-mer space disagrees with k");
+    }
+  });
+}
+
+}  // namespace
+
+KmerIndex load_index(const std::string& path, const RankBudgetGate& gate) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("index_io: cannot open: " + path);
+  }
+  const Header h = read_header(is);
+  if (!h.segments.empty()) {
+    // Dropping deltas silently would serve a truncated reference set.
+    throw std::runtime_error(
+        "index_io: file carries " + std::to_string(h.segments.size()) +
+        " delta segment(s); use load_index_parts to load them");
+  }
+  gate_load(path, h, gate);
+  check_codec(h);
+  KmerIndex base = read_index_body(is, h, h.n_refs, h.ref_residues,
+                                   h.total_nnz);
+  check_footer(is);
+  return base;
+}
+
+IndexParts load_index_parts(const std::string& path,
+                            const RankBudgetGate& gate) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("index_io: cannot open: " + path);
+  }
+  const Header h = read_header(is);
+  gate_load(path, h, gate);
+  check_codec(h);
+  IndexParts parts;
+  parts.base = read_index_body(is, h, h.n_refs, h.ref_residues, h.total_nnz);
+  parts.segments.reserve(h.segments.size());
+  for (const auto& g : h.segments) {
+    parts.segments.push_back(
+        read_index_body(is, h, g.n_refs, g.ref_residues, g.total_nnz));
+  }
+  check_footer(is);
+  return parts;
 }
 
 }  // namespace pastis::index

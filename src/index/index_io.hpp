@@ -9,9 +9,18 @@
 //   [n_refs u64] [ref_residues u64] [n_shards u32] [kmer_space u64]
 //   [total_nnz u64]
 //   [placement section (v2): per-shard nnz u64 × n_shards]
+//   [segment manifest (v3): n_segments u32, then per segment
+//     [n_refs u64] [ref_residues u64] [per-shard nnz u64 × n_shards]]
 //   [ref lengths u32 × n_refs] [ref residues, concatenated]
 //   per shard: [nnz u64] [(row u32, col u32, pos u32) × nnz]
+//   per segment (v3): [ref lengths] [ref residues] [shard stripes] —
+//     the v2 body layout reused verbatim as the segment format
 //   [footer magic "XDITSAP\0"]
+//
+// v3 adds the LSM segment manifest for the serving tier's DeltaIndex
+// (serve/delta_index.hpp): delta segments persist beside the base using
+// the same stripe encoding. The v3 loader keeps reading v2 files — no
+// manifest simply means zero delta segments.
 //
 // Load verifies magic, version and footer (truncation check), and — before
 // materializing anything — gates the load on the serving node's memory
@@ -29,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,11 +47,18 @@
 
 namespace pastis::index {
 
-/// Current format version (2 added the per-shard placement section).
-inline constexpr std::uint32_t kIndexFormatVersion = 2;
+/// Current format version (2 added the per-shard placement section; 3 the
+/// LSM segment manifest). The loader accepts both 2 and 3.
+inline constexpr std::uint32_t kIndexFormatVersion = 3;
 
-/// Serializes the index. Throws std::runtime_error on IO failure.
+/// Serializes the index (with an empty segment manifest). Throws
+/// std::runtime_error on IO failure.
 void save_index(const std::string& path, const KmerIndex& index);
+
+/// Serializes a base index plus its LSM delta segments (the DeltaIndex
+/// state). Segments must share the base's params and shard count.
+void save_index(const std::string& path, const KmerIndex& base,
+                std::span<const KmerIndex> segments);
 
 /// The per-rank memory gate of load_index: the serving geometry the index
 /// will be placed on, and the budget no rank may exceed (0 disables).
@@ -74,8 +91,23 @@ struct RankBudgetGate {
 
 /// Header-only pre-flight of the per-rank gate: the modeled resident bytes
 /// of every rank under the balanced placement of the file's shards on the
-/// given geometry (max over ranks is what the gate compares).
+/// given geometry (max over ranks is what the gate compares). Shard loads
+/// fold base + delta segment postings.
 [[nodiscard]] std::vector<std::uint64_t> peek_rank_resident_bytes(
     const std::string& path, int n_ranks, int replication = 1);
+
+/// A deserialized v3 file: the base index and its delta segments in
+/// manifest order — exactly the DeltaIndex constructor's inputs.
+struct IndexParts {
+  KmerIndex base;
+  std::vector<KmerIndex> segments;
+};
+
+/// Deserializes base + segments behind the same per-rank gate (applied to
+/// the folded base+delta shard loads). v2 files load with zero segments.
+/// Note plain load_index REFUSES files with a non-empty manifest — dropping
+/// segments silently would serve a truncated reference set.
+[[nodiscard]] IndexParts load_index_parts(const std::string& path,
+                                          const RankBudgetGate& gate = {});
 
 }  // namespace pastis::index

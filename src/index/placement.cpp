@@ -154,4 +154,74 @@ ShardPlacement ShardPlacement::balance(
   return pl;
 }
 
+RebalanceResult ShardPlacement::rebalance(
+    const ShardPlacement& current, std::span<const std::uint64_t> shard_bytes) {
+  current.validate();
+  if (static_cast<int>(shard_bytes.size()) != current.n_shards()) {
+    throw std::invalid_argument(
+        "ShardPlacement::rebalance: shard_bytes size disagrees with the "
+        "current placement");
+  }
+  RebalanceResult res;
+  ShardPlacement& pl = res.placement;
+  pl.n_ranks = current.n_ranks;
+  pl.replication = current.replication;
+  pl.primary = current.primary;
+  pl.replicas = current.replicas;
+
+  // Rank loads recomputed against the DRIFTED byte counts (every holder —
+  // primary and replicas — pays residency, same accounting as balance()).
+  pl.rank_resident_bytes.assign(static_cast<std::size_t>(pl.n_ranks), 0);
+  const int n = pl.n_shards();
+  for (int s = 0; s < n; ++s) {
+    for (const int r : pl.replicas[static_cast<std::size_t>(s)]) {
+      pl.rank_resident_bytes[static_cast<std::size_t>(r)] +=
+          shard_bytes[static_cast<std::size_t>(s)];
+    }
+  }
+
+  // The same greedy pass as balance(), but starting FROM the current
+  // assignment, and restricted to target ranks not already holding the
+  // shard (moving onto a replica holder would collapse two copies).
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto ba = shard_bytes[static_cast<std::size_t>(a)];
+    const auto bb = shard_bytes[static_cast<std::size_t>(b)];
+    return ba != bb ? ba > bb : a < b;
+  });
+  for (const int s : order) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto b = shard_bytes[si];
+    const int from = pl.primary[si];
+    auto& holders = pl.replicas[si];
+    int to = -1;
+    for (int r = 0; r < pl.n_ranks; ++r) {
+      if (std::find(holders.begin(), holders.end(), r) != holders.end()) {
+        continue;
+      }
+      if (to < 0 ||
+          pl.rank_resident_bytes[static_cast<std::size_t>(r)] <
+              pl.rank_resident_bytes[static_cast<std::size_t>(to)]) {
+        to = r;
+      }
+    }
+    if (to < 0) continue;  // every rank holds a copy; nowhere to move
+    if (pl.rank_resident_bytes[static_cast<std::size_t>(to)] + b <
+        pl.rank_resident_bytes[static_cast<std::size_t>(from)]) {
+      pl.rank_resident_bytes[static_cast<std::size_t>(from)] -= b;
+      pl.rank_resident_bytes[static_cast<std::size_t>(to)] += b;
+      pl.primary[si] = to;
+      // The primary copy MOVES: the donor drops it, the target gains it,
+      // so the replication count is preserved and the holder list keeps
+      // leading with the primary.
+      holders.erase(std::find(holders.begin(), holders.end(), from));
+      holders.insert(holders.begin(), to);
+      res.migrations.push_back({s, from, to, b});
+    }
+  }
+  pl.validate();
+  return res;
+}
+
 }  // namespace pastis::index

@@ -20,6 +20,8 @@
 
 namespace pastis::index {
 
+struct RebalanceResult;
+
 struct ShardPlacement {
   int n_ranks = 1;
   int replication = 1;
@@ -54,6 +56,36 @@ struct ShardPlacement {
   [[nodiscard]] static ShardPlacement balance(
       std::span<const std::uint64_t> shard_bytes, int n_ranks,
       int replication = 1);
+
+  struct Migration {
+    int shard = 0;
+    int from = 0;  // rank losing the primary copy
+    int to = 0;    // rank gaining it
+    std::uint64_t bytes = 0;
+  };
+
+  /// Online re-placement: re-runs the greedy rebalance INCREMENTALLY from
+  /// `current`'s assignment against fresh per-shard byte counts (postings
+  /// drift as deltas land and compactions fold them in). Unlike balance()
+  /// it never re-deals from scratch — only moves that strictly lower the
+  /// donor's load above the target's post-move load are taken, so a
+  /// well-placed layout yields zero migrations and the result is
+  /// deterministic. Replica sets follow the moved primary (the donor drops
+  /// its copy, the target gains one); rank loads are recomputed from
+  /// `shard_bytes`. Throws std::invalid_argument when shard_bytes.size()
+  /// disagrees with current.n_shards().
+  [[nodiscard]] static RebalanceResult rebalance(
+      const ShardPlacement& current,
+      std::span<const std::uint64_t> shard_bytes);
+};
+
+using ShardMigration = ShardPlacement::Migration;
+
+struct RebalanceResult {
+  ShardPlacement placement;
+  /// Every primary move, in decision order — the p2p copies the serving
+  /// tier charges to the MachineModel (QueryEngine::apply_replacement).
+  std::vector<ShardMigration> migrations;
 };
 
 }  // namespace pastis::index

@@ -11,6 +11,8 @@
 #include "kmer/nearest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/delta_index.hpp"
+#include "serve/result_cache.hpp"
 #include "sim/grid.hpp"
 
 namespace pastis::index {
@@ -54,6 +56,14 @@ struct QueryEngine::BatchSlot {
   bool fault_active = false;
   std::vector<int> shard_server;  // fault_active only; -1 = degraded
   QueryEngine::BatchFaults faults;
+  /// Result-cache state (empty without a cache): per-query hit flag, the
+  /// replayed hit lists (seq_b still carries the ORIGINAL query id; the
+  /// align stage rebases it), and the insert→lookup visibility lag — the
+  /// pipeline depth, so hit/miss is a pure function of stream ordinals,
+  /// never of the schedule.
+  std::vector<char> cached;
+  std::vector<std::vector<io::SimilarityEdge>> cached_hits;
+  int visibility_lag = 1;
 
   void reset(std::span<const std::string> q, Index base, std::uint64_t ord,
              int p, bool dist) {
@@ -74,6 +84,9 @@ struct QueryEngine::BatchSlot {
     fault_active = false;
     shard_server.clear();
     faults = {};
+    cached.clear();
+    cached_hits.clear();
+    visibility_lag = 1;
     if (dist) {
       st.rank_sparse_s.assign(np, 0.0);
       st.rank_align_s.assign(np, 0.0);
@@ -88,7 +101,21 @@ struct QueryEngine::BatchSlot {
 QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
                          sim::MachineModel model, Options opt,
                          util::ThreadPool* pool)
-    : index_(&index), cfg_(cfg), model_(model), opt_(opt), pool_(pool),
+    : QueryEngine(nullptr, index, std::move(cfg), std::move(model),
+                  std::move(opt), pool) {}
+
+QueryEngine::QueryEngine(const serve::DeltaIndex& delta,
+                         core::PastisConfig cfg, sim::MachineModel model,
+                         Options opt, util::ThreadPool* pool)
+    : QueryEngine(&delta, delta.base(), std::move(cfg), std::move(model),
+                  std::move(opt), pool) {}
+
+QueryEngine::QueryEngine(const serve::DeltaIndex* delta, const KmerIndex& index,
+                         core::PastisConfig cfg, sim::MachineModel model,
+                         Options opt, util::ThreadPool* pool)
+    : index_(&index), delta_(delta),
+      served_epoch_(delta != nullptr ? delta->epoch() : 0), cfg_(cfg),
+      model_(model), opt_(opt), pool_(pool),
       aligner_(core::make_batch_aligner(cfg, model)) {
   if (!index.params().matches(cfg)) {
     throw std::invalid_argument(
@@ -98,7 +125,7 @@ QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
   if (opt_.nprocs < 1) {
     throw std::invalid_argument("QueryEngine: need nprocs >= 1");
   }
-  next_query_id_ = index.n_refs();
+  next_query_id_ = total_refs();
 
   // ---- rank-resident distributed serving setup ----------------------------
   // Unset Options inherit the PastisConfig knobs (grid_side_serving /
@@ -115,22 +142,23 @@ QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
       opt_.rank_memory_budget_bytes = cfg_.effective_rank_memory_budget();
     }
     placement_ = std::make_unique<ShardPlacement>(
-        ShardPlacement::balance(index.shard_bytes(), p, opt_.replication));
+        ShardPlacement::balance(shard_bytes_all(), p, opt_.replication));
     // The failover path promotes shards along the holder lists, so the
     // structural invariants (distinct in-range holders, primary first)
     // are load-bearing — reject a malformed placement up front.
     placement_->validate();
+    rebuild_resolution();
 
     // Static residency: the shards a rank keeps (+ replicas) plus its
     // slice of the reference residues (the refs whose alignment it owns).
     static_resident_ = placement_->rank_resident_bytes;
     ref_slice_bytes_.assign(static_cast<std::size_t>(p), 0);
-    const Index n_refs = index.n_refs();
+    const Index n_refs = total_refs();
     for (int r = 0; r < p && n_refs > 0; ++r) {
       const Index r0 = sim::ProcGrid::split_point(n_refs, p, r);
       const Index r1 = sim::ProcGrid::split_point(n_refs, p, r + 1);
       std::uint64_t slice = 0;
-      for (Index i = r0; i < r1; ++i) slice += index.ref(i).size();
+      for (Index i = r0; i < r1; ++i) slice += ref_seq(i).size();
       ref_slice_bytes_[static_cast<std::size_t>(r)] = slice;
       static_resident_[static_cast<std::size_t>(r)] += slice;
     }
@@ -139,6 +167,12 @@ QueryEngine::QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
     // death contract inside spmd); the engine's own bookkeeping drives
     // failover recovery deterministically in batch-ordinal order.
     faults_enabled_ = !cfg_.fault_plan.empty();
+    if (faults_enabled_ && delta_ != nullptr) {
+      throw std::runtime_error(
+          "QueryEngine: a DeltaIndex under an active fault plan is "
+          "unsupported (index mutation invalidates the planned failover "
+          "residency bookkeeping)");
+    }
     if (faults_enabled_) {
       rt_->install_faults(cfg_.fault_plan);
       death_recovered_.assign(cfg_.fault_plan.events.size(), 0);
@@ -264,13 +298,18 @@ QueryEngine::BatchFaults QueryEngine::plan_batch_faults(
 }
 
 void QueryEngine::discover_batch(BatchSlot& slot) const {
-  const Index n_refs = index_->n_refs();
+  const Index n_refs = total_refs();
   const int n_shards = index_->n_shards();
   const int p = serving_ranks();
   const std::span<const std::string> queries = slot.queries;
   const Index batch_base = slot.batch_base;
   QueryBatchStats& st = slot.st;
   if (queries.empty() || n_refs == 0) return;
+  // The load-balance parity rule (candidate extraction below) is the only
+  // per-query input besides content and index epoch that alignment depends
+  // on — which is why the cache key carries (hash, epoch, parity).
+  const bool parity_scheme =
+      cfg_.load_balance == core::LoadBalanceScheme::kIndexBased;
 
   // ---- fault state of this batch (pure per-ordinal snapshot) ---------------
   // Failover rule: each shard is served by the FIRST ALIVE rank on its
@@ -322,10 +361,37 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
   };
 
   const std::size_t nq = queries.size();
+
+  // ---- result-cache lookup (serving tier; no-op without a cache) -----------
+  // Sequential, in stream order: the executor runs each stage serially, so
+  // lookups happen in ordinal order and hit/miss is deterministic. A hit
+  // short-circuits the whole cold path for that query — no extraction, no
+  // SpGEMM share, no alignment; the align stage replays the stored hits.
+  if (opt_.result_cache != nullptr) {
+    slot.cached.assign(nq, 0);
+    slot.cached_hits.assign(nq, {});
+    for (std::size_t i = 0; i < nq; ++i) {
+      const Index q_global = batch_base + static_cast<Index>(i);
+      const std::uint32_t parity = parity_scheme ? (q_global & 1u) : 0u;
+      if (opt_.result_cache->lookup(queries[i], served_epoch_, parity,
+                                    slot.ordinal, slot.visibility_lag,
+                                    slot.cached_hits[i])) {
+        slot.cached[i] = 1;
+        ++st.cache_hits;
+      }
+    }
+  }
+  const auto is_cached = [&](std::size_t i) {
+    return !slot.cached.empty() && slot.cached[i] != 0;
+  };
+
   std::vector<std::vector<Triple<KmerPos>>> per_query(nq);
   std::uint64_t query_residues = 0;
-  for (const auto& q : queries) query_residues += q.size();
+  for (std::size_t i = 0; i < nq; ++i) {
+    if (!is_cached(i)) query_residues += queries[i].size();
+  }
   par_for(nq, [&](std::size_t i) {
+    if (is_cached(i)) return;
     core::extract_sequence_kmers(queries[i], static_cast<Index>(i), alphabet,
                                  codec, neighbors, cfg_.subs_kmers,
                                  per_query[i]);
@@ -355,19 +421,52 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
   });
 
   // ---- shard-by-shard discovery SpGEMM -------------------------------------
-  std::vector<SpMat<CrossKmers>> parts(static_cast<std::size_t>(n_shards));
-  std::vector<sparse::SpGemmStats> shard_stats(
-      static_cast<std::size_t>(n_shards));
-  auto multiply_shard = [&](std::size_t s) {
-    if (a_query[s].empty() || index_->shard(static_cast<int>(s)).empty()) {
-      return;
-    }
+  // With a DeltaIndex every shard is served from multiple SOURCES — the
+  // base stripe plus one stripe per delta segment, all covering the same
+  // k-mer range. Each (source, shard) cell multiplies independently; the
+  // merge lifts segment columns to global reference ids and folds all
+  // cells with the order-independent semiring add, so the overlap matrix
+  // equals the single-source multiply of a from-scratch rebuild.
+  const int n_src = 1 + (delta_ != nullptr ? delta_->n_segments() : 0);
+  const std::size_t n_cells =
+      static_cast<std::size_t>(n_src) * static_cast<std::size_t>(n_shards);
+  std::vector<SpMat<CrossKmers>> parts(n_cells);
+  std::vector<sparse::SpGemmStats> shard_stats(n_cells);
+  auto source_shard = [&](int src, int s) -> const SpMat<KmerPos>& {
+    return src == 0 ? index_->shard(s) : delta_->segment(src - 1).shard(s);
+  };
+  auto multiply_cell = [&](std::size_t cell) {
+    const int src = static_cast<int>(cell) / n_shards;
+    const int s = static_cast<int>(cell) % n_shards;
+    const auto si = static_cast<std::size_t>(s);
+    const auto& B = source_shard(src, s);
+    if (a_query[si].empty() || B.empty()) return;
     // Shards already fan out over the pool; the two-phase kernel may fan
     // out further (nested parallel_for is safe — see util::ThreadPool),
     // which matters when a batch hits few shards.
-    parts[s] = core::discovery_spgemm<CrossSemiring>(
-        a_query[s], index_->shard(static_cast<int>(s)), cfg_,
-        &shard_stats[s], pool_);
+    parts[cell] = core::discovery_spgemm<CrossSemiring>(
+        a_query[si], B, cfg_, &shard_stats[cell], pool_);
+    if (src > 0 && parts[cell].nnz() > 0) {
+      // Lift segment-local reference columns to global ids; a constant
+      // shift preserves the within-row order, so the trusted rebuild is
+      // safe and the merge below sees one global column space.
+      const Index col_base = delta_->segment_ref_base(src - 1);
+      std::vector<Index> row_ids, col_ids;
+      std::vector<sparse::Offset> row_ptr;
+      std::vector<CrossKmers> vals;
+      parts[cell].release_parts(row_ids, row_ptr, col_ids, vals);
+      for (auto& c : col_ids) c += col_base;
+      parts[cell] = SpMat<CrossKmers>::from_sorted_parts(
+          static_cast<Index>(nq), n_refs, std::move(row_ids),
+          std::move(row_ptr), std::move(col_ids), std::move(vals));
+    }
+  };
+  auto multiply_shard = [&](std::size_t s) {
+    for (int src = 0; src < n_src; ++src) {
+      multiply_cell(static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(n_shards) +
+                    s);
+    }
   };
   if (rt_ != nullptr) {
     // Rank tasks: every rank multiplies the query stripe against ONLY the
@@ -393,12 +492,15 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
         }
         return;
       }
-      for (const int s : placement_->shards_of(rank)) {
+      // Satellite of the serving tier: the shard→server resolution is
+      // hoisted out of the batch path — computed once per epoch (and per
+      // re-placement), not recomputed per batch under the empty fault plan.
+      for (const int s : shards_by_rank_[static_cast<std::size_t>(rank)]) {
         multiply_shard(static_cast<std::size_t>(s));
       }
     });
   } else {
-    par_for(parts.size(), multiply_shard);
+    par_for(static_cast<std::size_t>(n_shards), multiply_shard);
   }
 
   // Merge in shard order — the semiring add is order-independent, so the
@@ -413,12 +515,19 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
   if (cfg_.telemetry.metrics != nullptr) {
     // Per-shard discovery-hit counters (shared and grid mode alike):
     // which index shards this workload actually touches, and how hard.
+    // Delta-segment cells fold into their shard's counter.
     auto& m = *cfg_.telemetry.metrics;
     for (int s = 0; s < n_shards; ++s) {
-      const auto& ss = shard_stats[static_cast<std::size_t>(s)];
-      if (ss.out_nnz == 0) continue;
+      std::uint64_t out_nnz = 0;
+      for (int src = 0; src < n_src; ++src) {
+        out_nnz += shard_stats[static_cast<std::size_t>(src) *
+                                   static_cast<std::size_t>(n_shards) +
+                               static_cast<std::size_t>(s)]
+                       .out_nnz;
+      }
+      if (out_nnz == 0) continue;
       m.counter("serve.shard" + std::to_string(s) + ".candidates_total")
-          .add(static_cast<double>(ss.out_nnz));
+          .add(static_cast<double>(out_nnz));
     }
     m.counter("serve.candidates_total").add(static_cast<double>(C.nnz()));
   }
@@ -426,6 +535,10 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
   // ---- modeled discovery time (max serving rank) ---------------------------
   std::uint64_t aq_bytes = 0;
   for (const auto& a : a_query) aq_bytes += a.bytes();
+  std::uint64_t cached_bytes = 0;
+  for (const auto& ch : slot.cached_hits) {
+    cached_bytes += ch.size() * sizeof(io::SimilarityEdge);
+  }
   if (rt_ != nullptr) {
     // Rank-resident schedule: the query stripe is broadcast to one
     // replica team (1/replication of the grid suffices to cover every
@@ -449,12 +562,17 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
       std::uint64_t ws = aq_bytes + query_residues;  // broadcast stripe
       std::uint64_t own_bytes = 0;
       const auto charge_shard = [&](std::size_t si) {
-        if (shard_stats[si].products > 0) {
-          t += model_.spgemm_time(shard_stats[si].products);
+        for (int src = 0; src < n_src; ++src) {
+          const std::size_t cell = static_cast<std::size_t>(src) *
+                                       static_cast<std::size_t>(n_shards) +
+                                   si;
+          if (shard_stats[cell].products > 0) {
+            t += model_.spgemm_time(shard_stats[cell].products);
+          }
+          t += model_.sparse_stream_time(2 * parts[cell].bytes());
+          own_bytes += parts[cell].bytes();
+          clock.spgemm_products += shard_stats[cell].products;
         }
-        t += model_.sparse_stream_time(2 * parts[si].bytes());
-        own_bytes += parts[si].bytes();
-        clock.spgemm_products += shard_stats[si].products;
       };
       if (slot.fault_active) {
         for (int s = 0; s < n_shards; ++s) {
@@ -463,7 +581,7 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
           }
         }
       } else {
-        for (const int s : placement_->shards_of(r)) {
+        for (const int s : shards_by_rank_[ri]) {
           charge_shard(static_cast<std::size_t>(s));
         }
       }
@@ -478,10 +596,12 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
       clock.bytes_recv += aq_bytes + query_residues;
       ws += own_bytes;
       if (r == owner) {
-        // Owner-side assembly of the full overlap matrix.
-        t += model_.sparse_stream_time(C.bytes());
-        ws += C.bytes();
-        clock.bytes_recv += C.bytes();
+        // Owner-side assembly of the full overlap matrix, plus the replay
+        // stream of any cache-served hit lists (the cache shard's rank
+        // ships them; charged as one stream on the assembling owner).
+        t += model_.sparse_stream_time(C.bytes() + cached_bytes);
+        ws += C.bytes() + cached_bytes;
+        clock.bytes_recv += C.bytes() + cached_bytes;
         clock.overlap_nnz += C.nnz();
       }
       if (slot.fault_active) {
@@ -527,12 +647,16 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
       double t = model_.bcast_time(aq_bytes + query_residues, p) +
                  model_.sparse_stream_time(query_residues / p);
       for (int s = r; s < n_shards; s += p) {
-        const auto& ss = shard_stats[static_cast<std::size_t>(s)];
-        if (ss.products > 0) t += model_.spgemm_time(ss.products);
-        t += model_.sparse_stream_time(
-            2 * parts[static_cast<std::size_t>(s)].bytes());
+        for (int src = 0; src < n_src; ++src) {
+          const std::size_t cell = static_cast<std::size_t>(src) *
+                                       static_cast<std::size_t>(n_shards) +
+                                   static_cast<std::size_t>(s);
+          const auto& ss = shard_stats[cell];
+          if (ss.products > 0) t += model_.spgemm_time(ss.products);
+          t += model_.sparse_stream_time(2 * parts[cell].bytes());
+        }
       }
-      t += model_.sparse_stream_time(C.bytes() / p);
+      t += model_.sparse_stream_time((C.bytes() + cached_bytes) / p);
       t_max = std::max(t_max, t);
     }
     st.t_sparse = t_max;
@@ -542,8 +666,6 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
   // Replays the load-balance scheme of the concatenated pipeline: the
   // scheme decides which triangle's element a pair is aligned from, which
   // in turn fixes the seed pair the banded/x-drop kernels see (§VI-B).
-  const bool parity_scheme =
-      cfg_.load_balance == core::LoadBalanceScheme::kIndexBased;
   C.for_each([&](Index qi, Index rj, const CrossKmers& ck) {
     if (ck.count < cfg_.common_kmer_threshold) return;
     const Index q_global = batch_base + qi;
@@ -571,15 +693,14 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
 }
 
 void QueryEngine::align_batch(BatchSlot& slot) const {
-  const Index n_refs = index_->n_refs();
+  const Index n_refs = total_refs();
   const int p = serving_ranks();
   QueryBatchStats& st = slot.st;
   if (slot.queries.empty() || n_refs == 0) return;
 
   // ---- alignment (flattened onto the host pool, per-rank accounting) -------
   auto seq_of = [&](std::uint32_t id) -> std::string_view {
-    return id < n_refs ? index_->ref(id)
-                       : slot.queries[id - slot.batch_base];
+    return id < n_refs ? ref_seq(id) : slot.queries[id - slot.batch_base];
   };
   for (int r = 0; r < p; ++r) {
     slot.rank_offset[static_cast<std::size_t>(r) + 1] =
@@ -660,6 +781,42 @@ void QueryEngine::align_batch(BatchSlot& slot) const {
     hits = std::move(kept);
   }
   io::sort_edges(hits);
+
+  // ---- result-cache insert + replay (serving tier) -------------------------
+  // Fresh per-query results — post-top-k, the exact value a later hit must
+  // reproduce — are inserted in stream order (the executor runs this stage
+  // serially). Then cache-served queries replay their stored lists with
+  // seq_b rebased from the original query id to this stream position; the
+  // re-sort restores the canonical edge order. Alignment depends on query
+  // content, index epoch and the parity bit only (all pinned by the cache
+  // key), so the merged output is bit-identical to an all-cold batch.
+  if (opt_.result_cache != nullptr && !slot.cached.empty()) {
+    const std::size_t nq = slot.queries.size();
+    std::vector<std::vector<io::SimilarityEdge>> fresh(nq);
+    for (const auto& e : hits) {
+      fresh[static_cast<std::size_t>(e.seq_b - slot.batch_base)].push_back(e);
+    }
+    bool replayed = false;
+    for (std::size_t i = 0; i < nq; ++i) {
+      const Index q_global = slot.batch_base + static_cast<Index>(i);
+      const bool parity_scheme =
+          cfg_.load_balance == core::LoadBalanceScheme::kIndexBased;
+      const std::uint32_t parity = parity_scheme ? (q_global & 1u) : 0u;
+      if (slot.cached[i] != 0) {
+        for (auto e : slot.cached_hits[i]) {
+          e.seq_b = q_global;
+          hits.push_back(e);
+        }
+        replayed = replayed || !slot.cached_hits[i].empty();
+      } else {
+        // Empty lists are cached too (negative caching): a refuted query
+        // is as expensive to recompute as a productive one.
+        opt_.result_cache->insert(slot.queries[i], served_epoch_, parity,
+                                  slot.ordinal, fresh[i]);
+      }
+    }
+    if (replayed) io::sort_edges(hits);
+  }
   st.hits = hits.size();
 
   if (slot.distributed) {
@@ -670,9 +827,14 @@ void QueryEngine::align_batch(BatchSlot& slot) const {
     if (slot.fault_active) owner = slot.snap.next_alive(owner);
     if (owner < 0) return;  // every rank dead: nobody gathers
     const auto oi = static_cast<std::size_t>(owner);
+    std::uint64_t replayed_bytes = 0;
+    for (const auto& ch : slot.cached_hits) {
+      replayed_bytes += ch.size() * sizeof(io::SimilarityEdge);
+    }
     const std::uint64_t hit_bytes =
         static_cast<std::uint64_t>(st.aligned_pairs) *
-        sizeof(io::SimilarityEdge);
+            sizeof(io::SimilarityEdge) +
+        replayed_bytes;
     const double t = model_.sparse_stream_time(2 * hit_bytes);
     slot.frame[oi].charge(sim::Comp::kSparseOther, t);
     slot.frame[oi].bytes_recv += hit_bytes;
@@ -684,6 +846,7 @@ void QueryEngine::align_batch(BatchSlot& slot) const {
 
 void QueryEngine::retire_distributed(BatchSlot& slot) {
   rt_->merge_frame(slot.frame);
+  sync_cache_ledger();
   if (!slot.faults.any) return;
   // Ledger effects of this batch's surfaced faults, applied at the
   // strictly-ordered retirement: deaths release the dead rank's resident
@@ -715,6 +878,7 @@ void QueryEngine::enforce_rank_budget() const {
 
 std::vector<io::SimilarityEdge> QueryEngine::search_batch(
     std::span<const std::string> queries, QueryBatchStats* stats) {
+  refresh_epoch();
   BatchSlot slot;
   slot.reset(queries, next_query_id_, next_batch_ordinal_++, serving_ranks(),
              rt_ != nullptr);
@@ -740,6 +904,7 @@ std::vector<io::SimilarityEdge> QueryEngine::search_batch(
 
 QueryEngine::Result QueryEngine::serve(
     const std::vector<std::vector<std::string>>& batches) {
+  refresh_epoch();
   Result result;
   ServeStats& st = result.stats;
   const int p = serving_ranks();
@@ -798,6 +963,11 @@ QueryEngine::Result QueryEngine::serve(
                          BatchSlot& slot = slots[si];
                          slot.reset(batches[b], bases[b], ordinals[b], p,
                                     rt_ != nullptr);
+                         // Cache visibility lag = the stream's depth: a
+                         // batch only sees entries whose batch provably
+                         // retired before this discovery can start, so
+                         // hit/miss never depends on the schedule.
+                         slot.visibility_lag = depth;
                          if (!batch_faults.empty()) {
                            slot.faults = std::move(batch_faults[b]);
                          }
@@ -821,6 +991,7 @@ QueryEngine::Result QueryEngine::serve(
                       st.total_queries += slot.st.n_queries;
                       st.aligned_pairs += slot.st.aligned_pairs;
                       st.hits += slot.st.hits;
+                      st.cache_hits += slot.st.cache_hits;
                       if (rt_ != nullptr) {
                         retire_distributed(slot);
                         window.add(slot.st.rank_workspace_bytes);
@@ -958,6 +1129,171 @@ QueryEngine::Result QueryEngine::serve(
     }
   }
   return result;
+}
+
+// ---- serving-tier plumbing (DeltaIndex / ResultCache / re-placement) -------
+
+Index QueryEngine::total_refs() const {
+  return delta_ != nullptr ? delta_->total_refs() : index_->n_refs();
+}
+
+std::string_view QueryEngine::ref_seq(Index id) const {
+  return delta_ != nullptr ? delta_->ref(id) : index_->ref(id);
+}
+
+std::vector<std::uint64_t> QueryEngine::shard_bytes_all() const {
+  return delta_ != nullptr ? delta_->shard_total_bytes()
+                           : index_->shard_bytes();
+}
+
+void QueryEngine::rebuild_resolution() {
+  if (rt_ == nullptr) return;
+  const int p = rt_->nprocs();
+  shards_by_rank_.assign(static_cast<std::size_t>(p), {});
+  for (int r = 0; r < p; ++r) {
+    shards_by_rank_[static_cast<std::size_t>(r)] = placement_->shards_of(r);
+  }
+  ++resolution_builds_;
+}
+
+void QueryEngine::refresh_epoch() {
+  const std::uint64_t e = delta_ != nullptr ? delta_->epoch() : 0;
+  if (e == served_epoch_) return;
+  if (faults_enabled_) {
+    throw std::runtime_error(
+        "QueryEngine: index mutation under an active fault plan is "
+        "unsupported");
+  }
+  served_epoch_ = e;
+  // Rebase the query id stream: new queries get the ids an engine over the
+  // equivalent rebuilt (grown) index would assign.
+  next_query_id_ = total_refs();
+  if (rt_ != nullptr) {
+    rebuild_resolution();
+    resync_static_residency();
+  }
+}
+
+void QueryEngine::resync_static_residency() {
+  if (rt_ == nullptr) return;
+  const int p = rt_->nprocs();
+  const auto np = static_cast<std::size_t>(p);
+  std::vector<std::uint64_t> fresh(np, 0);
+  const auto sb = shard_bytes_all();
+  for (int s = 0; s < placement_->n_shards(); ++s) {
+    for (const int r : placement_->replicas[static_cast<std::size_t>(s)]) {
+      fresh[static_cast<std::size_t>(r)] += sb[static_cast<std::size_t>(s)];
+    }
+  }
+  ref_slice_bytes_.assign(np, 0);
+  const Index n_refs = total_refs();
+  for (int r = 0; r < p && n_refs > 0; ++r) {
+    const Index r0 = sim::ProcGrid::split_point(n_refs, p, r);
+    const Index r1 = sim::ProcGrid::split_point(n_refs, p, r + 1);
+    std::uint64_t slice = 0;
+    for (Index i = r0; i < r1; ++i) slice += ref_seq(i).size();
+    ref_slice_bytes_[static_cast<std::size_t>(r)] = slice;
+    fresh[static_cast<std::size_t>(r)] += slice;
+  }
+  if (opt_.rank_memory_budget_bytes != 0) {
+    for (int r = 0; r < p; ++r) {
+      if (fresh[static_cast<std::size_t>(r)] >
+          opt_.rank_memory_budget_bytes) {
+        throw std::runtime_error(
+            "QueryEngine: grown placement needs " +
+            std::to_string(fresh[static_cast<std::size_t>(r)]) +
+            " resident bytes on rank " + std::to_string(r) + ", over the " +
+            std::to_string(opt_.rank_memory_budget_bytes) +
+            "-byte per-rank budget");
+      }
+    }
+  }
+  for (int r = 0; r < p; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (fresh[ri] > static_resident_[ri]) {
+      rt_->clock(r).add_resident(fresh[ri] - static_resident_[ri]);
+    } else if (fresh[ri] < static_resident_[ri]) {
+      rt_->clock(r).sub_resident(static_resident_[ri] - fresh[ri]);
+    }
+  }
+  static_resident_ = std::move(fresh);
+  enforce_rank_budget();
+}
+
+void QueryEngine::sync_cache_ledger() {
+  if (rt_ == nullptr || opt_.result_cache == nullptr) return;
+  const auto sb = opt_.result_cache->shard_bytes();
+  const int p = rt_->nprocs();
+  if (cache_charged_bytes_.size() != sb.size()) {
+    cache_charged_bytes_.assign(sb.size(), 0);
+  }
+  for (std::size_t k = 0; k < sb.size(); ++k) {
+    const int r = static_cast<int>(k % static_cast<std::size_t>(p));
+    if (sb[k] > cache_charged_bytes_[k]) {
+      rt_->clock(r).add_resident(sb[k] - cache_charged_bytes_[k]);
+    } else if (sb[k] < cache_charged_bytes_[k]) {
+      rt_->clock(r).sub_resident(cache_charged_bytes_[k] - sb[k]);
+    }
+    cache_charged_bytes_[k] = sb[k];
+  }
+}
+
+double QueryEngine::apply_replacement(
+    const ShardPlacement& placement,
+    std::span<const ShardMigration> migrations) {
+  if (rt_ == nullptr) {
+    throw std::runtime_error(
+        "QueryEngine::apply_replacement: grid mode only (shards are not "
+        "rank-resident in the single address space)");
+  }
+  if (faults_enabled_) {
+    throw std::runtime_error(
+        "QueryEngine::apply_replacement: unsupported under an active fault "
+        "plan");
+  }
+  placement.validate();
+  if (placement.n_shards() != index_->n_shards() ||
+      placement.n_ranks != rt_->nprocs() ||
+      placement.replication != opt_.replication) {
+    throw std::invalid_argument(
+        "QueryEngine::apply_replacement: placement geometry disagrees with "
+        "the serving grid");
+  }
+  // Each migration is one p2p shard copy, priced exactly like the fault
+  // path's re-replication transfers: the donor sends, the target receives,
+  // both pay the modeled transfer on their clocks.
+  double total = 0.0;
+  for (const auto& m : migrations) {
+    const double t = model_.p2p_time(m.bytes);
+    rt_->clock(m.from).charge(sim::Comp::kMigrate, t);
+    rt_->clock(m.to).charge(sim::Comp::kMigrate, t);
+    rt_->clock(m.from).bytes_sent += m.bytes;
+    rt_->clock(m.to).bytes_recv += m.bytes;
+    total += t;
+  }
+  *placement_ = placement;
+  rebuild_resolution();
+  resync_static_residency();
+  return total;
+}
+
+double QueryEngine::charge_compaction(std::span<const double> shard_seconds) {
+  const int p = serving_ranks();
+  std::vector<double> per_rank(static_cast<std::size_t>(p), 0.0);
+  for (std::size_t s = 0; s < shard_seconds.size(); ++s) {
+    // The merge of shard s runs where its postings live: the primary
+    // holder in grid mode, the round-robin rank otherwise.
+    const int r = rt_ != nullptr && static_cast<int>(s) < placement_->n_shards()
+                      ? placement_->primary[s]
+                      : static_cast<int>(s % static_cast<std::size_t>(p));
+    per_rank[static_cast<std::size_t>(r)] += shard_seconds[s];
+    if (rt_ != nullptr) {
+      rt_->clock(r).charge(sim::Comp::kSparseOther, shard_seconds[s]);
+    }
+  }
+  double worst = 0.0;
+  for (const double t : per_rank) worst = std::max(worst, t);
+  return worst;
 }
 
 }  // namespace pastis::index

@@ -29,6 +29,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/common_kmers.hpp"
@@ -40,6 +41,11 @@
 #include "sim/runtime.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/thread_pool.hpp"
+
+namespace pastis::serve {
+class DeltaIndex;
+class ResultCache;
+}  // namespace pastis::serve
 
 namespace pastis::index {
 
@@ -92,6 +98,9 @@ struct QueryBatchStats {
   std::uint64_t aligned_pairs = 0;  // candidates clearing the k-mer threshold
   std::uint64_t hits = 0;           // edges passing ANI + coverage
   sparse::SpGemmStats spgemm;
+  /// Queries short-circuited by the ResultCache this batch (their hits are
+  /// replayed from the cache; aligned_pairs counts fresh work only).
+  std::uint64_t cache_hits = 0;
   double t_sparse = 0.0;  // max-rank discovery seconds (bcast + SpGEMM + merge)
   double t_align = 0.0;   // max-rank device alignment seconds
 
@@ -135,6 +144,8 @@ struct ServeStats {
   std::uint64_t total_queries = 0;
   std::uint64_t aligned_pairs = 0;
   std::uint64_t hits = 0;
+  /// Queries served from the ResultCache across the stream.
+  std::uint64_t cache_hits = 0;
   /// Overlap-aware modeled wall time of the serving loop (§VI-C timeline).
   double t_serve = 0.0;
   /// One-time modeled index construction, for amortization comparisons.
@@ -218,6 +229,17 @@ class QueryEngine {
     /// to PastisConfig::effective_rank_memory_budget().
     std::uint64_t rank_memory_budget_bytes = 0;
 
+    // --- serving tier (serve/ subsystem; both default OFF) -----------------
+    /// Optional query-result cache (not owned). When set, discover_batch
+    /// looks every query up under the (content hash, index epoch, parity)
+    /// key and skips extraction/SpGEMM/alignment for hits; align_batch
+    /// inserts fresh per-query results. Hits replay bit-identically to the
+    /// cold path (the key pins every input alignment depends on), so the
+    /// output stream is unchanged — only the modeled/measured cost drops.
+    /// In grid mode the cache's resident bytes are charged to the rank
+    /// ledger (cache shard k lives on rank k mod nprocs).
+    serve::ResultCache* result_cache = nullptr;
+
     [[nodiscard]] int effective_pipeline_depth() const {
       if (pipeline_depth > 0) return pipeline_depth;
       return preblocking ? 2 : 1;
@@ -228,6 +250,16 @@ class QueryEngine {
   /// the two must agree (throws std::invalid_argument otherwise — a k or
   /// alphabet mismatch would silently change the candidate set).
   QueryEngine(const KmerIndex& index, core::PastisConfig cfg,
+              sim::MachineModel model, Options opt,
+              util::ThreadPool* pool = &util::ThreadPool::global());
+
+  /// Serves a mutable LSM view (serve/delta_index.hpp): base + delta
+  /// segments fold per shard during discovery, so hits are bit-identical
+  /// to an engine over the equivalent from-scratch rebuild. The engine
+  /// tracks the view's epoch; call refresh_epoch() (or just serve) after
+  /// add_references()/compact(). Mutation under a non-empty fault plan is
+  /// unsupported and throws. The DeltaIndex must outlive the engine.
+  QueryEngine(const serve::DeltaIndex& delta, core::PastisConfig cfg,
               sim::MachineModel model, Options opt,
               util::ThreadPool* pool = &util::ThreadPool::global());
 
@@ -248,9 +280,54 @@ class QueryEngine {
   [[nodiscard]] Result serve(const std::vector<std::vector<std::string>>& batches);
 
   void reset_stream() {
-    next_query_id_ = index_->n_refs();
+    next_query_id_ = total_refs();
     next_batch_ordinal_ = 0;
   }
+
+  /// References currently served: base + every delta segment (equals
+  /// index().n_refs() without a DeltaIndex). Query ids start here.
+  [[nodiscard]] Index total_refs() const;
+
+  /// The DeltaIndex epoch last synced into the serving state (0 without
+  /// one). Cache keys carry it, so epoch bumps are exact invalidation.
+  [[nodiscard]] std::uint64_t epoch() const { return served_epoch_; }
+
+  /// Syncs the engine to the DeltaIndex's current epoch: rebases the query
+  /// id stream to the grown reference set, rebuilds the per-rank shard
+  /// resolution, and re-ledgers static residency (grid mode). No-op when
+  /// the epoch is unchanged; serve()/search_batch() call it implicitly.
+  /// Throws std::runtime_error on an epoch change under an active fault
+  /// plan (mutation + faults is an unsupported combination).
+  void refresh_epoch();
+
+  /// Times the per-batch shard→server resolution was (re)built: once at
+  /// construction, once per epoch change and once per re-placement — NOT
+  /// once per batch (the no-fault fast path reuses the cached resolution).
+  [[nodiscard]] std::uint64_t resolution_builds() const {
+    return resolution_builds_;
+  }
+
+  /// Installs a re-balanced placement (ShardPlacement::rebalance) and
+  /// charges each migration's p2p copy to the donor and target rank clocks
+  /// (sim::Comp::kMigrate, the fault path's recovery cost model). Returns
+  /// the total modeled migration seconds. Grid mode only; throws
+  /// std::runtime_error otherwise or under an active fault plan, and
+  /// std::invalid_argument when the placement's geometry disagrees.
+  double apply_replacement(const ShardPlacement& placement,
+                           std::span<const ShardMigration> migrations);
+
+  /// Charges a compaction's per-shard modeled seconds to the shard
+  /// primaries' clocks (sim::Comp::kSparseOther; shard s mod nprocs
+  /// without a grid). Returns the busiest rank's share — the modeled
+  /// serving-side cost of the background merge.
+  double charge_compaction(std::span<const double> shard_seconds);
+
+  /// Recomputes per-rank static residency (placed shards + reference
+  /// slices over the CURRENT reference set) and applies the diff to the
+  /// runtime ledger, re-checking the rank budget. Grid mode; no-op
+  /// otherwise. Called by refresh_epoch/apply_replacement; the serving
+  /// tier also calls it after a compaction (same epoch, shifted bytes).
+  void resync_static_residency();
 
   [[nodiscard]] const KmerIndex& index() const { return *index_; }
   [[nodiscard]] const core::PastisConfig& config() const { return cfg_; }
@@ -299,7 +376,28 @@ class QueryEngine {
   /// exceeds the per-rank budget (no-op with the budget unset).
   void enforce_rank_budget() const;
 
+  /// Shared construction body; `delta` may be null (plain KmerIndex mode).
+  QueryEngine(const serve::DeltaIndex* delta, const KmerIndex& index,
+              core::PastisConfig cfg, sim::MachineModel model, Options opt,
+              util::ThreadPool* pool);
+
+  /// Reference sequence by global id, folding delta segments.
+  [[nodiscard]] std::string_view ref_seq(Index id) const;
+  /// Per-shard resident bytes, folding delta segments.
+  [[nodiscard]] std::vector<std::uint64_t> shard_bytes_all() const;
+  /// Rebuilds the cached per-rank shard resolution from the placement
+  /// (grid mode) and counts the build (satellite: resolution is computed
+  /// once per epoch/placement, not once per batch).
+  void rebuild_resolution();
+  /// Charges the ResultCache's resident bytes to the rank ledger (cache
+  /// shard k on rank k mod nprocs), as a diff against the last sync.
+  /// Called at strictly-ordered batch retirement.
+  void sync_cache_ledger();
+
   const KmerIndex* index_;
+  /// Non-null when serving a DeltaIndex view (index_ aliases its base).
+  const serve::DeltaIndex* delta_ = nullptr;
+  std::uint64_t served_epoch_ = 0;
   core::PastisConfig cfg_;
   sim::MachineModel model_;
   Options opt_;
@@ -314,6 +412,14 @@ class QueryEngine {
   /// Static per-rank residency: placed shard bytes + the rank's slice of
   /// the reference residues (alignment ownership ranges).
   std::vector<std::uint64_t> static_resident_;
+  /// Cached shard→server resolution (rank -> its primary shards): hoisted
+  /// out of the per-batch path; rebuilt on construction, epoch change and
+  /// re-placement only.
+  std::vector<std::vector<int>> shards_by_rank_;
+  std::uint64_t resolution_builds_ = 0;
+  /// Cache shard bytes already charged to the rank ledger (diff base for
+  /// sync_cache_ledger).
+  std::vector<std::uint64_t> cache_charged_bytes_;
 
   // Fault-tolerance bookkeeping (grid mode with a non-empty fault plan).
   // All of it is read/written only by sequential code: plan_batch_faults

@@ -50,6 +50,9 @@
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "serve/delta_index.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/serving_tier.hpp"
 #include "sim/clock.hpp"
 #include "sim/grid.hpp"
 #include "sim/machine_model.hpp"

@@ -1,0 +1,250 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace pastis::serve {
+
+namespace {
+
+// Fixed per-entry overhead charged on top of the payload: list/map node
+// bookkeeping plus the Entry header itself. A round number keeps the
+// shard_bytes() ledger easy to reason about in tests.
+constexpr std::uint64_t kEntryOverheadBytes = 64;
+
+[[nodiscard]] std::uint64_t entry_bytes(std::size_t query_size,
+                                        std::size_t n_hits) {
+  return kEntryOverheadBytes + static_cast<std::uint64_t>(query_size) +
+         static_cast<std::uint64_t>(n_hits) * sizeof(io::SimilarityEdge);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(Options opt) {
+  if (opt.n_shards <= 0) {
+    throw std::invalid_argument("ResultCache: n_shards must be positive");
+  }
+  capacity_ = opt.capacity_bytes;
+  per_shard_capacity_ = capacity_ / static_cast<std::uint64_t>(opt.n_shards);
+  shards_.reserve(static_cast<std::size_t>(opt.n_shards));
+  for (int s = 0; s < opt.n_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (opt.telemetry.metrics != nullptr) {
+    auto& m = *opt.telemetry.metrics;
+    hits_ctr_ = &m.counter("cache.hits_total");
+    misses_ctr_ = &m.counter("cache.misses_total");
+    insertions_ctr_ = &m.counter("cache.insertions_total");
+    evictions_ctr_ = &m.counter("cache.evictions_total");
+    invalidated_ctr_ = &m.counter("cache.invalidated_total");
+    bytes_gauge_ = &m.gauge("cache.bytes");
+  }
+}
+
+std::uint64_t ResultCache::hash_query(std::string_view query) {
+  // FNV-1a over the residues, then a splitmix64 finalizer so the low bits
+  // (which pick the shard) mix the whole sequence.
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : query) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 1099511628211ull;
+  }
+  return util::splitmix64(h);
+}
+
+bool ResultCache::lookup(std::string_view query, std::uint64_t epoch,
+                         std::uint32_t parity, std::uint64_t ordinal,
+                         int visibility_lag,
+                         std::vector<io::SimilarityEdge>& out) {
+  const std::uint64_t h = hash_query(query);
+  Shard& sh = shard_for(h);
+  const auto lag = static_cast<std::uint64_t>(visibility_lag < 0 ? 0
+                                                                 : visibility_lag);
+  bool hit = false;
+  {
+    std::lock_guard lock(sh.mu);
+    auto [it, end] = sh.index.equal_range(h);
+    for (; it != end; ++it) {
+      const auto lit = it->second;
+      if (lit->epoch != epoch || lit->parity != parity ||
+          lit->query != query) {
+        continue;
+      }
+      // An entry still inside the pipeline-depth window may or may not be
+      // physically present depending on the stage interleaving; rejecting
+      // it by ordinal makes hit/miss schedule-independent either way.
+      if (lit->ordinal + lag > ordinal) continue;
+      out = lit->hits;
+      sh.lru.splice(sh.lru.begin(), sh.lru, lit);
+      hit = true;
+      break;
+    }
+    if (hit) {
+      ++sh.hits;
+    } else {
+      ++sh.misses;
+    }
+  }
+  if (hit) {
+    if (hits_ctr_ != nullptr) hits_ctr_->add();
+  } else {
+    if (misses_ctr_ != nullptr) misses_ctr_->add();
+  }
+  return hit;
+}
+
+void ResultCache::insert(std::string_view query, std::uint64_t epoch,
+                         std::uint32_t parity, std::uint64_t ordinal,
+                         const std::vector<io::SimilarityEdge>& hits) {
+  const std::uint64_t h = hash_query(query);
+  Shard& sh = shard_for(h);
+  std::uint64_t evicted = 0;
+  bool inserted = false;
+  std::uint64_t bytes_after = 0;
+  {
+    std::lock_guard lock(sh.mu);
+    auto [it, end] = sh.index.equal_range(h);
+    bool refreshed = false;
+    for (; it != end; ++it) {
+      const auto lit = it->second;
+      if (lit->epoch != epoch || lit->parity != parity ||
+          lit->query != query) {
+        continue;
+      }
+      // Idempotent refresh: the recomputed value equals the stored one by
+      // construction, so only recency moves. The FIRST ordinal is kept —
+      // visibility must only ever widen as the stream advances.
+      sh.lru.splice(sh.lru.begin(), sh.lru, lit);
+      refreshed = true;
+      break;
+    }
+    if (!refreshed) {
+      Entry e;
+      e.hash = h;
+      e.epoch = epoch;
+      e.parity = parity;
+      e.ordinal = ordinal;
+      e.query.assign(query.data(), query.size());
+      e.hits = hits;
+      e.bytes = entry_bytes(query.size(), hits.size());
+      sh.bytes += e.bytes;
+      sh.lru.push_front(std::move(e));
+      sh.index.emplace(h, sh.lru.begin());
+      ++sh.insertions;
+      inserted = true;
+      const std::uint64_t before = sh.evictions;
+      evict_over_budget(sh);
+      evicted = sh.evictions - before;
+    }
+    bytes_after = sh.bytes;
+  }
+  if (inserted && insertions_ctr_ != nullptr) insertions_ctr_->add();
+  if (evicted > 0 && evictions_ctr_ != nullptr) {
+    evictions_ctr_->add(static_cast<double>(evicted));
+  }
+  if (bytes_gauge_ != nullptr) {
+    // Cheap approximation of the global gauge: sum the shards lock-free is
+    // racy, so re-sum exactly (shard count is small).
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      total += s->bytes;
+    }
+    bytes_gauge_->set(static_cast<double>(total));
+  }
+  (void)bytes_after;
+}
+
+void ResultCache::evict_over_budget(Shard& sh) {
+  while (sh.bytes > per_shard_capacity_ && !sh.lru.empty()) {
+    const Entry& victim = sh.lru.back();
+    auto [it, end] = sh.index.equal_range(victim.hash);
+    for (; it != end; ++it) {
+      if (it->second == std::prev(sh.lru.end())) {
+        sh.index.erase(it);
+        break;
+      }
+    }
+    sh.bytes -= victim.bytes;
+    sh.lru.pop_back();
+    ++sh.evictions;
+  }
+}
+
+void ResultCache::invalidate_before(std::uint64_t epoch) {
+  std::uint64_t dropped = 0;
+  for (auto& sp : shards_) {
+    Shard& sh = *sp;
+    std::lock_guard lock(sh.mu);
+    for (auto it = sh.lru.begin(); it != sh.lru.end();) {
+      if (it->epoch < epoch) {
+        auto [mit, mend] = sh.index.equal_range(it->hash);
+        for (; mit != mend; ++mit) {
+          if (mit->second == it) {
+            sh.index.erase(mit);
+            break;
+          }
+        }
+        sh.bytes -= it->bytes;
+        it = sh.lru.erase(it);
+        ++sh.invalidations;
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0 && invalidated_ctr_ != nullptr) {
+    invalidated_ctr_->add(static_cast<double>(dropped));
+  }
+  if (bytes_gauge_ != nullptr) {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      total += s->bytes;
+    }
+    bytes_gauge_->set(static_cast<double>(total));
+  }
+}
+
+void ResultCache::clear() {
+  for (auto& sp : shards_) {
+    Shard& sh = *sp;
+    std::lock_guard lock(sh.mu);
+    sh.lru.clear();
+    sh.index.clear();
+    sh.bytes = 0;
+  }
+  if (bytes_gauge_ != nullptr) bytes_gauge_->set(0.0);
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out;
+  for (const auto& sp : shards_) {
+    const Shard& sh = *sp;
+    std::lock_guard lock(sh.mu);
+    out.hits += sh.hits;
+    out.misses += sh.misses;
+    out.insertions += sh.insertions;
+    out.evictions += sh.evictions;
+    out.invalidations += sh.invalidations;
+    out.entries += sh.lru.size();
+    out.bytes += sh.bytes;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> ResultCache::shard_bytes() const {
+  std::vector<std::uint64_t> out(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard lock(shards_[s]->mu);
+    out[s] = shards_[s]->bytes;
+  }
+  return out;
+}
+
+}  // namespace pastis::serve

@@ -1,0 +1,168 @@
+// Sharded query-result cache for the always-on serving tier.
+//
+// Production traffic is skewed: millions of users resend the same hot
+// sequences, and every resend through the batch-shaped engine re-pays the
+// full discovery SpGEMM + alignment. This cache short-circuits the
+// `discover` exec stage of QueryEngine for repeated queries, keyed by
+//
+//   (canonical query-sequence hash, index epoch, orientation parity)
+//
+// The epoch component is the exact-invalidation contract: any index
+// mutation (DeltaIndex::add_references) bumps the epoch, so every entry
+// cached against the old reference set simply stops matching — a hit can
+// NEVER serve pre-delta results. The parity component exists because under
+// LoadBalanceScheme::kIndexBased the seed orientation the aligner sees
+// depends on the parity of the query's global id (core::BlockPlan::
+// index_based_keep), so the same sequence at an odd and an even stream
+// position are different cache keys; under kTriangularity the parity is
+// pinned to 0 and the key collapses to (hash, epoch).
+//
+// Hash collisions must not break bit-identity, so a lookup compares the
+// STORED QUERY STRING exactly — a colliding different sequence is a miss,
+// never a wrong answer.
+//
+// Determinism under the streaming executor: lookups run in the (serial,
+// in-order) discover stage and insertions in the (serial, in-order) align
+// stage, but with pipeline depth d the two interleave across batches. The
+// visibility rule makes hit/miss a pure function of stream ordinals
+// anyway: an entry inserted at batch ordinal o is visible to a lookup at
+// ordinal b iff o + visibility_lag <= b, with the lag set to the pipeline
+// depth — exactly the distance at which the executor guarantees (via slot
+// reuse) that batch o's align stage retired before batch b's discover
+// stage started. Entries inside the lag window are physically present or
+// not depending on the schedule, but the ordinal check rejects them either
+// way. The one caveat: with depth >= 2 AND a binding capacity, the
+// EVICTION order (hence the hit-rate accounting, never the results) can
+// depend on the lookup/insert interleaving; results stay bit-identical
+// because a cached value equals the recomputed value by construction.
+//
+// Capacity is enforced per shard (capacity_bytes / n_shards, LRU eviction
+// from the tail; recency updated on hit and insert), so byte accounting is
+// shard-local and the grid-mode rank ledger can charge cache shard k to
+// rank k % p.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "io/graph_io.hpp"
+#include "obs/telemetry.hpp"
+
+namespace pastis::obs {
+class Counter;
+class Gauge;
+}  // namespace pastis::obs
+
+namespace pastis::serve {
+
+/// Aggregated counters across all cache shards (a snapshot; the cache
+/// keeps counting).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  // entries dropped by invalidate_before
+  std::uint64_t entries = 0;        // currently resident
+  std::uint64_t bytes = 0;          // currently resident
+
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ResultCache {
+ public:
+  struct Options {
+    /// Total byte budget, split evenly across the shards (0 caches
+    /// nothing — every insert evicts immediately).
+    std::uint64_t capacity_bytes = 64ull << 20;
+    /// Lock shards (also the unit of the grid-mode ledger charge).
+    int n_shards = 8;
+    /// cache.* counters/gauges (hits, misses, insertions, evictions,
+    /// invalidated entries, resident bytes). Null = off.
+    obs::Telemetry telemetry;
+  };
+
+  explicit ResultCache(Options opt);
+
+  /// Canonical query-sequence hash (FNV-1a folded through a splitmix64
+  /// finalizer) — also the shard selector.
+  [[nodiscard]] static std::uint64_t hash_query(std::string_view query);
+
+  /// Returns true and fills `out` with the stored hits (seq_b left as
+  /// stored; the engine rebases it to the current global query id) when an
+  /// entry with the exact (query, epoch, parity) key exists AND its insert
+  /// ordinal satisfies the visibility rule. Counts a hit or a miss.
+  bool lookup(std::string_view query, std::uint64_t epoch,
+              std::uint32_t parity, std::uint64_t ordinal, int visibility_lag,
+              std::vector<io::SimilarityEdge>& out);
+
+  /// Inserts (or idempotently refreshes) the entry for (query, epoch,
+  /// parity). A re-insert keeps the FIRST ordinal — visibility only ever
+  /// widens — and refreshes recency. Evicts LRU entries while the shard
+  /// exceeds its byte budget.
+  void insert(std::string_view query, std::uint64_t epoch,
+              std::uint32_t parity, std::uint64_t ordinal,
+              const std::vector<io::SimilarityEdge>& hits);
+
+  /// Drops every entry cached against an epoch < `epoch` — the explicit
+  /// half of invalidation (the key mismatch already guarantees stale
+  /// entries never hit; this reclaims their bytes immediately).
+  void invalidate_before(std::uint64_t epoch);
+
+  void clear();
+
+  [[nodiscard]] CacheStats stats() const;
+  /// Resident bytes per cache shard — the grid-mode ledger charge vector.
+  [[nodiscard]] std::vector<std::uint64_t> shard_bytes() const;
+  [[nodiscard]] int n_shards() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] std::uint64_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::uint64_t epoch = 0;
+    std::uint32_t parity = 0;
+    std::uint64_t ordinal = 0;  // first insert ordinal (visibility)
+    std::string query;          // exact-compare guard against collisions
+    std::vector<io::SimilarityEdge> hits;
+    std::uint64_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator> index;
+    std::uint64_t bytes = 0;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0,
+                  invalidations = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t hash) {
+    return *shards_[hash % shards_.size()];
+  }
+  void evict_over_budget(Shard& sh);  // caller holds sh.mu
+
+  std::uint64_t capacity_ = 0;
+  std::uint64_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Telemetry sinks resolved once at construction (registry refs are
+  // stable); all null when telemetry is off.
+  obs::Counter* hits_ctr_ = nullptr;
+  obs::Counter* misses_ctr_ = nullptr;
+  obs::Counter* insertions_ctr_ = nullptr;
+  obs::Counter* evictions_ctr_ = nullptr;
+  obs::Counter* invalidated_ctr_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+};
+
+}  // namespace pastis::serve

@@ -17,6 +17,7 @@ enum class Comp : int {
   kAlign,          // device kernel + launches + host packing
   kSeqWait,        // waiting on sequence communication ("cwait", Table II)
   kIO,             // parallel FASTA read + graph write
+  kMigrate,        // online shard re-placement copies (serving tier)
   kOther,          // everything else (graph assembly, bookkeeping)
   kCount,
 };
@@ -33,6 +34,8 @@ enum class Comp : int {
       return "cwait";
     case Comp::kIO:
       return "io";
+    case Comp::kMigrate:
+      return "migrate";
     case Comp::kOther:
       return "other";
     default:

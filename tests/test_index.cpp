@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -200,6 +201,78 @@ TEST(IndexIo, RejectsCorruptAndTruncatedFiles) {
     os << "not an index";
   }
   EXPECT_THROW((void)pidx::load_index(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(IndexIo, V3LoaderKeepsReadingV2Files) {
+  // Version compatibility: a v2 file is a v3 file minus the 4-byte segment
+  // manifest count, with version 2 in the header. Manufacture one by byte
+  // surgery on a fresh save (v3 with an empty manifest) and check the v3
+  // loader reads it bit-identically, with zero delta segments.
+  const auto refs = make_refs(60, 13);
+  const auto idx = pidx::KmerIndex::build(refs, pc::PastisConfig{}, 3);
+  const auto path = temp_path("pastis_index_v2compat.pidx");
+  pidx::save_index(path, idx);
+
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(f)),
+                 std::istreambuf_iterator<char>());
+  }
+  // Header: magic 8B, version u32 @8, params i32x7 @12, n_refs u64 @40,
+  // ref_residues u64 @48, n_shards u32 @56, kmer_space u64 @60,
+  // total_nnz u64 @68, per-shard nnz u64 x n_shards @76 — the v3
+  // n_segments u32 sits right after the placement section.
+  const std::uint32_t v2 = 2;
+  bytes.replace(8, sizeof(v2), reinterpret_cast<const char*>(&v2),
+                sizeof(v2));
+  const std::size_t manifest_at =
+      76 + 8 * static_cast<std::size_t>(idx.n_shards());
+  std::uint32_t n_segments = 0;
+  std::memcpy(&n_segments, bytes.data() + manifest_at, sizeof(n_segments));
+  ASSERT_EQ(n_segments, 0u);  // fresh saves carry an empty manifest
+  bytes.erase(manifest_at, sizeof(std::uint32_t));
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const auto loaded = pidx::load_index(path);
+  EXPECT_TRUE(loaded == idx);
+  const auto parts = pidx::load_index_parts(path);
+  EXPECT_TRUE(parts.base == idx);
+  EXPECT_TRUE(parts.segments.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(IndexIo, SegmentManifestRoundTripsAndPlainLoadRefusesIt) {
+  // v3 proper: base + LSM delta segments persist together and come back
+  // exactly; the segment-blind load_index must refuse the file rather
+  // than silently drop the deltas (a truncated reference set).
+  pc::PastisConfig cfg;
+  const auto base = pidx::KmerIndex::build(make_refs(60, 15), cfg, 3);
+  std::vector<pidx::KmerIndex> segments;
+  segments.push_back(pidx::KmerIndex::build(make_refs(25, 16), cfg, 3));
+  segments.push_back(pidx::KmerIndex::build(make_refs(10, 17), cfg, 3));
+
+  const auto path = temp_path("pastis_index_segments.pidx");
+  pidx::save_index(path, base, segments);
+
+  const auto parts = pidx::load_index_parts(path);
+  EXPECT_TRUE(parts.base == base);
+  ASSERT_EQ(parts.segments.size(), segments.size());
+  for (std::size_t g = 0; g < segments.size(); ++g) {
+    EXPECT_TRUE(parts.segments[g] == segments[g]);
+  }
+  EXPECT_THROW((void)pidx::load_index(path), std::runtime_error);
+
+  // The per-rank pre-flight folds segment postings into the shard loads.
+  const auto folded = pidx::peek_rank_resident_bytes(path, 1);
+  pidx::save_index(path, base);
+  const auto base_only = pidx::peek_rank_resident_bytes(path, 1);
+  ASSERT_EQ(folded.size(), 1u);
+  EXPECT_GT(folded[0], base_only[0]);
   std::filesystem::remove(path);
 }
 
