@@ -1,0 +1,279 @@
+// Sensitivity cascade: recall-vs-work curves for the tiered prefilter
+// ahead of batch alignment (align/cascade.hpp), on the metagenome-like
+// generator. Sweeps the tier-0 ungapped-score and tier-1 probe-score
+// cutoffs, reporting per-tier survivors, measured screen/alignment cells
+// and recall against the exact (cascade-off) oracle.
+//
+// Two HARD gates anchor the cascade contract in CI smoke runs (exit 1 on
+// failure):
+//   (a) the exact preset is bit-identical to the cascade-off path — same
+//       edges from the pipeline across pool sizes and depths, same hits
+//       from the serving path across grid sides;
+//   (b) the fast preset cuts measured tier-2 alignment cells by >= 2x
+//       while keeping edge recall >= 0.95 against the exact oracle.
+// Emits BENCH_cascade.json (+ METRICS_/TRACE_cascade.json telemetry).
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace pastis;
+using namespace pastis::bench;
+
+namespace {
+
+using EdgeKey = std::pair<std::uint32_t, std::uint32_t>;
+
+std::set<EdgeKey> edge_set(const std::vector<io::SimilarityEdge>& edges) {
+  std::set<EdgeKey> s;
+  for (const auto& e : edges) s.insert({e.seq_a, e.seq_b});
+  return s;
+}
+
+double recall_vs(const std::set<EdgeKey>& oracle,
+                 const std::vector<io::SimilarityEdge>& got) {
+  if (oracle.empty()) return 1.0;
+  std::size_t kept = 0;
+  for (const auto& e : got) kept += oracle.count({e.seq_a, e.seq_b});
+  return static_cast<double>(kept) / static_cast<double>(oracle.size());
+}
+
+/// Mutated copies of random references — the serving-path query stream.
+std::vector<std::string> make_queries(const std::vector<std::string>& refs,
+                                      std::size_t n, std::uint64_t seed) {
+  static const std::string aas = "ARNDCQEGHILKMFPSTWYV";
+  util::Xoshiro256 rng(seed);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string s = refs[rng.below(refs.size())];
+    for (auto& c : s) {
+      if (rng.chance(0.06)) c = aas[rng.below(aas.size())];
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+struct CurvePoint {
+  std::string name;
+  align::CascadeOptions opt;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n_seqs = static_cast<std::uint32_t>(args.i("seqs", 500));
+  const auto seed = static_cast<std::uint64_t>(args.i("seed", 7));
+  const double mean_length = args.d("mean_length", 180.0);
+  const int nprocs = static_cast<int>(args.i("procs", 4));
+  const auto n_queries = static_cast<std::size_t>(args.i("queries", 60));
+  // The paper's sensitivity regime: a single shared k-mer already makes a
+  // candidate, so the candidate set is dominated by spurious pairs — the
+  // population a prefilter cascade exists to prune.
+  const auto ckt = static_cast<std::uint32_t>(args.i("ckt", 1));
+  const auto out = args.s("out", out_path("BENCH_cascade.json"));
+
+  // Background-heavy blend: mostly unrelated singletons plus repeat-driven
+  // low-complexity sequences, so (at ckt=1) the candidate set is dominated
+  // by spurious pairs — the metagenome regime where a prefilter pays. The
+  // family pairs that remain are the recall denominator.
+  gen::GenConfig g;
+  g.n_sequences = n_seqs;
+  g.seed = seed;
+  g.mean_length = mean_length;
+  g.max_length = 1200;
+  g.family_fraction = args.d("family_fraction", 0.35);
+  g.mean_family_size = 8;
+  g.low_complexity_prob = args.d("low_complexity", 0.5);
+  g.low_complexity_motifs = 12;
+  g.shuffle_order = true;
+  const auto data = gen::generate_proteins(g);
+  std::printf("dataset: %u seqs, mean length %.0f, family fraction %.2f, "
+              "seed %llu\n",
+              n_seqs, mean_length, g.family_fraction,
+              static_cast<unsigned long long>(seed));
+
+  ShapeChecks sc;
+
+  // ---- the exact oracle: cascade off --------------------------------------
+  core::PastisConfig base;
+  base.common_kmer_threshold = ckt;
+  const auto oracle = run_search(data.seqs, base, nprocs);
+  const auto oracle_edges = edge_set(oracle.edges);
+  std::printf("oracle: %zu edges, %s alignment cells, %llu aligned pairs\n\n",
+              oracle.edges.size(),
+              util::with_commas(oracle.stats.align_cells).c_str(),
+              static_cast<unsigned long long>(oracle.stats.aligned_pairs));
+
+  // ---- hard gate (a): exact preset bit-identical, pipeline ----------------
+  bool exact_identical = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const int depth : {1, 2}) {
+      util::ThreadPool pool(threads);
+      core::PastisConfig cfg;
+      cfg.common_kmer_threshold = ckt;
+      cfg.cascade = align::CascadeOptions::exact();
+      cfg.pipeline_depth = depth;
+      core::SimilaritySearch search(cfg, {}, nprocs, &pool);
+      const auto got = search.run(data.seqs);
+      exact_identical = exact_identical && got.edges == oracle.edges;
+    }
+  }
+  sc.check(exact_identical,
+           "exact preset is bit-identical to cascade-off across pools "
+           "{1,4} x depths {1,2} (hard gate)");
+
+  // ---- hard gate (a): exact preset bit-identical, serving grid ------------
+  core::PastisConfig icfg;
+  icfg.common_kmer_threshold = ckt;
+  const auto idx = index::KmerIndex::build(data.seqs, icfg, 4);
+  const auto queries = make_queries(data.seqs, n_queries, seed + 1);
+  std::vector<std::vector<std::string>> batches(4);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    batches[i * batches.size() / queries.size()].push_back(queries[i]);
+  }
+  index::QueryEngine plain(idx, icfg, sim::MachineModel{}, {});
+  const auto serve_oracle = plain.serve(batches);
+  bool serve_identical = true;
+  for (const int side : {1, 2}) {
+    core::PastisConfig ccfg;
+    ccfg.common_kmer_threshold = ckt;
+    ccfg.cascade = align::CascadeOptions::exact();
+    index::QueryEngine::Options opt;
+    opt.grid_side = side;
+    index::QueryEngine engine(idx, ccfg, sim::MachineModel{}, opt);
+    const auto got = engine.serve(batches);
+    serve_identical = serve_identical && got.hits == serve_oracle.hits;
+  }
+  sc.check(serve_identical,
+           "exact preset serving hits are bit-identical across grid sides "
+           "{1,2} (hard gate)");
+
+  // ---- the recall-vs-work curve -------------------------------------------
+  std::vector<CurvePoint> curve;
+  curve.push_back({"exact", align::CascadeOptions::exact()});
+  for (const int t0 : {20, 30, 40, 50}) {
+    auto o = align::CascadeOptions::exact();
+    o.tier0_min_ungapped_score = t0;
+    curve.push_back({"t0=" + std::to_string(t0), o});
+  }
+  for (const int t1 : {45, 80, 120, 160}) {
+    auto o = align::CascadeOptions::exact();
+    o.tier1_kind = align::AlignKind::kBanded;
+    o.tier1_min_score = t1;
+    curve.push_back({"t1=" + std::to_string(t1), o});
+  }
+  for (const int pct : {40, 50, 60, 70}) {
+    auto o = align::CascadeOptions::exact();
+    o.tier1_kind = align::AlignKind::kBanded;
+    o.tier1_min_score = 45;
+    o.tier1_min_cov = static_cast<double>(pct) / 100.0;
+    curve.push_back({"cov=." + std::to_string(pct), o});
+  }
+  curve.push_back({"fast", align::CascadeOptions::fast()});
+
+  struct Row {
+    std::string name;
+    double recall = 0.0;
+    std::uint64_t align_cells = 0, screen_cells = 0;
+    std::uint64_t t0_in = 0, t0_out = 0, t1_in = 0, t1_out = 0;
+    double cell_reduction = 0.0, total_reduction = 0.0;
+  };
+  std::vector<Row> rows;
+  double fast_recall = 0.0, fast_reduction = 0.0;
+
+  util::TextTable table({"preset", "recall", "align Mcells", "screen Mcells",
+                         "t0 in->out", "t1 in->out", "align x", "total x"});
+  for (const auto& point : curve) {
+    core::PastisConfig cfg;
+    cfg.common_kmer_threshold = ckt;
+    cfg.cascade = point.opt;
+    BenchTelemetry* telemetry = nullptr;
+    static BenchTelemetry fast_telemetry("cascade");
+    if (point.name == "fast") {
+      telemetry = &fast_telemetry;
+      cfg.telemetry = telemetry->telemetry();
+    }
+    const auto got = run_search(data.seqs, cfg, nprocs);
+    Row r;
+    r.name = point.name;
+    r.recall = recall_vs(oracle_edges, got.edges);
+    r.align_cells = got.stats.align_cells;
+    r.screen_cells = got.stats.cascade.screen_cells();
+    r.t0_in = got.stats.cascade.tier0.pairs_in;
+    r.t0_out = got.stats.cascade.tier0.pairs_out;
+    r.t1_in = got.stats.cascade.tier1.pairs_in;
+    r.t1_out = got.stats.cascade.tier1.pairs_out;
+    r.cell_reduction = r.align_cells == 0
+                           ? 0.0
+                           : static_cast<double>(oracle.stats.align_cells) /
+                                 static_cast<double>(r.align_cells);
+    const auto total = r.align_cells + r.screen_cells;
+    r.total_reduction = total == 0
+                            ? 0.0
+                            : static_cast<double>(oracle.stats.align_cells) /
+                                  static_cast<double>(total);
+    if (point.name == "fast") {
+      fast_recall = r.recall;
+      fast_reduction = r.cell_reduction;
+      telemetry->write_artifacts();
+    }
+    table.add_row({r.name, f4(r.recall),
+               f2(static_cast<double>(r.align_cells) / 1e6),
+               f2(static_cast<double>(r.screen_cells) / 1e6),
+               std::to_string(r.t0_in) + "->" + std::to_string(r.t0_out),
+               std::to_string(r.t1_in) + "->" + std::to_string(r.t1_out),
+               f2(r.cell_reduction), f2(r.total_reduction)});
+    rows.push_back(std::move(r));
+  }
+  table.print();
+  std::printf("\n");
+
+  // ---- hard gate (b): the fast preset's contract --------------------------
+  const bool fast_ok = fast_reduction >= 2.0 && fast_recall >= 0.95;
+  sc.check(fast_ok, "fast preset: >= 2x alignment-cell reduction (" +
+                        f2(fast_reduction) + "x) at recall >= 0.95 (" +
+                        f4(fast_recall) + ") (hard gate)");
+  sc.summary();
+
+  const bool ok = exact_identical && serve_identical && fast_ok;
+  {
+    std::ofstream os(out);
+    os << "{\n"
+       << "  \"bench\": \"sensitivity_cascade\",\n"
+       << "  \"seqs\": " << n_seqs << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"mean_length\": " << mean_length << ",\n"
+       << "  \"common_kmer_threshold\": " << ckt << ",\n"
+       << "  \"oracle_edges\": " << oracle.edges.size() << ",\n"
+       << "  \"oracle_align_cells\": " << oracle.stats.align_cells << ",\n"
+       << "  \"exact_bit_identical\": "
+       << (exact_identical ? "true" : "false") << ",\n"
+       << "  \"serve_bit_identical\": "
+       << (serve_identical ? "true" : "false") << ",\n"
+       << "  \"fast_recall\": " << fast_recall << ",\n"
+       << "  \"fast_cell_reduction\": " << fast_reduction << ",\n"
+       << "  \"fast_gate\": " << (fast_ok ? "true" : "false") << ",\n"
+       << "  \"curve\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      os << "    {\"preset\": \"" << r.name << "\", \"recall\": " << r.recall
+         << ", \"align_cells\": " << r.align_cells
+         << ", \"screen_cells\": " << r.screen_cells
+         << ", \"tier0_in\": " << r.t0_in << ", \"tier0_out\": " << r.t0_out
+         << ", \"tier1_in\": " << r.t1_in << ", \"tier1_out\": " << r.t1_out
+         << ", \"align_cell_reduction\": " << r.cell_reduction
+         << ", \"total_cell_reduction\": " << r.total_reduction << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return ok ? 0 : 1;
+}

@@ -46,15 +46,22 @@ int main() {
     return truth.empty() ? 1.0 : double(hit) / double(truth.size());
   };
 
-  util::TextTable table({"configuration", "edges", "recall",
-                         "candidates", "modeled time (s)"});
+  util::TextTable table({"configuration", "edges", "recall", "candidates",
+                         "tier0 in->out", "tier1 in->out",
+                         "modeled time (s)"});
   auto run_mode = [&](const std::string& name, const core::PastisConfig& cfg) {
     core::SimilaritySearch search(cfg, sim::MachineModel{}, 4);
     const auto r = search.run(data.seqs);
+    const auto& cs = r.stats.cascade;
+    auto tier = [](const align::TierStats& t) {
+      return t.pairs_in == 0 ? std::string("-")
+                             : std::to_string(t.pairs_in) + "->" +
+                                   std::to_string(t.pairs_out);
+    };
     table.add_row({name, std::to_string(r.edges.size()),
                    util::pct(recall(r.edges)),
-                   util::with_commas(r.stats.candidates),
-                   util::fixed(r.stats.t_total, 4)});
+                   util::with_commas(r.stats.candidates), tier(cs.tier0),
+                   tier(cs.tier1), util::fixed(r.stats.t_total, 4)});
   };
 
   core::PastisConfig cfg;
@@ -81,11 +88,25 @@ int main() {
   cfg.align_kind = align::AlignKind::kXDrop;
   run_mode("x-drop extension (cheapest kernel)", cfg);
 
+  // The tiered prefilter cascade (align/cascade.hpp): `exact` runs both
+  // screens with reject-nothing thresholds (bit-identical edges, measured
+  // screen cost), `fast` is the tuned throughput preset.
+  cfg = core::PastisConfig{};
+  cfg.cascade = align::CascadeOptions::exact();
+  run_mode("cascade exact (screens on, rejects nothing)", cfg);
+
+  cfg.cascade = align::CascadeOptions::fast();
+  run_mode("cascade fast (tuned prefilter tiers)", cfg);
+
   table.print();
   std::cout << "\nReading the table: substitute k-mers and the reduced\n"
                "alphabet widen discovery (more candidates, higher recall);\n"
                "the seeded kernels trade recall for cell updates — the\n"
                "paper's production run pairs exact 6-mers with the full\n"
-               "Smith-Waterman on GPUs.\n";
+               "Smith-Waterman on GPUs. The cascade rows show the tiered\n"
+               "prefilter: tierN in->out counts candidate pairs entering\n"
+               "and surviving each screen — `exact` passes everything\n"
+               "through both tiers, `fast` prunes before the batch aligner\n"
+               "ever sees the pair.\n";
   return 0;
 }

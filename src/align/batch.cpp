@@ -10,22 +10,34 @@
 
 namespace pastis::align {
 
-AlignResult BatchAligner::align_one(std::string_view q, std::string_view r,
+AlignResult BatchAligner::run_full_sw(std::string_view q, std::string_view r,
+                                      const AlignTask&) const {
+  return smith_waterman(q, r, scoring_);
+}
+
+AlignResult BatchAligner::run_banded(std::string_view q, std::string_view r,
+                                     const AlignTask& task) const {
+  const int diag =
+      static_cast<int>(task.seed_r) - static_cast<int>(task.seed_q);
+  return banded_smith_waterman(q, r, scoring_, diag, config_.band_half_width);
+}
+
+AlignResult BatchAligner::run_xdrop(std::string_view q, std::string_view r,
                                     const AlignTask& task) const {
-  switch (config_.kind) {
-    case AlignKind::kFullSW:
-      return smith_waterman(q, r, scoring_);
-    case AlignKind::kBanded: {
-      const int diag = static_cast<int>(task.seed_r) -
-                       static_cast<int>(task.seed_q);
-      return banded_smith_waterman(q, r, scoring_, diag,
-                                   config_.band_half_width);
-    }
-    case AlignKind::kXDrop:
-      return xdrop_extend(q, r, task.seed_q, task.seed_r, config_.seed_len,
-                          scoring_, config_.xdrop);
-  }
-  return {};
+  return xdrop_extend(q, r, task.seed_q, task.seed_r, config_.seed_len,
+                      scoring_, config_.xdrop);
+}
+
+const BatchAligner::KernelFn BatchAligner::kKernelTable[3] = {
+    &BatchAligner::run_full_sw,  // AlignKind::kFullSW
+    &BatchAligner::run_banded,   // AlignKind::kBanded
+    &BatchAligner::run_xdrop,    // AlignKind::kXDrop
+};
+
+AlignResult BatchAligner::align_pair(std::string_view q, std::string_view r,
+                                     const AlignTask& task,
+                                     AlignKind kind) const {
+  return (this->*kKernelTable[static_cast<int>(kind)])(q, r, task);
 }
 
 void BatchAligner::assign_lanes(const SeqAccessor& seq_of,
@@ -148,7 +160,8 @@ std::span<const AlignResult> BatchAligner::align_batch(
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       if (lanes[t] != lane) continue;
       const AlignTask& task = tasks[t];
-      ws.results[t] = align_one(seq_of(task.q_id), seq_of(task.r_id), task);
+      ws.results[t] =
+          align_pair(seq_of(task.q_id), seq_of(task.r_id), task, config_.kind);
       lane_cells += ws.results[t].cells;
     }
     if (telem.metrics != nullptr && lane_cells > 0) {

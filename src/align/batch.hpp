@@ -124,8 +124,24 @@ class BatchAligner {
   /// host pool while keeping per-rank accounting exact.
   [[nodiscard]] AlignResult align_one_task(const SeqAccessor& seq_of,
                                            const AlignTask& task) const {
-    return align_one(seq_of(task.q_id), seq_of(task.r_id), task);
+    return align_pair(seq_of(task.q_id), seq_of(task.r_id), task,
+                      config_.kind);
   }
+  /// Same, with an explicit kernel override.
+  [[nodiscard]] AlignResult align_one_task(const SeqAccessor& seq_of,
+                                           const AlignTask& task,
+                                           AlignKind kind) const {
+    return align_pair(seq_of(task.q_id), seq_of(task.r_id), task, kind);
+  }
+
+  /// One pair through the table-driven kernel dispatch with an explicit
+  /// kind. This is the cascade tiers' entry point: tier 1 probes with a
+  /// cheap kind (banded / x-drop), tier 2 re-runs the configured kind —
+  /// all sharing the same scoring, band and x-drop knobs and the same
+  /// lane-assignment/workspace machinery as the batch paths.
+  [[nodiscard]] AlignResult align_pair(std::string_view q, std::string_view r,
+                                       const AlignTask& task,
+                                       AlignKind kind) const;
 
   /// Device-model accounting for a batch whose results are already known.
   /// The overload without `lanes` reproduces align_batch's greedy lane
@@ -160,7 +176,17 @@ class BatchAligner {
   [[nodiscard]] const Scoring& scoring() const { return scoring_; }
 
  private:
-  [[nodiscard]] AlignResult align_one(std::string_view q, std::string_view r,
+  /// One kernel entry per AlignKind, indexed by the enum value — the single
+  /// dispatch point shared by every batch path and every cascade tier.
+  using KernelFn = AlignResult (BatchAligner::*)(std::string_view,
+                                                 std::string_view,
+                                                 const AlignTask&) const;
+  static const KernelFn kKernelTable[3];
+  [[nodiscard]] AlignResult run_full_sw(std::string_view q, std::string_view r,
+                                        const AlignTask& task) const;
+  [[nodiscard]] AlignResult run_banded(std::string_view q, std::string_view r,
+                                       const AlignTask& task) const;
+  [[nodiscard]] AlignResult run_xdrop(std::string_view q, std::string_view r,
                                       const AlignTask& task) const;
   [[nodiscard]] BatchStats stats_with(const SeqAccessor& seq_of,
                                       std::span<const AlignTask> tasks,

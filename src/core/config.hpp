@@ -7,6 +7,7 @@
 #include <string>
 
 #include "align/batch.hpp"
+#include "align/cascade.hpp"
 #include "cluster/cluster.hpp"
 #include "exec/retry.hpp"
 #include "kmer/alphabet.hpp"
@@ -44,6 +45,11 @@ struct PastisConfig {
   int gap_extend = 2;
   int band_half_width = 32;
   int xdrop = 25;
+  /// Tiered prefilter cascade ahead of the batch aligner (align/cascade.hpp):
+  /// tier-0 count/ungapped screen, tier-1 banded/x-drop probe, tier-2 the
+  /// configured `align_kind`. All-off default keeps the exact path
+  /// bit-identical by construction.
+  align::CascadeOptions cascade;
 
   // --- filters ----------------------------------------------------------------
   double ani_threshold = 0.30;

@@ -11,6 +11,7 @@
 #include "exec/stream_pipeline.hpp"
 #include "exec/timeline.hpp"
 #include "io/fasta.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -24,7 +25,7 @@ using sim::SimRuntime;
 using sparse::Index;
 
 /// Per-slot state of one in-flight block as it streams through
-/// discover → prune → align. Slots are reused (item % depth), so every
+/// discover → screen → align. Slots are reused (item % depth), so every
 /// buffer keeps its capacity across the blocks a slot serves — the
 /// executor guarantees the previous occupant retired before reset() runs.
 struct BlockSlot {
@@ -32,6 +33,8 @@ struct BlockSlot {
   sparse::SpGemmStats spgemm;
   std::vector<sim::RankClock> frame;                    // per-rank charges
   std::vector<std::vector<align::AlignTask>> tasks;     // per rank
+  std::vector<std::vector<ScreenCandidate>> cands;      // per rank (cascade)
+  std::vector<align::CascadeStats> cascade;             // per rank
   std::vector<std::vector<io::SimilarityEdge>> edges;   // per rank
   std::vector<double> sparse_s, align_s;                // per rank, dilated
   std::vector<std::uint64_t> local_bytes;               // per rank
@@ -46,6 +49,9 @@ struct BlockSlot {
     frame.assign(np, sim::RankClock{});
     if (tasks.size() != np) tasks.resize(np);
     for (auto& t : tasks) t.clear();
+    if (cands.size() != np) cands.resize(np);
+    for (auto& c : cands) c.clear();
+    cascade.assign(np, align::CascadeStats{});
     if (edges.size() != np) edges.resize(np);
     for (auto& e : edges) e.clear();
     sparse_s.assign(np, 0.0);
@@ -177,7 +183,7 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
 
   // ---- streamed block loop --------------------------------------------------
   // The Fig. 4 loop as a software pipeline (§VI-C generalized): each
-  // planned block flows through {discover, prune, align} stages on the
+  // planned block flows through {discover, screen, align} stages on the
   // streaming executor, so with depth >= 2 block b+1's SUMMA runs
   // concurrently with block b's alignment on the shared host pool. Every
   // stage charges a per-slot clock frame; frames are merged and the
@@ -240,11 +246,12 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
         gate->set_resident_bytes(bi, total_bytes);
       }};
 
-  exec::Stage prune{
-      "prune", [&](std::size_t bi, std::size_t si) {
+  exec::Stage screen{
+      "screen", [&](std::size_t bi, std::size_t si) {
         BlockSlot& s = slots[si];
         const BlockInfo& blk = plan.blocks()[bi];
-        // Each rank extracts the alignment tasks its local block owns.
+        const bool cascading = cfg.cascade.any();
+        // Each rank extracts the alignment candidates its local block owns.
         rt.spmd([&](int rank) {
           auto& clock = s.frame[static_cast<std::size_t>(rank)];
           const auto& local = s.C.local(rank);
@@ -258,6 +265,7 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
                        model_.sparse_stream_time(local.bytes()) * ds);
 
           auto& tasks = s.tasks[static_cast<std::size_t>(rank)];
+          auto& cands = s.cands[static_cast<std::size_t>(rank)];
           local.for_each([&](Index li, Index lj, const CommonKmers& ck) {
             const Index i = grow0 + li;
             const Index j = gcol0 + lj;
@@ -265,9 +273,74 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
             if (!plan.should_align(blk, i, j)) return;
             // Canonical orientation (query = smaller id) keeps alignment
             // results identical across schemes and blockings.
-            tasks.push_back(canonical_task(i, j, ck));
+            if (!cascading) {
+              tasks.push_back(canonical_task(i, j, ck));
+              return;
+            }
+            ScreenCandidate c;
+            c.task = canonical_task(i, j, ck);
+            c.count = ck.count;
+            c.n_seeds = canonical_seeds(i, j, ck, c.seeds);
+            cands.push_back(c);
           });
           clock.overlap_nnz += local.nnz();
+        });
+        if (!cascading) return;
+
+        // Tier passes over the staged candidates: each tier compacts every
+        // rank's list in place and runs as its own traced pass, so tier-k
+        // of this block overlaps tier-(k+1) of the previous block through
+        // the streaming executor's stage graph.
+        for (int tier = 0; tier < 2; ++tier) {
+          if (tier == 0 ? !cfg.cascade.tier0_enabled
+                        : !cfg.cascade.tier1_enabled) {
+            continue;
+          }
+          std::size_t in = 0;
+          for (const auto& v : s.cands) in += v.size();
+          obs::Span span(cfg.telemetry.tracer,
+                         tier == 0 ? "cascade.tier0" : "cascade.tier1");
+          rt.spmd([&](int rank) {
+            const auto ri = static_cast<std::size_t>(rank);
+            auto& v = s.cands[ri];
+            auto& cs = s.cascade[ri];
+            std::size_t w = 0;
+            for (auto& c : v) {
+              const std::string_view q = store.seq(c.task.q_id);
+              const std::string_view r = store.seq(c.task.r_id);
+              const bool keep =
+                  tier == 0
+                      ? align::tier0_keep(
+                            q, r, std::span<const align::Seed>(
+                                      c.seeds, static_cast<std::size_t>(
+                                                   c.n_seeds)),
+                            c.count, c.sketch_overlap, aligner, cfg.cascade,
+                            cs.tier0)
+                      : align::tier1_keep(q, r, c.task, aligner, cfg.cascade,
+                                          cs.tier1);
+              if (keep) v[w++] = c;
+            }
+            v.resize(w);
+          });
+          std::size_t out = 0;
+          for (const auto& v : s.cands) out += v.size();
+          span.arg("pairs_in", static_cast<double>(in));
+          span.arg("pairs_out", static_cast<double>(out));
+        }
+
+        // Survivors become the block's alignment tasks; the screens' own
+        // modeled cost lands on the rank clocks (tier 0 beside the sparse
+        // extraction passes, tier 1 as device DP work) and on the block's
+        // sparse timeline slot — the screen stage is what overlaps the
+        // previous block's alignment.
+        rt.spmd([&](int rank) {
+          const auto ri = static_cast<std::size_t>(rank);
+          auto& clock = s.frame[ri];
+          for (const auto& c : s.cands[ri]) s.tasks[ri].push_back(c.task);
+          const auto [t0s, t1s] = modeled_screen_seconds(model_, s.cascade[ri]);
+          if (t0s > 0.0) clock.charge(Comp::kSparseOther, t0s * ds);
+          if (t1s > 0.0) clock.charge(Comp::kAlign, t1s * da);
+          s.sparse_s[ri] += t0s * ds + t1s * da;
         });
       }};
 
@@ -327,6 +400,12 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
         st.spgemm.merge(s.spgemm);
         st.candidates += s.C.nnz();
         rt.merge_frame(s.frame);
+        {
+          align::CascadeStats block_cascade;
+          for (const auto& cs : s.cascade) block_cascade.merge(cs);
+          st.cascade.merge(block_cascade);
+          add_cascade_counters(cfg.telemetry, block_cascade);
+        }
         for (int r = 0; r < p; ++r) {
           const auto ri = static_cast<std::size_t>(r);
           rank_edges[ri].insert(rank_edges[ri].end(), s.edges[ri].begin(),
@@ -351,7 +430,7 @@ SearchResult SimilaritySearch::run(std::vector<std::string> seqs) const {
   exec_opt.pool = pool_;
   exec_opt.telemetry = cfg.telemetry;
   exec_opt.trace_prefix = "pipeline";
-  exec::StreamPipeline pipe(n_blocks, {discover, prune, align_stage},
+  exec::StreamPipeline pipe(n_blocks, {discover, screen, align_stage},
                             exec_opt);
   gate = &pipe;
   slots.resize(pipe.slot_count());

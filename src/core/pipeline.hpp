@@ -12,7 +12,7 @@
 //
 // Streaming execution (§VI-C generalized): the block loop runs on the
 // streaming executor (exec/stream_pipeline.hpp) as a software pipeline of
-// {discover, prune, align} stages with cfg.effective_pipeline_depth()
+// {discover, screen, align} stages with cfg.effective_pipeline_depth()
 // blocks in flight — depth 1 is the serial loop, depth 2 the paper's
 // pre-blocking (cfg.preblocking maps here), deeper depths its
 // generalization under the bounded-memory admission gate. Results are

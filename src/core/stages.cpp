@@ -1,8 +1,10 @@
 #include "core/stages.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "kmer/extract.hpp"
+#include "obs/metrics.hpp"
 
 namespace pastis::core {
 
@@ -61,6 +63,30 @@ std::optional<io::SimilarityEdge> edge_if_similar(
   if (ani < cfg.ani_threshold || cov < cfg.cov_threshold) return std::nullopt;
   return io::SimilarityEdge{task.q_id, task.r_id, static_cast<float>(ani),
                             static_cast<float>(cov), result.score};
+}
+
+void add_cascade_counters(const obs::Telemetry& telemetry,
+                          const align::CascadeStats& cs) {
+  if (telemetry.metrics == nullptr) return;
+  auto& m = *telemetry.metrics;
+  const align::TierStats* tiers[2] = {&cs.tier0, &cs.tier1};
+  for (int t = 0; t < 2; ++t) {
+    const std::string base = "cascade.tier" + std::to_string(t);
+    m.counter(base + ".pairs_in_total")
+        .add(static_cast<double>(tiers[t]->pairs_in));
+    m.counter(base + ".pairs_out_total")
+        .add(static_cast<double>(tiers[t]->pairs_out));
+    m.counter(base + ".rejects_total")
+        .add(static_cast<double>(tiers[t]->rejects));
+    m.counter(base + ".cells_total")
+        .add(static_cast<double>(tiers[t]->cells));
+  }
+}
+
+std::pair<double, double> modeled_screen_seconds(
+    const sim::MachineModel& model, const align::CascadeStats& cs) {
+  return {model.sparse_stream_time(cs.tier0.cells * 4),
+          balanced_kernel_seconds(model, cs.tier1.cells)};
 }
 
 double balanced_kernel_seconds(const sim::MachineModel& model,

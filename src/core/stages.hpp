@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "align/batch.hpp"
+#include "align/cascade.hpp"
 #include "core/common_kmers.hpp"
 #include "core/config.hpp"
 #include "dist/summa.hpp"
@@ -73,6 +74,55 @@ inline void keep_min_pos(KmerPos& acc, const KmerPos& v) {
   }
   return t;
 }
+
+/// The up-to-two seed pairs the overlap semiring carries for element
+/// (i, j) — CommonKmers::first/last, the lexicographic min and max —
+/// rewritten into the canonical task orientation (query = smaller id, the
+/// same rule as canonical_task). Returns the number of distinct seeds
+/// written to `out` (1 when first == last). These are the seeds the
+/// cascade's tier-0 diagonal-bucketed ungapped extension screens over.
+[[nodiscard]] inline int canonical_seeds(sparse::Index i, sparse::Index j,
+                                         const CommonKmers& ck,
+                                         align::Seed out[2]) {
+  const bool fwd = i < j;
+  out[0] = fwd ? align::Seed{ck.first.pos_a, ck.first.pos_b}
+               : align::Seed{ck.first.pos_b, ck.first.pos_a};
+  if (ck.last.pos_a == ck.first.pos_a && ck.last.pos_b == ck.first.pos_b) {
+    return 1;
+  }
+  out[1] = fwd ? align::Seed{ck.last.pos_a, ck.last.pos_b}
+               : align::Seed{ck.last.pos_b, ck.last.pos_a};
+  return 2;
+}
+
+/// One extracted candidate staged for the cascade screens. The {discover,
+/// screen, align} stage graphs (pipeline blocks, serving batches) keep
+/// per-slot vectors of these between the extraction pass and the tier
+/// passes, so each tier runs as its own traced pass and tier-k of item b
+/// can overlap tier-(k+1) of item b-1 on the streaming executor.
+struct ScreenCandidate {
+  align::AlignTask task;
+  std::uint32_t count = 0;        // shared-k-mer count of the pair
+  int n_seeds = 0;                // valid entries in `seeds`
+  align::Seed seeds[2];           // canonical-orientation min/max seeds
+  int sketch_overlap = -1;        // minhash slot agreement; -1 = no sketch
+};
+
+/// Adds one block/batch's cascade totals to the metrics registry:
+/// cascade.tier{0,1}.{pairs_in,pairs_out,rejects}_total plus the measured
+/// screen-cell totals. No-op without a metrics sink.
+void add_cascade_counters(const obs::Telemetry& telemetry,
+                          const align::CascadeStats& cs);
+
+/// Modeled seconds of the cascade screens over one block/batch: tier 0 is a
+/// host-side streaming scan over its diagonal cells (charged like the other
+/// sparse extraction passes, 4 bytes per scanned cell: two residue loads
+/// plus the score-table lookup), tier 1 is DP work on the node's balanced
+/// accelerators. Returns {tier0_seconds, tier1_seconds}; callers charge
+/// them to Comp::kSparseOther and Comp::kAlign respectively so the
+/// simulated grid sees both the screen cost and the tier-2 work reduction.
+[[nodiscard]] std::pair<double, double> modeled_screen_seconds(
+    const sim::MachineModel& model, const align::CascadeStats& cs);
 
 /// The ADEPT device aligner configured from the search parameters and the
 /// machine's accelerator constants (one construction for both consumers).

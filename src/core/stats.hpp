@@ -9,6 +9,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "align/cascade.hpp"
 #include "sim/clock.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/stats.hpp"
@@ -25,6 +26,9 @@ struct SearchStats {
   std::uint64_t aligned_pairs = 0;  // pairs actually aligned
   std::uint64_t similar_pairs = 0;  // edges passing ANI + coverage
   std::uint64_t align_cells = 0;    // DP cells updated
+  /// Per-tier prefilter work (pairs in/out, screen cells); all-zero when
+  /// the cascade is disabled.
+  align::CascadeStats cascade;
   sparse::SpGemmStats spgemm;
 
   // --- modeled timeline (seconds on the simulated machine) ----------------

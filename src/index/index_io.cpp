@@ -67,6 +67,10 @@ struct Header {
   std::vector<std::uint64_t> shard_nnz;
   /// v3 segment manifest (empty for v2 files and plain saves).
   std::vector<SegmentMeta> segments;
+  /// v4 minhash sketch slots per base reference (0 = no sketch table). The
+  /// table itself sits between the header and the base body and is read by
+  /// read_sketch_table() after gate_load has validated the counts.
+  std::uint32_t sketch_len = 0;
 
   [[nodiscard]] std::uint64_t all_nnz() const {
     std::uint64_t n = total_nnz;
@@ -85,7 +89,8 @@ struct Header {
   }
 
   [[nodiscard]] std::uint64_t logical_bytes() const {
-    return all_ref_residues() + all_nnz() * kBytesPerPosting;
+    return all_ref_residues() + all_nnz() * kBytesPerPosting +
+           n_refs * std::uint64_t{sketch_len} * sizeof(std::uint64_t);
   }
 
   /// The modeled resident bytes per shard (the placement's load vector);
@@ -126,6 +131,8 @@ void write_header(std::ostream& os, const Header& h) {
     write_pod(os, g.ref_residues);
     for (const auto nnz : g.shard_nnz) write_pod(os, nnz);
   }
+  // v4 sketch slot count (the table follows the header).
+  write_pod(os, h.sketch_len);
 }
 
 Header read_header(std::istream& is) {
@@ -137,9 +144,9 @@ Header read_header(std::istream& is) {
   // v2 files (no segment manifest) stay loadable: the serving tier's
   // format bump must not orphan existing indexes.
   const auto version = read_pod<std::uint32_t>(is, "version");
-  if (version != 2 && version != kIndexFormatVersion) {
+  if (version < 2 || version > kIndexFormatVersion) {
     throw std::runtime_error("index_io: unsupported index format version " +
-                             std::to_string(version) + " (expected 2 or " +
+                             std::to_string(version) + " (expected 2.." +
                              std::to_string(kIndexFormatVersion) + ")");
   }
   Header h;
@@ -202,7 +209,34 @@ Header read_header(std::istream& is) {
       }
     }
   }
+  // v4 sketch slot count. The table itself is NOT read here — its size
+  // depends on n_refs, which only gate_load validates against the file
+  // size; read_sketch_table() consumes it after the gate.
+  if (version >= 4) {
+    h.sketch_len = read_pod<std::uint32_t>(is, "sketch_len");
+    if (h.sketch_len > 4096) {
+      throw std::runtime_error("index_io: corrupt header: bad sketch length");
+    }
+  }
   return h;
+}
+
+/// Reads the v4 sketch table sitting between the header and the base body.
+/// Must run after gate_load (which bounds n_refs × sketch_len by the file
+/// size, so the allocation here is safe even for corrupt headers).
+std::vector<std::uint64_t> read_sketch_table(std::istream& is,
+                                             const Header& h) {
+  std::vector<std::uint64_t> table(h.n_refs *
+                                   static_cast<std::uint64_t>(h.sketch_len));
+  if (!table.empty()) {
+    is.read(reinterpret_cast<char*>(table.data()),
+            static_cast<std::streamsize>(table.size() * sizeof(std::uint64_t)));
+    if (!is) {
+      throw std::runtime_error(
+          "index_io: truncated file reading sketch table");
+    }
+  }
+  return table;
 }
 
 /// Re-throws the std::invalid_argument that corrupt param fields (k,
@@ -295,7 +329,14 @@ void save_index(const std::string& path, const KmerIndex& base,
     }
     h.segments.push_back(std::move(g));
   }
+  h.sketch_len = static_cast<std::uint32_t>(base.sketch_len());
   write_header(os, h);
+
+  if (!base.sketches().empty()) {
+    os.write(reinterpret_cast<const char*>(base.sketches().data()),
+             static_cast<std::streamsize>(base.sketches().size() *
+                                          sizeof(std::uint64_t)));
+  }
 
   write_index_body(os, base);
   for (const auto& seg : segments) write_index_body(os, seg);
@@ -360,7 +401,10 @@ void gate_load(const std::string& path, const Header& h,
   if (h.n_shards == 0 ||
       h.all_refs() > file_size / sizeof(std::uint32_t) ||
       h.all_ref_residues() > file_size ||
-      h.all_nnz() > file_size / kDiskBytesPerPosting) {
+      h.all_nnz() > file_size / kDiskBytesPerPosting ||
+      (h.sketch_len > 0 &&
+       h.n_refs > file_size / (std::uint64_t{h.sketch_len} *
+                               sizeof(std::uint64_t)))) {
     throw std::runtime_error(
         "index_io: header counts exceed the file size (corrupt header)");
   }
@@ -488,8 +532,10 @@ KmerIndex load_index(const std::string& path, const RankBudgetGate& gate) {
   }
   gate_load(path, h, gate);
   check_codec(h);
+  auto sketches = read_sketch_table(is, h);
   KmerIndex base = read_index_body(is, h, h.n_refs, h.ref_residues,
                                    h.total_nnz);
+  base.set_sketches(static_cast<int>(h.sketch_len), std::move(sketches));
   check_footer(is);
   return base;
 }
@@ -503,8 +549,11 @@ IndexParts load_index_parts(const std::string& path,
   const Header h = read_header(is);
   gate_load(path, h, gate);
   check_codec(h);
+  auto sketches = read_sketch_table(is, h);
   IndexParts parts;
   parts.base = read_index_body(is, h, h.n_refs, h.ref_residues, h.total_nnz);
+  parts.base.set_sketches(static_cast<int>(h.sketch_len),
+                          std::move(sketches));
   parts.segments.reserve(h.segments.size());
   for (const auto& g : h.segments) {
     parts.segments.push_back(

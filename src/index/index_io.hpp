@@ -11,6 +11,8 @@
 //   [placement section (v2): per-shard nnz u64 × n_shards]
 //   [segment manifest (v3): n_segments u32, then per segment
 //     [n_refs u64] [ref_residues u64] [per-shard nnz u64 × n_shards]]
+//   [sketch_len u32 (v4)]
+//   [minhash sketch table (v4, base refs only): u64 × n_refs × sketch_len]
 //   [ref lengths u32 × n_refs] [ref residues, concatenated]
 //   per shard: [nnz u64] [(row u32, col u32, pos u32) × nnz]
 //   per segment (v3): [ref lengths] [ref residues] [shard stripes] —
@@ -21,6 +23,13 @@
 // (serve/delta_index.hpp): delta segments persist beside the base using
 // the same stripe encoding. The v3 loader keeps reading v2 files — no
 // manifest simply means zero delta segments.
+//
+// v4 adds the optional minhash sketch table (KmerIndex::build_sketches) so
+// the alignment cascade's Tier-0 screen can run index-side in serving
+// without touching reference residues. sketch_len == 0 means no table; v2
+// and v3 files still load (with no sketches). Delta segments carry no
+// sketches — the engine treats delta-resident references as unsketchable
+// and never screens them by sketch.
 //
 // Load verifies magic, version and footer (truncation check), and — before
 // materializing anything — gates the load on the serving node's memory
@@ -48,8 +57,9 @@
 namespace pastis::index {
 
 /// Current format version (2 added the per-shard placement section; 3 the
-/// LSM segment manifest). The loader accepts both 2 and 3.
-inline constexpr std::uint32_t kIndexFormatVersion = 3;
+/// LSM segment manifest; 4 the minhash sketch table). The loader accepts
+/// 2, 3 and 4.
+inline constexpr std::uint32_t kIndexFormatVersion = 4;
 
 /// Serializes the index (with an empty segment manifest). Throws
 /// std::runtime_error on IO failure.

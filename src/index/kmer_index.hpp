@@ -30,6 +30,7 @@
 
 #include "core/common_kmers.hpp"
 #include "core/config.hpp"
+#include "kmer/codec.hpp"
 #include "sim/machine_model.hpp"
 #include "sparse/matrix.hpp"
 #include "util/thread_pool.hpp"
@@ -105,6 +106,40 @@ class KmerIndex {
   [[nodiscard]] const std::vector<std::string>& refs() const { return refs_; }
   [[nodiscard]] std::uint64_t ref_residues() const { return ref_residues_; }
 
+  /// Minhash sketch of one sequence under this codec: slot j holds the
+  /// minimum over the sequence's distinct exact k-mer codes of
+  /// splitmix64(code ^ seed_j). Sequences with no valid k-mer fill every
+  /// slot with the all-ones sentinel. The slot-wise match count between two
+  /// sketches is an unbiased Jaccard estimator over k-mer sets — the
+  /// index-side Tier-0 screen of the alignment cascade (align/cascade.hpp).
+  [[nodiscard]] static std::vector<std::uint64_t> sketch_of(
+      std::string_view seq, const kmer::Alphabet& alphabet,
+      const kmer::KmerCodec& codec, int sketch_len);
+
+  /// Builds (or rebuilds) the per-reference sketch table with `sketch_len`
+  /// slots per reference; 0 drops the table. Deterministic per reference.
+  void build_sketches(int sketch_len,
+                      util::ThreadPool* pool = &util::ThreadPool::global());
+
+  /// Installs a deserialized sketch table (index_io, format v4). The table
+  /// must hold exactly n_refs × sketch_len values; throws otherwise.
+  void set_sketches(int sketch_len, std::vector<std::uint64_t> table);
+
+  [[nodiscard]] int sketch_len() const { return sketch_len_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& sketches() const {
+    return sketches_;
+  }
+  /// Sketch of reference `id` (sketch_len() consecutive slots); only valid
+  /// when sketch_len() > 0.
+  [[nodiscard]] const std::uint64_t* sketch(Index id) const {
+    return sketches_.data() +
+           static_cast<std::size_t>(id) * static_cast<std::size_t>(sketch_len_);
+  }
+  /// Slot-wise match count of two sketches of equal length.
+  [[nodiscard]] static int sketch_overlap(const std::uint64_t* a,
+                                          const std::uint64_t* b,
+                                          int sketch_len);
+
   [[nodiscard]] std::uint64_t nnz() const;
   /// Logical bytes of the index on the simulated machine: the postings
   /// shards plus the reference residues (both are needed to serve).
@@ -125,7 +160,8 @@ class KmerIndex {
   /// property index_io's tests assert.
   friend bool operator==(const KmerIndex& a, const KmerIndex& b) {
     return a.params_ == b.params_ && a.kmer_space_ == b.kmer_space_ &&
-           a.refs_ == b.refs_ && a.shards_ == b.shards_;
+           a.refs_ == b.refs_ && a.shards_ == b.shards_ &&
+           a.sketch_len_ == b.sketch_len_ && a.sketches_ == b.sketches_;
   }
 
  private:
@@ -134,6 +170,9 @@ class KmerIndex {
   std::vector<std::string> refs_;
   std::uint64_t ref_residues_ = 0;
   std::vector<sparse::SpMat<KmerPos>> shards_;
+  /// Optional minhash table: n_refs × sketch_len_ slots, row-major.
+  int sketch_len_ = 0;
+  std::vector<std::uint64_t> sketches_;
   IndexBuildStats stats_;
 };
 

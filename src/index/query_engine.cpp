@@ -39,6 +39,10 @@ struct QueryEngine::BatchSlot {
   bool distributed = false;
   QueryBatchStats st;
   std::vector<std::vector<AlignTask>> rank_tasks;  // per serving rank
+  /// Cascade staging (cfg.cascade.any() only): candidates per align-owner
+  /// rank, compacted in place by each tier's screen before the survivors
+  /// land in rank_tasks.
+  std::vector<std::vector<core::ScreenCandidate>> rank_cands;
   std::vector<AlignTask> flat_tasks;
   std::vector<std::size_t> rank_offset;
   align::AlignWorkspace ws;
@@ -76,6 +80,8 @@ struct QueryEngine::BatchSlot {
     st.n_queries = q.size();
     if (rank_tasks.size() != np) rank_tasks.resize(np);
     for (auto& t : rank_tasks) t.clear();
+    if (rank_cands.size() != np) rank_cands.resize(np);
+    for (auto& c : rank_cands) c.clear();
     flat_tasks.clear();
     rank_offset.assign(np + 1, 0);
     if (lane_scratch.size() != np) lane_scratch.resize(np);
@@ -125,6 +131,7 @@ QueryEngine::QueryEngine(const serve::DeltaIndex* delta, const KmerIndex& index,
   if (opt_.nprocs < 1) {
     throw std::invalid_argument("QueryEngine: need nprocs >= 1");
   }
+  cascade_sig_ = cfg_.cascade.fingerprint();
   next_query_id_ = total_refs();
 
   // ---- rank-resident distributed serving setup ----------------------------
@@ -375,7 +382,7 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
       const std::uint32_t parity = parity_scheme ? (q_global & 1u) : 0u;
       if (opt_.result_cache->lookup(queries[i], served_epoch_, parity,
                                     slot.ordinal, slot.visibility_lag,
-                                    slot.cached_hits[i])) {
+                                    slot.cached_hits[i], cascade_sig_)) {
         slot.cached[i] = 1;
         ++st.cache_hits;
       }
@@ -396,6 +403,25 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
                                  codec, neighbors, cfg_.subs_kmers,
                                  per_query[i]);
   });
+
+  // Query-side minhash sketches for the index-side tier-0 screen: computed
+  // only when the cascade asks for a sketch overlap AND the index carries a
+  // v4 sketch table. Delta-segment references have no sketches, so their
+  // candidates skip the sketch test (sketch_overlap stays -1).
+  const bool cascading = cfg_.cascade.any();
+  const bool sketching = cascading && cfg_.cascade.tier0_enabled &&
+                         cfg_.cascade.tier0_min_sketch_overlap > 0 &&
+                         index_->sketch_len() > 0;
+  std::vector<std::vector<std::uint64_t>> query_sketches;
+  if (sketching) {
+    query_sketches.resize(nq);
+    par_for(nq, [&](std::size_t i) {
+      if (is_cached(i)) return;
+      query_sketches[i] =
+          KmerIndex::sketch_of(queries[i], alphabet, codec,
+                               index_->sketch_len());
+    });
+  }
 
   // Route query nonzeros to the index's k-mer-range shards.
   const Index kmer_space = index_->kmer_space();
@@ -688,8 +714,102 @@ void QueryEngine::discover_batch(BatchSlot& slot) const {
       align_owner = slot.snap.next_alive(align_owner);
       if (align_owner < 0) return;  // every rank dead: nothing aligns
     }
-    slot.rank_tasks[static_cast<std::size_t>(align_owner)].push_back(task);
+    if (!cascading) {
+      slot.rank_tasks[static_cast<std::size_t>(align_owner)].push_back(task);
+      return;
+    }
+    // Stage the candidate for the tier screens. The task's query side is
+    // always the reference (rj < n_refs <= q_global), so both orientation
+    // minima rewrite to (reference pos, query pos): first_rq is already in
+    // that order, first_qr swaps.
+    core::ScreenCandidate c;
+    c.task = task;
+    c.count = ck.count;
+    c.seeds[0] = {ck.first_rq.pos_a, ck.first_rq.pos_b};
+    c.n_seeds = 1;
+    const align::Seed alt{ck.first_qr.pos_b, ck.first_qr.pos_a};
+    if (alt.q != c.seeds[0].q || alt.r != c.seeds[0].r) {
+      c.seeds[c.n_seeds++] = alt;
+    }
+    if (sketching && rj < index_->n_refs()) {
+      c.sketch_overlap = KmerIndex::sketch_overlap(
+          index_->sketch(rj), query_sketches[static_cast<std::size_t>(qi)].data(),
+          index_->sketch_len());
+    }
+    slot.rank_cands[static_cast<std::size_t>(align_owner)].push_back(c);
   });
+
+  // ---- tier screens (the cascade's screen work, ahead of batch alignment) --
+  // Each tier compacts every align-owner rank's candidate list in place
+  // under its own measured span; survivors become that rank's alignment
+  // tasks. The screens run on the host pool but their MODELED cost is
+  // charged per owner rank — tier 0 as a host stream over the scanned
+  // diagonal cells, tier 1 as probe DP on the device — folded into the
+  // discovery-side timeline (so with depth >= 2 the screen of batch b+1
+  // overlaps batch b's alignment, like the rest of discovery).
+  if (cascading) {
+    const auto np = static_cast<std::size_t>(p);
+    std::vector<align::CascadeStats> rank_cs(np);
+    auto seq_of = [&](std::uint32_t id) -> std::string_view {
+      return id < static_cast<std::uint32_t>(n_refs)
+                 ? ref_seq(static_cast<Index>(id))
+                 : queries[id - batch_base];
+    };
+    for (int tier = 0; tier < 2; ++tier) {
+      if (tier == 0 && !cfg_.cascade.tier0_enabled) continue;
+      if (tier == 1 && !cfg_.cascade.tier1_enabled) continue;
+      std::size_t pairs_in = 0;
+      for (const auto& v : slot.rank_cands) pairs_in += v.size();
+      obs::Span span(cfg_.telemetry.tracer,
+                     tier == 0 ? "cascade.tier0" : "cascade.tier1");
+      par_for(np, [&](std::size_t ri) {
+        auto& v = slot.rank_cands[ri];
+        auto& cs = rank_cs[ri];
+        std::size_t keep = 0;
+        for (const auto& c : v) {
+          const std::string_view q = seq_of(c.task.q_id);
+          const std::string_view r = seq_of(c.task.r_id);
+          const bool pass =
+              tier == 0
+                  ? align::tier0_keep(
+                        q, r,
+                        {c.seeds, static_cast<std::size_t>(c.n_seeds)},
+                        c.count, c.sketch_overlap, aligner_, cfg_.cascade,
+                        cs.tier0)
+                  : align::tier1_keep(q, r, c.task, aligner_, cfg_.cascade,
+                                      cs.tier1);
+          if (pass) v[keep++] = c;
+        }
+        v.resize(keep);
+      });
+      std::size_t pairs_out = 0;
+      for (const auto& v : slot.rank_cands) pairs_out += v.size();
+      span.arg("pairs_in", static_cast<double>(pairs_in));
+      span.arg("pairs_out", static_cast<double>(pairs_out));
+    }
+    for (std::size_t ri = 0; ri < np; ++ri) {
+      auto& v = slot.rank_cands[ri];
+      slot.rank_tasks[ri].reserve(v.size());
+      for (const auto& c : v) slot.rank_tasks[ri].push_back(c.task);
+      st.cascade.merge(rank_cs[ri]);
+      // Modeled per-owner-rank screen cost, folded into the discovery side.
+      const auto [t0, t1] = core::modeled_screen_seconds(model_, rank_cs[ri]);
+      const double ts = t0 + t1;
+      if (ts <= 0.0) continue;
+      st.t_screen = std::max(st.t_screen, ts);
+      if (slot.distributed) {
+        if (slot.fault_active && slot.snap.dead[ri] != 0) continue;
+        slot.frame[ri].charge(sim::Comp::kSparseOther, t0);
+        slot.frame[ri].charge(sim::Comp::kAlign, t1);
+        st.rank_sparse_s[ri] += ts;
+        st.t_sparse = std::max(st.t_sparse, st.rank_sparse_s[ri]);
+      }
+    }
+    if (!slot.distributed) st.t_sparse += st.t_screen;
+    // Tier survivor counters in stream order (the discover stage is
+    // serial), for both search_batch and serve.
+    core::add_cascade_counters(cfg_.telemetry, st.cascade);
+  }
 }
 
 void QueryEngine::align_batch(BatchSlot& slot) const {
@@ -812,7 +932,7 @@ void QueryEngine::align_batch(BatchSlot& slot) const {
         // Empty lists are cached too (negative caching): a refuted query
         // is as expensive to recompute as a productive one.
         opt_.result_cache->insert(slot.queries[i], served_epoch_, parity,
-                                  slot.ordinal, fresh[i]);
+                                  slot.ordinal, fresh[i], cascade_sig_);
       }
     }
     if (replayed) io::sort_edges(hits);
@@ -992,6 +1112,7 @@ QueryEngine::Result QueryEngine::serve(
                       st.aligned_pairs += slot.st.aligned_pairs;
                       st.hits += slot.st.hits;
                       st.cache_hits += slot.st.cache_hits;
+                      st.cascade.merge(slot.st.cascade);
                       if (rt_ != nullptr) {
                         retire_distributed(slot);
                         window.add(slot.st.rank_workspace_bytes);

@@ -101,6 +101,12 @@ struct QueryBatchStats {
   /// Queries short-circuited by the ResultCache this batch (their hits are
   /// replayed from the cache; aligned_pairs counts fresh work only).
   std::uint64_t cache_hits = 0;
+  /// Per-tier prefilter work of this batch (align/cascade.hpp); all-zero
+  /// when the cascade is disabled. aligned_pairs counts survivors only.
+  align::CascadeStats cascade;
+  /// Modeled screen seconds (max rank): tier-0 host scan + tier-1 probe DP.
+  /// Runs inside the discovery stage, so it is also folded into t_sparse.
+  double t_screen = 0.0;
   double t_sparse = 0.0;  // max-rank discovery seconds (bcast + SpGEMM + merge)
   double t_align = 0.0;   // max-rank device alignment seconds
 
@@ -146,6 +152,9 @@ struct ServeStats {
   std::uint64_t hits = 0;
   /// Queries served from the ResultCache across the stream.
   std::uint64_t cache_hits = 0;
+  /// Stream-total per-tier prefilter work (survivor counts, rejects,
+  /// screen cells); all-zero when the cascade is disabled.
+  align::CascadeStats cascade;
   /// Overlap-aware modeled wall time of the serving loop (§VI-C timeline).
   double t_serve = 0.0;
   /// One-time modeled index construction, for amortization comparisons.
@@ -403,6 +412,9 @@ class QueryEngine {
   Options opt_;
   util::ThreadPool* pool_;
   align::BatchAligner aligner_;
+  /// CascadeOptions fingerprint, folded into every ResultCache key so
+  /// retuning tier thresholds can never replay stale cascade results.
+  std::uint64_t cascade_sig_ = 0;
   Index next_query_id_ = 0;
   std::uint64_t next_batch_ordinal_ = 0;
 

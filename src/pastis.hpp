@@ -14,6 +14,7 @@
 
 #include "align/banded.hpp"
 #include "align/batch.hpp"
+#include "align/cascade.hpp"
 #include "align/scoring.hpp"
 #include "align/smith_waterman.hpp"
 #include "align/xdrop.hpp"

@@ -59,7 +59,8 @@ std::uint64_t ResultCache::hash_query(std::string_view query) {
 bool ResultCache::lookup(std::string_view query, std::uint64_t epoch,
                          std::uint32_t parity, std::uint64_t ordinal,
                          int visibility_lag,
-                         std::vector<io::SimilarityEdge>& out) {
+                         std::vector<io::SimilarityEdge>& out,
+                         std::uint64_t signature) {
   const std::uint64_t h = hash_query(query);
   Shard& sh = shard_for(h);
   const auto lag = static_cast<std::uint64_t>(visibility_lag < 0 ? 0
@@ -71,7 +72,7 @@ bool ResultCache::lookup(std::string_view query, std::uint64_t epoch,
     for (; it != end; ++it) {
       const auto lit = it->second;
       if (lit->epoch != epoch || lit->parity != parity ||
-          lit->query != query) {
+          lit->signature != signature || lit->query != query) {
         continue;
       }
       // An entry still inside the pipeline-depth window may or may not be
@@ -99,7 +100,8 @@ bool ResultCache::lookup(std::string_view query, std::uint64_t epoch,
 
 void ResultCache::insert(std::string_view query, std::uint64_t epoch,
                          std::uint32_t parity, std::uint64_t ordinal,
-                         const std::vector<io::SimilarityEdge>& hits) {
+                         const std::vector<io::SimilarityEdge>& hits,
+                         std::uint64_t signature) {
   const std::uint64_t h = hash_query(query);
   Shard& sh = shard_for(h);
   std::uint64_t evicted = 0;
@@ -112,7 +114,7 @@ void ResultCache::insert(std::string_view query, std::uint64_t epoch,
     for (; it != end; ++it) {
       const auto lit = it->second;
       if (lit->epoch != epoch || lit->parity != parity ||
-          lit->query != query) {
+          lit->signature != signature || lit->query != query) {
         continue;
       }
       // Idempotent refresh: the recomputed value equals the stored one by
@@ -127,6 +129,7 @@ void ResultCache::insert(std::string_view query, std::uint64_t epoch,
       e.hash = h;
       e.epoch = epoch;
       e.parity = parity;
+      e.signature = signature;
       e.ordinal = ordinal;
       e.query.assign(query.data(), query.size());
       e.hits = hits;

@@ -5,7 +5,8 @@
 // full discovery SpGEMM + alignment. This cache short-circuits the
 // `discover` exec stage of QueryEngine for repeated queries, keyed by
 //
-//   (canonical query-sequence hash, index epoch, orientation parity)
+//   (canonical query-sequence hash, index epoch, orientation parity,
+//    cascade signature)
 //
 // The epoch component is the exact-invalidation contract: any index
 // mutation (DeltaIndex::add_references) bumps the epoch, so every entry
@@ -15,7 +16,12 @@
 // depends on the parity of the query's global id (core::BlockPlan::
 // index_based_keep), so the same sequence at an odd and an even stream
 // position are different cache keys; under kTriangularity the parity is
-// pinned to 0 and the key collapses to (hash, epoch).
+// pinned to 0 and the key collapses to (hash, epoch). The signature
+// component is the alignment cascade's fingerprint
+// (align::CascadeOptions::fingerprint): cascade thresholds change which
+// candidate pairs reach alignment, so results computed under one preset
+// must never be served to an engine retuned to another — 0 means "cascade
+// off" (the exact path).
 //
 // Hash collisions must not break bit-identity, so a lookup compares the
 // STORED QUERY STRING exactly — a colliding different sequence is a miss,
@@ -100,19 +106,23 @@ class ResultCache {
 
   /// Returns true and fills `out` with the stored hits (seq_b left as
   /// stored; the engine rebases it to the current global query id) when an
-  /// entry with the exact (query, epoch, parity) key exists AND its insert
-  /// ordinal satisfies the visibility rule. Counts a hit or a miss.
+  /// entry with the exact (query, epoch, parity, signature) key exists AND
+  /// its insert ordinal satisfies the visibility rule. `signature` is the
+  /// cascade fingerprint the results were computed under (0 = cascade
+  /// off). Counts a hit or a miss.
   bool lookup(std::string_view query, std::uint64_t epoch,
               std::uint32_t parity, std::uint64_t ordinal, int visibility_lag,
-              std::vector<io::SimilarityEdge>& out);
+              std::vector<io::SimilarityEdge>& out,
+              std::uint64_t signature = 0);
 
   /// Inserts (or idempotently refreshes) the entry for (query, epoch,
-  /// parity). A re-insert keeps the FIRST ordinal — visibility only ever
-  /// widens — and refreshes recency. Evicts LRU entries while the shard
-  /// exceeds its byte budget.
+  /// parity, signature). A re-insert keeps the FIRST ordinal — visibility
+  /// only ever widens — and refreshes recency. Evicts LRU entries while
+  /// the shard exceeds its byte budget.
   void insert(std::string_view query, std::uint64_t epoch,
               std::uint32_t parity, std::uint64_t ordinal,
-              const std::vector<io::SimilarityEdge>& hits);
+              const std::vector<io::SimilarityEdge>& hits,
+              std::uint64_t signature = 0);
 
   /// Drops every entry cached against an epoch < `epoch` — the explicit
   /// half of invalidation (the key mismatch already guarantees stale
@@ -132,6 +142,7 @@ class ResultCache {
     std::uint64_t hash = 0;
     std::uint64_t epoch = 0;
     std::uint32_t parity = 0;
+    std::uint64_t signature = 0;  // cascade fingerprint (0 = cascade off)
     std::uint64_t ordinal = 0;  // first insert ordinal (visibility)
     std::string query;          // exact-compare guard against collisions
     std::vector<io::SimilarityEdge> hits;

@@ -205,9 +205,10 @@ TEST(IndexIo, RejectsCorruptAndTruncatedFiles) {
 }
 
 TEST(IndexIo, V3LoaderKeepsReadingV2Files) {
-  // Version compatibility: a v2 file is a v3 file minus the 4-byte segment
-  // manifest count, with version 2 in the header. Manufacture one by byte
-  // surgery on a fresh save (v3 with an empty manifest) and check the v3
+  // Version compatibility: a v2 file is a current-version file minus the
+  // 4-byte segment manifest count (v3) and the 4-byte sketch_len (v4),
+  // with version 2 in the header. Manufacture one by byte surgery on a
+  // fresh save (v4 with an empty manifest and no sketches) and check the
   // loader reads it bit-identically, with zero delta segments.
   const auto refs = make_refs(60, 13);
   const auto idx = pidx::KmerIndex::build(refs, pc::PastisConfig{}, 3);
@@ -232,7 +233,11 @@ TEST(IndexIo, V3LoaderKeepsReadingV2Files) {
   std::uint32_t n_segments = 0;
   std::memcpy(&n_segments, bytes.data() + manifest_at, sizeof(n_segments));
   ASSERT_EQ(n_segments, 0u);  // fresh saves carry an empty manifest
-  bytes.erase(manifest_at, sizeof(std::uint32_t));
+  std::uint32_t sketch_len = ~0u;
+  std::memcpy(&sketch_len, bytes.data() + manifest_at + sizeof(std::uint32_t),
+              sizeof(sketch_len));
+  ASSERT_EQ(sketch_len, 0u);  // no sketch table was built
+  bytes.erase(manifest_at, 2 * sizeof(std::uint32_t));
   {
     std::ofstream f(path, std::ios::binary | std::ios::trunc);
     f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
